@@ -1,0 +1,85 @@
+//! Criterion bench B1c — ablations for the design choices DESIGN.md calls
+//! out:
+//!
+//! * attacker closure on/off: the cost of Definition 4's `⊇` direction
+//!   (the most powerful attacker) over the plain least solution;
+//! * replication budget: commitment-enumeration cost as `!P` unfolding
+//!   deepens;
+//! * νSPI vs classic-spi evaluation: the price of confounder freshening.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nuspi_bench::workloads;
+use nuspi_cfa::{analyze, analyze_with_attacker};
+use nuspi_semantics::{commitments, eval, CommitConfig, EvalMode};
+use nuspi_syntax::{builder as b, parse_process, Name};
+use std::collections::HashSet;
+
+fn bench_attacker_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/attacker-closure");
+    for n in [2usize, 4, 8] {
+        let p = workloads::wmf_sessions(n);
+        let secrets: HashSet<_> = (0..n)
+            .flat_map(|i| {
+                [
+                    format!("m{i}"),
+                    format!("kAS{i}"),
+                    format!("kBS{i}"),
+                    format!("kAB{i}"),
+                ]
+            })
+            .map(|s| nuspi_syntax::Symbol::intern(&s))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("plain", n), &p, |bch, p| {
+            bch.iter(|| analyze(p))
+        });
+        group.bench_with_input(BenchmarkId::new("attacker-closed", n), &p, |bch, p| {
+            bch.iter(|| analyze_with_attacker(p, &secrets))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rep_budget(c: &mut Criterion) {
+    let p = parse_process("!(ping<0>.0 | ping(x).pong<x>.0)").unwrap();
+    let mut group = c.benchmark_group("ablation/rep-budget");
+    for budget in [1u32, 2, 3] {
+        let cfg = CommitConfig {
+            mode: EvalMode::NuSpi,
+            rep_budget: budget,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(budget), &cfg, |bch, cfg| {
+            bch.iter(|| commitments(&p, cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_eval_modes(c: &mut Criterion) {
+    let mut e = b::zero();
+    for i in 0..16 {
+        e = b::enc(
+            vec![e],
+            Name::global(format!("r{i}").as_str()),
+            b::name("k"),
+        );
+    }
+    let mut group = c.benchmark_group("ablation/eval-mode");
+    group.bench_function("nuspi-fresh-confounders", |bch| {
+        bch.iter(|| eval(&e, EvalMode::NuSpi).unwrap())
+    });
+    group.bench_function("classic-spi", |bch| {
+        bch.iter(|| eval(&e, EvalMode::ClassicSpi).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    targets = bench_attacker_closure, bench_rep_budget, bench_eval_modes
+}
+criterion_main!(benches);

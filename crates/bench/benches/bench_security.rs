@@ -1,0 +1,76 @@
+//! Criterion bench B1b: the security layer — confinement (attacker-closed
+//! analysis + kind fixpoint), the carefulness monitor, the Dolev–Yao
+//! closure, and the bounded intruder on a known-broken protocol.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nuspi_protocols::{suite, wmf};
+use nuspi_security::{carefulness, confinement, reveals, IntruderConfig, Knowledge};
+use nuspi_semantics::ExecConfig;
+use nuspi_syntax::{Name, Symbol, Value};
+
+fn bench_confinement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("confinement");
+    for spec in suite() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(spec.name),
+            &spec,
+            |b, spec| b.iter(|| confinement(&spec.process, &spec.policy)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_carefulness(c: &mut Criterion) {
+    let spec = wmf::wmf();
+    let cfg = ExecConfig::default();
+    c.bench_function("carefulness/wmf", |b| {
+        b.iter(|| carefulness(&spec.process, &spec.policy, &cfg))
+    });
+}
+
+fn bench_knowledge_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dolev-yao/closure");
+    for n in [8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut k = Knowledge::from_names(["c"]);
+                // A chain of ciphertexts, each key released by the next.
+                for i in (0..n).rev() {
+                    let key = format!("k{i}");
+                    let next = format!("k{}", i + 1);
+                    k.learn(Value::enc(
+                        vec![Value::name(next.as_str())],
+                        Name::global("r"),
+                        Value::name(key.as_str()),
+                    ));
+                }
+                k.learn(Value::name("k0"));
+                assert!(k.can_derive(&Value::name(format!("k{n}").as_str())));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_intruder(c: &mut Criterion) {
+    let spec = wmf::wmf_key_in_clear();
+    let k0 = Knowledge::from_names(spec.public_channels.iter().copied());
+    let cfg = IntruderConfig::default();
+    c.bench_function("dolev-yao/attack-wmf-key-in-clear", |b| {
+        b.iter(|| {
+            reveals(&spec.process, &k0, Symbol::intern("m"), &cfg)
+                .expect("attack must be found")
+        })
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    targets = bench_confinement, bench_carefulness, bench_knowledge_closure, bench_intruder
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench B1a: the operational-semantics engine — evaluation,
+//! commitment enumeration, and bounded exploration throughput.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nuspi_bench::workloads;
+use nuspi_protocols::wmf;
+use nuspi_semantics::{commitments, eval, explore_tau, CommitConfig, EvalMode, ExecConfig};
+use nuspi_syntax::{builder as b, Name};
+
+fn bench_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval/nested-encryption");
+    for depth in [2usize, 8, 32] {
+        let mut e = b::zero();
+        for i in 0..depth {
+            e = b::enc(
+                vec![e],
+                Name::global(format!("r{i}").as_str()),
+                b::name("k"),
+            );
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &e, |bch, e| {
+            bch.iter(|| eval(e, EvalMode::NuSpi).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_commitments(c: &mut Criterion) {
+    let wmf = wmf::wmf().process;
+    c.bench_function("commitments/wmf-initial", |bch| {
+        bch.iter(|| commitments(&wmf, &CommitConfig::default()))
+    });
+    let broadcast = workloads::star_broadcast(16);
+    c.bench_function("commitments/star-broadcast-16", |bch| {
+        bch.iter(|| commitments(&broadcast, &CommitConfig::default()))
+    });
+}
+
+fn bench_exploration(c: &mut Criterion) {
+    let wmf = wmf::wmf().process;
+    c.bench_function("explore/wmf-exhaustive", |bch| {
+        bch.iter(|| explore_tau(&wmf, &ExecConfig::default(), |_, _| true))
+    });
+    let chain = workloads::relay_chain(8);
+    c.bench_function("explore/relay-chain-8", |bch| {
+        bch.iter(|| explore_tau(&chain, &ExecConfig::default(), |_, _| true))
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    targets = bench_eval, bench_commitments, bench_exploration
+}
+criterion_main!(benches);

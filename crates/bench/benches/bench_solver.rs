@@ -1,0 +1,54 @@
+//! Criterion bench F1: solver scaling over the parametric workload
+//! families — the measured counterpart of the paper's cubic-time claim.
+//! One group per family; within each group the parameter `n` sweeps so
+//! Criterion's report shows the growth curve.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nuspi_bench::workloads;
+use nuspi_cfa::{solve, Constraints};
+use nuspi_syntax::Process;
+
+fn family(c: &mut Criterion, name: &str, make: impl Fn(usize) -> Process, sizes: &[usize]) {
+    let mut group = c.benchmark_group(format!("solver/{name}"));
+    for &n in sizes {
+        let p = make(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| solve(Constraints::generate(p)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_solver(c: &mut Criterion) {
+    family(c, "relay-chain", workloads::relay_chain, &[8, 16, 32, 64]);
+    family(c, "crypto-chain", workloads::crypto_chain, &[8, 16, 32, 64]);
+    family(c, "star-broadcast", workloads::star_broadcast, &[8, 16, 32, 64]);
+    family(c, "wmf-sessions", workloads::wmf_sessions, &[2, 4, 8, 16]);
+    family(c, "mixer", workloads::mixer, &[4, 8, 16, 32]);
+}
+
+fn bench_phases(c: &mut Criterion) {
+    // F2: constraint generation alone is linear; solving dominates.
+    let p = workloads::crypto_chain(32);
+    c.bench_function("phases/generate-32", |b| {
+        b.iter(|| Constraints::generate(&p))
+    });
+    c.bench_function("phases/solve-32", |b| {
+        b.iter(|| solve(Constraints::generate(&p)))
+    });
+    let wmf = workloads::wmf_sessions(4);
+    c.bench_function("phases/wmf4-end-to-end", |b| {
+        b.iter(|| solve(Constraints::generate(&wmf)))
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    targets = bench_solver, bench_phases
+}
+criterion_main!(benches);

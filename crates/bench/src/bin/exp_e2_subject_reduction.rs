@@ -1,0 +1,87 @@
+//! Experiment E2 — Theorem 1 (subject reduction), machine-checked.
+//!
+//! For the whole protocol suite and a seeded fleet of random processes,
+//! analyse the initial process once, then check along every bounded
+//! execution that (1)/(2) the estimate stays acceptable for each
+//! residual, (3) each sent value is predicted by `ζ(l)` with
+//! `ζ(l) ⊆ κ(⌊m⌋)`, and (4) `κ(⌊m⌋) ⊆ ρ(x)` at each input.
+
+use nuspi_bench::genproc::{random_process, GenConfig};
+use nuspi_bench::report::Table;
+use nuspi_bench::theorems::check_subject_reduction;
+use nuspi_protocols::suite;
+use nuspi_semantics::ExecConfig;
+
+fn main() {
+    println!("E2: Theorem 1 (subject reduction for ⇓, > and —α→)\n");
+    let cfg = ExecConfig {
+        max_depth: 12,
+        max_states: 1500,
+        ..ExecConfig::default()
+    };
+
+    let mut table = Table::new(["workload", "states", "outputs", "inputs", "verdict"]);
+    let mut failures = 0;
+    for spec in suite() {
+        match check_subject_reduction(&spec.process, &cfg) {
+            Ok(stats) => {
+                table.row([
+                    spec.name.to_owned(),
+                    stats.states_checked.to_string(),
+                    stats.outputs_checked.to_string(),
+                    stats.inputs_checked.to_string(),
+                    "ok".to_owned(),
+                ]);
+            }
+            Err(e) => {
+                failures += 1;
+                table.row([
+                    spec.name.to_owned(),
+                    "-".to_owned(),
+                    "-".to_owned(),
+                    "-".to_owned(),
+                    format!("VIOLATION: {e}"),
+                ]);
+            }
+        }
+    }
+
+    let gcfg = GenConfig::default();
+    let fuzz_cfg = ExecConfig {
+        max_depth: 6,
+        max_states: 300,
+        ..ExecConfig::default()
+    };
+    let fuzz_total = 300;
+    let mut fuzz_states = 0;
+    let mut fuzz_outputs = 0;
+    for seed in 0..fuzz_total {
+        match check_subject_reduction(&random_process(seed, &gcfg), &fuzz_cfg) {
+            Ok(stats) => {
+                fuzz_states += stats.states_checked;
+                fuzz_outputs += stats.outputs_checked;
+            }
+            Err(e) => {
+                failures += 1;
+                table.row([
+                    format!("fuzz seed {seed}"),
+                    "-".to_owned(),
+                    "-".to_owned(),
+                    "-".to_owned(),
+                    format!("VIOLATION: {e}"),
+                ]);
+            }
+        }
+    }
+    table.row([
+        format!("random fuzz ×{fuzz_total}"),
+        fuzz_states.to_string(),
+        fuzz_outputs.to_string(),
+        "-".to_owned(),
+        "ok".to_owned(),
+    ]);
+    println!("{}", table.render());
+    println!("counterexamples found: {failures}");
+    assert_eq!(failures, 0, "Theorem 1 violated");
+    println!("\nE2 PASS: zero subject-reduction counterexamples.");
+}

@@ -1,0 +1,94 @@
+//! Experiment E5 — Theorem 4 (confinement ⟹ Dolev–Yao secrecy).
+//!
+//! For every protocol, run the bounded active intruder of Definition 5
+//! (initial knowledge: the protocol's public channels) against the
+//! protocol's declared secret. The theorem predicts: confined protocols
+//! reveal nothing; the flawed variants — exactly the ones the CFA rejects
+//! — fall to a concrete attack, which is printed.
+
+use nuspi_bench::report::Table;
+use nuspi_protocols::suite;
+use nuspi_security::{confinement, reveals, IntruderConfig, Knowledge};
+
+fn main() {
+    println!("E5: Theorem 4 (Dolev–Yao secrecy via the bounded active intruder)\n");
+    // Two budgets: a cheap replay/injection pass for every row, and a
+    // deeper pass with depth-1 pair *synthesis* (message forging) that is
+    // only needed to exhibit attacks on statically-rejected variants.
+    let cheap = IntruderConfig {
+        max_depth: 16,
+        max_states: 20_000,
+        max_injections: 12,
+        ..IntruderConfig::default()
+    };
+    let forging = IntruderConfig {
+        max_depth: 8,
+        max_states: 60_000,
+        max_injections: 10,
+        pair_components: 8,
+        ..IntruderConfig::default()
+    };
+    let mut table = Table::new(["protocol", "secret", "confined", "attack", "steps"]);
+    let mut theorem_violations = 0;
+    let mut missed_attacks = 0;
+    let mut attacks = Vec::new();
+    for spec in suite() {
+        let confined = confinement(&spec.process, &spec.policy).is_confined();
+        // Definition 5 allows any K₀ ⊆ P: start from every public free
+        // name of the protocol (channels and public constants alike).
+        let public_names: Vec<_> = spec
+            .process
+            .free_names()
+            .into_iter()
+            .map(|n| n.canonical())
+            .filter(|n| spec.policy.is_public(*n))
+            .collect();
+        let k0 = Knowledge::from_names(public_names);
+        let mut attack = reveals(&spec.process, &k0, spec.secret, &cheap);
+        if attack.is_none() && !confined {
+            attack = reveals(&spec.process, &k0, spec.secret, &forging);
+        }
+        if confined && attack.is_some() {
+            theorem_violations += 1;
+        }
+        if !confined && attack.is_none() {
+            missed_attacks += 1;
+        }
+        table.row([
+            spec.name.to_owned(),
+            spec.secret.as_str().to_owned(),
+            confined.to_string(),
+            if attack.is_some() {
+                "FOUND".to_owned()
+            } else {
+                "none".to_owned()
+            },
+            attack
+                .as_ref()
+                .map(|a| a.trace.len().to_string())
+                .unwrap_or_else(|| "-".to_owned()),
+        ]);
+        if let Some(a) = attack {
+            attacks.push((spec.name, a));
+        }
+    }
+    println!("{}", table.render());
+    for (name, a) in &attacks {
+        println!("attack on {name}:");
+        for step in &a.trace {
+            println!("  - {step}");
+        }
+    }
+    println!();
+    assert_eq!(
+        theorem_violations, 0,
+        "a confined protocol revealed its secret — Theorem 4 violated"
+    );
+    println!(
+        "Theorem 4 holds on every row; bounded intruder found {} / {} planted flaws.",
+        attacks.len(),
+        suite().iter().filter(|s| !s.expect_confined).count()
+    );
+    assert_eq!(missed_attacks, 0, "a planted flaw went unexploited");
+    println!("E5 PASS.");
+}

@@ -1,0 +1,23 @@
+//! # nuspi-bench — workloads, theorem checkers and experiment harness
+//!
+//! Support library for the reproduction's experiment binaries
+//! (`exp_e1_wmf` … `exp_f1_scaling`, see EXPERIMENTS.md) and Criterion
+//! benches:
+//!
+//! * [`workloads`] — parametric process families for the O(n³) scaling
+//!   figure;
+//! * [`genproc`] — seeded random closed-process generation for the
+//!   subject-reduction fuzz;
+//! * [`flatref`] — a naive reference implementation of the analysis for
+//!   flat processes, used to cross-validate the grammar solver *exactly*;
+//! * [`theorems`] — machine checks of Theorems 1–3;
+//! * [`report`] — table rendering and log–log slope fitting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flatref;
+pub mod genproc;
+pub mod report;
+pub mod theorems;
+pub mod workloads;

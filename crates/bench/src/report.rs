@@ -1,0 +1,139 @@
+//! Small helpers for the experiment binaries: aligned-table printing and
+//! a log–log slope fit for the scaling figure.
+
+use std::time::{Duration, Instant};
+
+/// A plain-text table with aligned columns.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Table {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) -> &mut Table {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                line.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+            }
+            line.trim_end().to_owned()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Times a closure, returning its result and the wall-clock duration.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Times a closure, repeating it until `min_total` elapses, and returns
+/// the mean duration — stabilises sub-millisecond measurements.
+pub fn timed_stable(min_total: Duration, mut f: impl FnMut()) -> Duration {
+    let start = Instant::now();
+    let mut iters = 0u32;
+    while start.elapsed() < min_total || iters == 0 {
+        f();
+        iters += 1;
+    }
+    start.elapsed() / iters
+}
+
+/// Least-squares slope of `log(y)` against `log(x)` — the growth exponent
+/// of a scaling series.
+pub fn loglog_slope(points: &[(f64, f64)]) -> f64 {
+    let logged: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    let n = logged.len() as f64;
+    assert!(n >= 2.0, "need at least two positive points");
+    let sx: f64 = logged.iter().map(|(x, _)| x).sum();
+    let sy: f64 = logged.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = logged.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = logged.iter().map(|(x, y)| x * y).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["name", "n"]);
+        t.row(["short", "1"]);
+        t.row(["a-much-longer-name", "23"]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn slope_of_linear_data_is_one() {
+        let pts: Vec<(f64, f64)> = (1..=10).map(|i| (i as f64, 3.0 * i as f64)).collect();
+        assert!((loglog_slope(&pts) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slope_of_cubic_data_is_three() {
+        let pts: Vec<(f64, f64)> = (1..=10)
+            .map(|i| {
+                let x = i as f64;
+                (x, 0.5 * x * x * x)
+            })
+            .collect();
+        assert!((loglog_slope(&pts) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timed_returns_result() {
+        let (v, d) = timed(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(d.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Machine checks of the paper's theorems, used by the experiment
+//! binaries and the integration tests.
+//!
+//! * [`check_subject_reduction`] — Theorem 1: along every bounded
+//!   execution of `P`, the least solution computed for `P` stays
+//!   acceptable for each residual, every sent value is predicted by
+//!   `ζ(l)` and covered by `κ(⌊m⌋)`, and inputs respect
+//!   `κ(⌊m⌋) ⊆ ρ(x)`.
+//! * [`check_confined_implies_careful`] — Theorem 3 on one process.
+//! * [`check_moore_meet`] — Theorem 2 on finite estimates.
+
+use nuspi_cfa::{accept, analyze, FiniteEstimate, FlowVar, Prod, Solution};
+use nuspi_semantics::{explore_tau, Action, Agent, ExecConfig};
+use nuspi_security::{carefulness, confinement, Policy};
+use nuspi_syntax::Process;
+
+/// Counters from a subject-reduction run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SubjectReductionStats {
+    /// States whose residual was re-verified against the solution.
+    pub states_checked: usize,
+    /// Output commitments whose value/label/channel were checked.
+    pub outputs_checked: usize,
+    /// Input commitments checked.
+    pub inputs_checked: usize,
+}
+
+/// Checks Theorem 1 for `p` over its bounded `τ`-state space.
+///
+/// # Errors
+///
+/// Returns a description of the first violated clause.
+pub fn check_subject_reduction(
+    p: &Process,
+    cfg: &ExecConfig,
+) -> Result<SubjectReductionStats, String> {
+    let sol = analyze(p);
+    let mut stats = SubjectReductionStats::default();
+    let mut error: Option<String> = None;
+    explore_tau(p, cfg, |state, commitments| {
+        // Clause (1)/(2): the estimate stays acceptable for the residual.
+        let violations = accept::verify(&sol, state);
+        if !violations.is_empty() {
+            error = Some(format!(
+                "residual not acceptable: {} (first: {})",
+                state, violations[0]
+            ));
+            return false;
+        }
+        stats.states_checked += 1;
+        for c in commitments {
+            match (&c.action, &c.agent) {
+                (Action::Out(m), Agent::Conc(conc)) => {
+                    stats.outputs_checked += 1;
+                    // Clause (3): ⌊w⌋ ∈ ζ(l) and ζ(l) ⊆ κ(⌊m⌋).
+                    if !sol.contains(FlowVar::Zeta(conc.label), &conc.value) {
+                        error = Some(format!(
+                            "sent value {} not predicted by ζ({})",
+                            conc.value, conc.label
+                        ));
+                        return false;
+                    }
+                    if !sol.contains(FlowVar::Kappa(m.canonical()), &conc.value) {
+                        error = Some(format!(
+                            "sent value {} not covered by κ({})",
+                            conc.value,
+                            m.canonical()
+                        ));
+                        return false;
+                    }
+                    let zl = sol.zeta(conc.label);
+                    let kap = sol.kappa(m.canonical());
+                    if !zl.iter().all(|pr| kap.contains(pr)) {
+                        error = Some(format!("ζ({}) ⊄ κ({})", conc.label, m.canonical()));
+                        return false;
+                    }
+                }
+                (Action::In(m), Agent::Abs(abs)) => {
+                    stats.inputs_checked += 1;
+                    // Clause (4): κ(⌊m⌋) ⊆ ρ(x).
+                    let kap = sol.kappa(m.canonical());
+                    let rho = sol.rho(abs.var);
+                    if !kap.iter().all(|pr| rho.contains(pr)) {
+                        error = Some(format!("κ({}) ⊄ ρ({})", m.canonical(), abs.var));
+                        return false;
+                    }
+                }
+                _ => {}
+            }
+        }
+        true
+    });
+    match error {
+        Some(e) => Err(e),
+        None => Ok(stats),
+    }
+}
+
+/// Checks Theorem 3 on one process: if the CFA says confined, the bounded
+/// carefulness monitor must agree.
+///
+/// # Errors
+///
+/// Returns a description when a confined process is caught being careless
+/// (which would falsify the theorem / implementation).
+pub fn check_confined_implies_careful(
+    p: &Process,
+    policy: &Policy,
+    cfg: &ExecConfig,
+) -> Result<ConfinedCareful, String> {
+    let conf = confinement(p, policy);
+    let care = carefulness(p, policy, cfg);
+    if conf.is_confined() && !care.is_careful() {
+        return Err(format!(
+            "confined process is not careful: {}",
+            care.violations[0]
+        ));
+    }
+    Ok(ConfinedCareful {
+        confined: conf.is_confined(),
+        careful: care.is_careful(),
+    })
+}
+
+/// The two verdicts of a Theorem 3 check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConfinedCareful {
+    /// Static verdict.
+    pub confined: bool,
+    /// Dynamic verdict (within the explored bound).
+    pub careful: bool,
+}
+
+/// Checks the Moore-family property (Theorem 2) on two finite estimates
+/// for `p`: if both are acceptable, their meet must be acceptable and
+/// below both.
+///
+/// # Errors
+///
+/// Returns a description if the meet fails acceptability or ordering.
+pub fn check_moore_meet(
+    p: &Process,
+    a: &FiniteEstimate,
+    b: &FiniteEstimate,
+) -> Result<(), String> {
+    if !a.accepts(p) || !b.accepts(p) {
+        return Err("premise failed: an input estimate is not acceptable".into());
+    }
+    let met = a.meet(b);
+    let violations = met.verify(p);
+    if !violations.is_empty() {
+        return Err(format!("meet not acceptable: {}", violations[0]));
+    }
+    if !met.leq(a) || !met.leq(b) {
+        return Err("meet is not a lower bound".into());
+    }
+    Ok(())
+}
+
+/// Validates that the solver output is acceptable per the independent
+/// Table 2 checker — a sanity wrapper used across experiments.
+///
+/// # Errors
+///
+/// Returns the first violation, if any.
+pub fn check_least_solution_acceptable(p: &Process) -> Result<Solution, String> {
+    let sol = analyze(p);
+    let violations = accept::verify(&sol, p);
+    match violations.first() {
+        Some(v) => Err(v.to_string()),
+        None => Ok(sol),
+    }
+}
+
+/// Counts productions of a κ entry — a convenient size metric for
+/// experiment tables.
+pub fn kappa_width(sol: &Solution, chan: &str) -> usize {
+    sol.kappa(nuspi_syntax::Symbol::intern(chan)).len()
+}
+
+/// Returns true when the κ entry mentions at least one `Enc` production —
+/// used to render the Example 1 table.
+pub fn kappa_all_ciphertexts(sol: &Solution, chan: &str) -> bool {
+    let k = sol.kappa(nuspi_syntax::Symbol::intern(chan));
+    !k.is_empty() && k.iter().all(|p| matches!(p, Prod::Enc { .. }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genproc::{random_process, GenConfig};
+    use nuspi_protocols::suite;
+
+    #[test]
+    fn subject_reduction_on_protocol_suite() {
+        let cfg = ExecConfig {
+            max_depth: 10,
+            max_states: 600,
+            ..ExecConfig::default()
+        };
+        for spec in suite() {
+            let stats = check_subject_reduction(&spec.process, &cfg)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            assert!(stats.states_checked > 0, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn subject_reduction_on_random_processes() {
+        let gcfg = GenConfig::default();
+        let cfg = ExecConfig {
+            max_depth: 6,
+            max_states: 200,
+            ..ExecConfig::default()
+        };
+        for seed in 0..60 {
+            let p = random_process(seed, &gcfg);
+            check_subject_reduction(&p, &cfg).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn theorem3_on_protocol_suite() {
+        let cfg = ExecConfig {
+            max_depth: 10,
+            max_states: 600,
+            ..ExecConfig::default()
+        };
+        for spec in suite() {
+            let verdicts = check_confined_implies_careful(&spec.process, &spec.policy, &cfg)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            assert_eq!(
+                verdicts.confined, spec.expect_confined,
+                "{}: unexpected static verdict",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn least_solution_acceptable_everywhere() {
+        for spec in suite() {
+            check_least_solution_acceptable(&spec.process)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Parametric workload generators for the scaling experiments.
+//!
+//! The paper claims the least CFA solution is computable in polynomial
+//! (cubic) time. These families grow a process along one dimension `n` so
+//! the solver's asymptotics can be measured:
+//!
+//! * [`relay_chain`] — `n` relays forwarding a value hop by hop: linear
+//!   flow structure, exercises subset-edge propagation.
+//! * [`crypto_chain`] — `n` re-encryption hops, each decrypting with key
+//!   `kᵢ` and re-encrypting under `kᵢ₊₁`: exercises the decryption
+//!   conditionals and the language-intersection oracle.
+//! * [`star_broadcast`] — one sender, `n` receivers on one channel: a
+//!   dense κ fan-out.
+//! * [`wmf_sessions`] — `n` independent Wide-Mouthed-Frog sessions with
+//!   disjoint channel/key spaces: realistic protocol scaling.
+//! * [`mixer`] — `n` processes all talking over one shared channel:
+//!   worst-case κ mixing (quadratic flow relationships).
+
+use nuspi_syntax::{parse_process, Process};
+
+fn parse(src: &str) -> Process {
+    parse_process(src).unwrap_or_else(|e| panic!("workload does not parse: {e}\n{src}"))
+}
+
+/// `n` relays: `c0(x).c1<x>.0 | c1(x).c2<x>.0 | … | c0<seed>.0`.
+pub fn relay_chain(n: usize) -> Process {
+    let mut src = String::from("c0<seed>.0");
+    for i in 0..n {
+        src.push_str(&format!(" | c{i}(x). c{}<x>.0", i + 1));
+    }
+    parse(&src)
+}
+
+/// `n` re-encryption hops: hop `i` decrypts with `ki` and re-encrypts
+/// under `ki+1`; a final consumer decrypts the last hop.
+pub fn crypto_chain(n: usize) -> Process {
+    let mut src = String::from("c0<{seed, new r0}:k0>.0");
+    for i in 0..n {
+        src.push_str(&format!(
+            " | c{i}(x). case x of {{y}}:k{i} in c{}<{{y, new rr{i}}}:k{}>.0",
+            i + 1,
+            i + 1
+        ));
+    }
+    src.push_str(&format!(" | c{n}(z). case z of {{w}}:k{n} in done<w>.0"));
+    parse(&src)
+}
+
+/// One sender broadcasting on a single channel, `n` receivers forwarding
+/// to their own sinks.
+pub fn star_broadcast(n: usize) -> Process {
+    let mut src = String::from("hub<payload>.0");
+    for i in 0..n {
+        src.push_str(&format!(" | hub(x). sink{i}<x>.0"));
+    }
+    parse(&src)
+}
+
+/// `n` independent WMF sessions with disjoint channels, keys and
+/// payloads (session `i` uses `cASi`, `kASi`, …).
+pub fn wmf_sessions(n: usize) -> Process {
+    let mut parts = Vec::new();
+    for i in 0..n {
+        parts.push(format!(
+            "(new m{i}) (new kAS{i}) (new kBS{i}) (
+               ((new kAB{i}) cAS{i}<{{kAB{i}, new ra{i}}}:kAS{i}>. cAB{i}<{{m{i}, new rb{i}}}:kAB{i}>.0
+                | cBS{i}(t{i}). case t{i} of {{y{i}}}:kBS{i} in cAB{i}(z{i}). case z{i} of {{q{i}}}:y{i} in 0)
+               | cAS{i}(x{i}). case x{i} of {{s{i}}}:kAS{i} in cBS{i}<{{s{i}, new rc{i}}}:kBS{i}>.0
+             )"
+        ));
+    }
+    parse(&parts.join(" | "))
+}
+
+/// The secret/public partition for [`wmf_sessions`].
+pub fn wmf_sessions_policy(n: usize) -> nuspi_security::Policy {
+    let mut secrets = Vec::new();
+    for i in 0..n {
+        secrets.push(format!("m{i}"));
+        secrets.push(format!("kAS{i}"));
+        secrets.push(format!("kBS{i}"));
+        secrets.push(format!("kAB{i}"));
+    }
+    nuspi_security::Policy::with_secrets(secrets.iter().map(String::as_str))
+}
+
+/// A replicated WMF server (`!cAS(x)…`) serving `n` initiator/responder
+/// pairs that share the long-term keys — exercises replication in both
+/// the analysis (the CFA treats `!P` transparently) and the executor
+/// (bounded unfolding).
+pub fn replicated_wmf(n: usize) -> Process {
+    let mut parts = vec![
+        "!(cAS(x). case x of {s}:kAS in cBS<{s, new rs}:kBS>.0)".to_owned(),
+    ];
+    for i in 0..n {
+        parts.push(format!(
+            "(new m{i}) (new kAB{i}) cAS<{{kAB{i}, new ra{i}}}:kAS>. cAB<{{m{i}, new rb{i}}}:kAB{i}>.0"
+        ));
+        parts.push(format!(
+            "cBS(t{i}). case t{i} of {{y{i}}}:kBS in cAB(z{i}). case z{i} of {{q{i}}}:y{i} in 0"
+        ));
+    }
+    parse(&format!(
+        "(new kAS) (new kBS) ({})",
+        parts.join(" | ")
+    ))
+}
+
+/// The policy for [`replicated_wmf`].
+pub fn replicated_wmf_policy(n: usize) -> nuspi_security::Policy {
+    let mut secrets = vec!["kAS".to_owned(), "kBS".to_owned()];
+    for i in 0..n {
+        secrets.push(format!("m{i}"));
+        secrets.push(format!("kAB{i}"));
+    }
+    nuspi_security::Policy::with_secrets(secrets.iter().map(String::as_str))
+}
+
+/// `n` peers all exchanging their names over one shared channel — the
+/// densest κ mixing the calculus allows.
+pub fn mixer(n: usize) -> Process {
+    let mut parts = Vec::new();
+    for i in 0..n {
+        parts.push(format!("shared<p{i}>.0 | shared(v{i}). shared<v{i}>.0"));
+    }
+    parse(&parts.join(" | "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuspi_cfa::{analyze, FlowVar};
+    use nuspi_syntax::{Symbol, Value};
+
+    #[test]
+    fn relay_chain_sizes_grow_linearly() {
+        let s4 = relay_chain(4).size();
+        let s8 = relay_chain(8).size();
+        let s16 = relay_chain(16).size();
+        assert_eq!(s16 - s8, 2 * (s8 - s4));
+    }
+
+    #[test]
+    fn relay_chain_flows_end_to_end() {
+        let n = 6;
+        let sol = analyze(&relay_chain(n));
+        let last = Symbol::intern(&format!("c{n}"));
+        assert!(sol.contains(FlowVar::Kappa(last), &Value::name("seed")));
+    }
+
+    #[test]
+    fn crypto_chain_flows_end_to_end() {
+        let sol = analyze(&crypto_chain(5));
+        assert!(sol.contains(
+            FlowVar::Kappa(Symbol::intern("done")),
+            &Value::name("seed")
+        ));
+    }
+
+    #[test]
+    fn star_broadcast_reaches_every_sink() {
+        let n = 5;
+        let sol = analyze(&star_broadcast(n));
+        for i in 0..n {
+            let sink = Symbol::intern(&format!("sink{i}"));
+            assert!(sol.contains(FlowVar::Kappa(sink), &Value::name("payload")));
+        }
+    }
+
+    #[test]
+    fn wmf_sessions_stay_confined() {
+        let n = 3;
+        let p = wmf_sessions(n);
+        let policy = wmf_sessions_policy(n);
+        let report = nuspi_security::confinement(&p, &policy);
+        assert!(report.is_confined(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn wmf_sessions_do_not_cross_contaminate() {
+        let p = wmf_sessions(2);
+        let sol = analyze(&p);
+        // Session 0's payload never reaches session 1's channel.
+        assert!(!sol.contains(
+            FlowVar::Kappa(Symbol::intern("cAB1")),
+            &Value::enc(
+                vec![Value::name("m0")],
+                nuspi_syntax::Name::global("rb0"),
+                Value::name("kAB0")
+            )
+        ));
+    }
+
+    #[test]
+    fn replicated_wmf_is_confined() {
+        // Sessions share the long-term keys through a replicated server;
+        // the κ-mixing across sessions must not leak any payload.
+        let n = 3;
+        let p = replicated_wmf(n);
+        let policy = replicated_wmf_policy(n);
+        let report = nuspi_security::confinement(&p, &policy);
+        assert!(report.is_confined(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn replicated_wmf_sessions_complete_dynamically() {
+        use nuspi_semantics::{explore_tau, ExecConfig};
+        let p = replicated_wmf(1);
+        let cfg = ExecConfig {
+            max_depth: 10,
+            max_states: 3000,
+            ..ExecConfig::default()
+        };
+        let stats = explore_tau(&p, &cfg, |_, _| true);
+        assert!(stats.states > 3, "server must serve the session");
+    }
+
+    #[test]
+    fn replicated_wmf_mixes_sessions_in_kappa_but_not_keys() {
+        // With one shared server, both sessions' tickets travel on cBS —
+        // but session 0's payload ciphertext never decrypts under session
+        // 1's key.
+        let p = replicated_wmf(2);
+        let sol = analyze(&p);
+        let cbs = sol.kappa(Symbol::intern("cBS"));
+        assert!(!cbs.is_empty(), "tickets flow via the replicated server");
+        let policy = replicated_wmf_policy(2);
+        let report = nuspi_security::confinement(&p, &policy);
+        assert!(report.is_confined());
+    }
+
+    #[test]
+    fn mixer_mixes_everything() {
+        let n = 4;
+        let sol = analyze(&mixer(n));
+        let shared = Symbol::intern("shared");
+        for i in 0..n {
+            assert!(sol.contains(
+                FlowVar::Kappa(shared),
+                &Value::name(format!("p{i}").as_str())
+            ));
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! Acceptability of a solved estimate: Table 2, checked symbolically.
+//!
+//! [`verify`] re-walks a process and checks, clause by clause, that a
+//! [`Solution`] satisfies the flow logic. Subset conditions are checked at
+//! the level of production sets (which implies the language-level
+//! conditions of the paper, since the language of a nonterminal is
+//! monotone in its production set); the decryption premise is checked with
+//! the same language-intersection oracle the solver uses.
+//!
+//! This is an *independent validator*: it shares no state with the solver,
+//! so a bug that made the solver skip a clause shows up here as a reported
+//! violation. The test suites of the security crates and the
+//! subject-reduction experiment lean on it.
+
+use crate::domain::{FlowVar, Prod, VarId};
+use crate::solver::Solution;
+use nuspi_syntax::{Expr, Process, Term};
+
+/// A violated clause of Table 2, in human-readable form.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Violation(pub String);
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Checks `(ρ, κ, ζ) ⊨ P` for a solved estimate. Returns every violated
+/// clause (empty means the estimate is acceptable for `P`).
+pub fn verify(sol: &Solution, p: &Process) -> Vec<Violation> {
+    let mut v = Checker {
+        sol,
+        violations: Vec::new(),
+    };
+    v.process(p);
+    v.violations
+}
+
+/// Convenience: whether the solution is acceptable for `p`.
+pub fn accepts(sol: &Solution, p: &Process) -> bool {
+    verify(sol, p).is_empty()
+}
+
+struct Checker<'a> {
+    sol: &'a Solution,
+    violations: Vec<Violation>,
+}
+
+impl Checker<'_> {
+    fn fail(&mut self, msg: String) {
+        self.violations.push(Violation(msg));
+    }
+
+    fn zeta_id(&mut self, e: &Expr) -> Option<VarId> {
+        let id = self.sol.var_id(FlowVar::Zeta(e.label));
+        if id.is_none() {
+            self.fail(format!("ζ({}) missing for expression `{}`", e.label, e));
+        }
+        id
+    }
+
+    fn subset(&mut self, from: VarId, into: VarId, ctx: &str) {
+        let a = self.sol.prods_of_id(from);
+        let b = self.sol.prods_of_id(into);
+        for p in a {
+            if !b.contains(p) {
+                self.fail(format!(
+                    "{ctx}: production {p:?} of {} not in {}",
+                    self.sol.describe(from),
+                    self.sol.describe(into)
+                ));
+            }
+        }
+    }
+
+    fn require(&mut self, prod: Prod, into: VarId, ctx: &str) {
+        if !self.sol.prods_of_id(into).contains(&prod) {
+            self.fail(format!(
+                "{ctx}: required production {prod:?} missing from {}",
+                self.sol.describe(into)
+            ));
+        }
+    }
+
+    /// `(ρ,κ,ζ) ⊨ M^l` — returns ζ(l)'s id.
+    fn expr(&mut self, e: &Expr) -> Option<VarId> {
+        let here = self.zeta_id(e)?;
+        match &e.term {
+            Term::Name(n) => self.require(Prod::Name(n.canonical()), here, "name clause"),
+            Term::Zero => self.require(Prod::Zero, here, "zero clause"),
+            Term::Var(x) => {
+                if let Some(rx) = self.sol.var_id(FlowVar::Rho(*x)) {
+                    self.subset(rx, here, "variable clause");
+                } else if !self.sol.prods_of_id(here).is_empty() {
+                    // ρ(x) absent means it is empty, which is always ⊆ ζ(l).
+                }
+            }
+            Term::Suc(inner) => {
+                if let Some(a) = self.expr(inner) {
+                    self.require(Prod::Suc(a), here, "suc clause");
+                }
+            }
+            Term::Pair(a, b) => {
+                if let (Some(va), Some(vb)) = (self.expr(a), self.expr(b)) {
+                    self.require(Prod::Pair(va, vb), here, "pair clause");
+                }
+            }
+            Term::Enc {
+                payload,
+                confounder,
+                key,
+            } => {
+                let args: Option<Vec<VarId>> = payload.iter().map(|p| self.expr(p)).collect();
+                let k = self.expr(key);
+                if let (Some(args), Some(k)) = (args, k) {
+                    self.require(
+                        Prod::Enc {
+                            args,
+                            confounder: confounder.canonical(),
+                            key: k,
+                        },
+                        here,
+                        "encryption clause",
+                    );
+                }
+            }
+            Term::Val(w) => {
+                if !self.sol.contains(FlowVar::Zeta(e.label), w) {
+                    self.fail(format!(
+                        "value clause: ⌊{w}⌋ ∉ ζ({}) for embedded value",
+                        e.label
+                    ));
+                }
+            }
+        }
+        Some(here)
+    }
+
+    fn process(&mut self, p: &Process) {
+        match p {
+            Process::Nil => {}
+            Process::Output { chan, msg, then } => {
+                let c = self.expr(chan);
+                let m = self.expr(msg);
+                self.process(then);
+                if let (Some(c), Some(m)) = (c, m) {
+                    let names: Vec<_> = self
+                        .sol
+                        .prods_of_id(c)
+                        .iter()
+                        .filter_map(|p| match p {
+                            Prod::Name(n) => Some(*n),
+                            _ => None,
+                        })
+                        .collect();
+                    for n in names {
+                        match self.sol.var_id(FlowVar::Kappa(n)) {
+                            Some(k) => self.subset(m, k, "output clause"),
+                            None => {
+                                if !self.sol.prods_of_id(m).is_empty() {
+                                    self.fail(format!(
+                                        "output clause: κ({n}) missing but message set nonempty"
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Process::Input { chan, var, then } => {
+                let c = self.expr(chan);
+                self.process(then);
+                if let Some(c) = c {
+                    let names: Vec<_> = self
+                        .sol
+                        .prods_of_id(c)
+                        .iter()
+                        .filter_map(|p| match p {
+                            Prod::Name(n) => Some(*n),
+                            _ => None,
+                        })
+                        .collect();
+                    for n in names {
+                        if let (Some(k), Some(x)) = (
+                            self.sol.var_id(FlowVar::Kappa(n)),
+                            self.sol.var_id(FlowVar::Rho(*var)),
+                        ) {
+                            self.subset(k, x, "input clause");
+                        } else if let Some(k) = self.sol.var_id(FlowVar::Kappa(n)) {
+                            if !self.sol.prods_of_id(k).is_empty() {
+                                self.fail(format!(
+                                    "input clause: ρ({var}) missing but κ({n}) nonempty"
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            Process::Par(a, b) => {
+                self.process(a);
+                self.process(b);
+            }
+            Process::Restrict { body, .. } => self.process(body),
+            Process::Replicate(q) => self.process(q),
+            Process::Match { lhs, rhs, then } => {
+                self.expr(lhs);
+                self.expr(rhs);
+                self.process(then);
+            }
+            Process::Let {
+                fst,
+                snd,
+                expr,
+                then,
+            } => {
+                let e = self.expr(expr);
+                self.process(then);
+                if let Some(e) = e {
+                    let pairs: Vec<(VarId, VarId)> = self
+                        .sol
+                        .prods_of_id(e)
+                        .iter()
+                        .filter_map(|p| match p {
+                            Prod::Pair(a, b) => Some((*a, *b)),
+                            _ => None,
+                        })
+                        .collect();
+                    for (a, b) in pairs {
+                        self.bind_subset(a, *fst, "let clause (fst)");
+                        self.bind_subset(b, *snd, "let clause (snd)");
+                    }
+                }
+            }
+            Process::CaseNat {
+                expr,
+                zero,
+                pred,
+                succ,
+            } => {
+                let e = self.expr(expr);
+                self.process(zero);
+                self.process(succ);
+                if let Some(e) = e {
+                    let sucs: Vec<VarId> = self
+                        .sol
+                        .prods_of_id(e)
+                        .iter()
+                        .filter_map(|p| match p {
+                            Prod::Suc(a) => Some(*a),
+                            _ => None,
+                        })
+                        .collect();
+                    for a in sucs {
+                        self.bind_subset(a, *pred, "case-suc clause");
+                    }
+                }
+            }
+            Process::CaseDec {
+                expr,
+                vars,
+                key,
+                then,
+            } => {
+                let e = self.expr(expr);
+                let k = self.expr(key);
+                self.process(then);
+                if let (Some(e), Some(k)) = (e, k) {
+                    let encs: Vec<(Vec<VarId>, VarId)> = self
+                        .sol
+                        .prods_of_id(e)
+                        .iter()
+                        .filter_map(|p| match p {
+                            Prod::Enc { args, key, .. } if args.len() == vars.len() => {
+                                Some((args.clone(), *key))
+                            }
+                            _ => None,
+                        })
+                        .collect();
+                    for (args, enc_key) in encs {
+                        if self.sol.intersect_nonempty(enc_key, k) {
+                            for (a, x) in args.into_iter().zip(vars.iter()) {
+                                self.bind_subset(a, *x, "decryption clause");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn bind_subset(&mut self, from: VarId, var: nuspi_syntax::Var, ctx: &str) {
+        match self.sol.var_id(FlowVar::Rho(var)) {
+            Some(x) => self.subset(from, x, ctx),
+            None => {
+                if !self.sol.prods_of_id(from).is_empty() {
+                    self.fail(format!("{ctx}: ρ({var}) missing but source set nonempty"));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::Constraints;
+    use crate::solver::solve;
+    use nuspi_syntax::parse_process;
+
+    fn solved(src: &str) -> (Process, Solution) {
+        let p = parse_process(src).unwrap();
+        let sol = solve(Constraints::generate(&p));
+        (p, sol)
+    }
+
+    #[test]
+    fn least_solutions_are_acceptable() {
+        for src in [
+            "0",
+            "c<m>.0",
+            "c<m>.0 | c(x).d<x>.0",
+            "c<{m, new r}:k>.0 | c(z). case z of {x}:k in d<x>.0",
+            "c<(a, b)>.0 | c(z). let (x, y) = z in d<x>.e<y>.0",
+            "c<2>.0 | c(z). case z of 0: 0, suc(x): d<x>.0",
+            "(new k) (c<{m, new r}:k>.0 | c(z). case z of {x}:k in 0)",
+            "!c(x).c<suc(x)>.0 | c<0>.0",
+            "[a is b] c<0>.0",
+        ] {
+            let (p, sol) = solved(src);
+            let violations = verify(&sol, &p);
+            assert!(violations.is_empty(), "{src}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn wmf_least_solution_is_acceptable() {
+        let src = "
+            (new kAS) (new kBS) (
+              ((new kAB) cAS<{kAB, new r1}:kAS>. cAB<{m, new r2}:kAB>.0
+               | cBS(t). case t of {y}:kBS in cAB(z). case z of {q}:y in 0)
+              | cAS(x). case x of {s}:kAS in cBS<{s, new r3}:kBS>.0
+            )";
+        let (p, sol) = solved(src);
+        assert!(accepts(&sol, &p));
+    }
+
+    #[test]
+    fn solution_for_one_process_can_reject_another() {
+        let (_, sol) = solved("c<m>.0");
+        let other = parse_process("d<n>.0").unwrap();
+        assert!(!accepts(&sol, &other), "ζ-labels of `other` are unknown");
+    }
+
+    #[test]
+    fn acceptability_survives_reduction_substitution() {
+        // Analyze P, take a τ-step (which substitutes a value), and check
+        // the residual still verifies — a single instance of Theorem 1(2).
+        use nuspi_semantics::{commitments, Action, Agent, CommitConfig};
+        let (p, sol) = solved("c<m>.0 | c(x).d<x>.0");
+        let cs = commitments(&p, &CommitConfig::default());
+        let tau = cs.iter().find(|c| c.action == Action::Tau).unwrap();
+        let Agent::Proc(q) = &tau.agent else {
+            panic!("τ residual must be a process")
+        };
+        let violations = verify(&sol, q);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+}

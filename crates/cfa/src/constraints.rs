@@ -1,0 +1,383 @@
+//! Constraint generation: Table 2 as conditional set constraints.
+//!
+//! One pass over the labelled process turns every clause of the flow logic
+//! into either an unconditional fact (a production or a subset edge) or a
+//! *conditional* constraint that fires as the solution grows:
+//!
+//! | Table 2 clause | Constraint |
+//! |---|---|
+//! | `{⌊n⌋} ⊆ ζ(l)` | `Prod(Name n, ζl)` |
+//! | `ρ(x) ⊆ ζ(l)` | `Sub(ρx, ζl)` |
+//! | `PAIR(ζl₁, ζl₂) ⊆ ζ(l)` | `Prod(Pair(ζl₁, ζl₂), ζl)` |
+//! | `SUC(ζlM) ⊆ ζ(l)` | `Prod(Suc(ζlM), ζl)` |
+//! | `ENC{ζl₁,…,ζlₖ, ⌊r⌋}_{ζl₀} ⊆ ζ(l)` | `Prod(Enc…, ζl)` |
+//! | `∀n ∈ ζ(l): ζ(l′) ⊆ κ(n)` | `Output{chan: ζl, msg: ζl′}` |
+//! | `∀n ∈ ζ(l): κ(n) ⊆ ρ(x)` | `Input{chan: ζl, var: ρx}` |
+//! | `∀pair(v,w) ∈ ζ(l): …` | `Split{scrutinee: ζl, fst, snd}` |
+//! | `∀suc(w) ∈ ζ(l): …` | `CaseSuc{scrutinee: ζl, pred}` |
+//! | `∀enc{w̃,r}_w ∈ ζ(l): if m=k ∧ w ∈ ζ(l′) …` | `Decrypt{…}` |
+//!
+//! The decryption premise `w ∈ ζ(l′)` is interpreted over the grammar as
+//! non-emptiness of `L(key child) ∩ L(ζ(l′))`, resolved by the solver.
+
+use crate::domain::{FlowVar, Prod, VarId, VarTable};
+use nuspi_syntax::{Expr, Process, Term, Value};
+
+/// A generated constraint.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Constraint {
+    /// `prod ∈ into` — an unconditional production.
+    Prod {
+        /// The production.
+        prod: Prod,
+        /// Target nonterminal.
+        into: VarId,
+    },
+    /// `from ⊆ into` — an unconditional subset edge.
+    Sub {
+        /// Source nonterminal.
+        from: VarId,
+        /// Target nonterminal.
+        into: VarId,
+    },
+    /// `∀ n ∈ chan : msg ⊆ κ(n)` (output clause).
+    Output {
+        /// `ζ` of the channel expression.
+        chan: VarId,
+        /// `ζ` of the message expression.
+        msg: VarId,
+    },
+    /// `∀ n ∈ chan : κ(n) ⊆ var` (input clause).
+    Input {
+        /// `ζ` of the channel expression.
+        chan: VarId,
+        /// `ρ` of the bound variable.
+        var: VarId,
+    },
+    /// `∀ pair(v,w) ∈ scrutinee : v ∈ fst ∧ w ∈ snd` (let clause).
+    Split {
+        /// `ζ` of the pair expression.
+        scrutinee: VarId,
+        /// `ρ` of the first bound variable.
+        fst: VarId,
+        /// `ρ` of the second bound variable.
+        snd: VarId,
+    },
+    /// `∀ suc(w) ∈ scrutinee : w ∈ pred` (integer-case clause).
+    CaseSuc {
+        /// `ζ` of the scrutinee.
+        scrutinee: VarId,
+        /// `ρ` of the predecessor variable.
+        pred: VarId,
+    },
+    /// `∀ enc{w₁,…,w_m,r}_w ∈ scrutinee : if m = k ∧ w ∈ key-ζ then
+    /// ∀i: wᵢ ∈ varsᵢ` (decryption clause).
+    Decrypt {
+        /// `ζ` of the ciphertext expression.
+        scrutinee: VarId,
+        /// `ζ` of the key expression `l′`.
+        key: VarId,
+        /// `ρ` of the payload variables, in order; the arity `k` is
+        /// `vars.len()`.
+        vars: Vec<VarId>,
+    },
+}
+
+/// The output of constraint generation.
+#[derive(Clone, Debug, Default)]
+pub struct Constraints {
+    /// The flow-variable table (shared with the solver and solution).
+    pub vars: VarTable,
+    /// The generated constraints.
+    pub list: Vec<Constraint>,
+}
+
+impl Constraints {
+    /// Generates the constraint system for a process per Table 2.
+    pub fn generate(p: &Process) -> Constraints {
+        let mut c = Constraints::default();
+        c.gen_process(p);
+        c
+    }
+
+    fn zeta(&mut self, e: &Expr) -> VarId {
+        self.vars.intern(FlowVar::Zeta(e.label))
+    }
+
+    fn rho(&mut self, x: nuspi_syntax::Var) -> VarId {
+        self.vars.intern(FlowVar::Rho(x))
+    }
+
+    /// `(ρ, κ, ζ) ⊨ M^l` — returns the nonterminal for `ζ(l)`.
+    fn gen_expr(&mut self, e: &Expr) -> VarId {
+        let here = self.zeta(e);
+        match &e.term {
+            Term::Name(n) => self.list.push(Constraint::Prod {
+                prod: Prod::Name(n.canonical()),
+                into: here,
+            }),
+            Term::Var(x) => {
+                let rx = self.rho(*x);
+                self.list.push(Constraint::Sub {
+                    from: rx,
+                    into: here,
+                });
+            }
+            Term::Zero => self.list.push(Constraint::Prod {
+                prod: Prod::Zero,
+                into: here,
+            }),
+            Term::Suc(inner) => {
+                let a = self.gen_expr(inner);
+                self.list.push(Constraint::Prod {
+                    prod: Prod::Suc(a),
+                    into: here,
+                });
+            }
+            Term::Pair(a, b) => {
+                let va = self.gen_expr(a);
+                let vb = self.gen_expr(b);
+                self.list.push(Constraint::Prod {
+                    prod: Prod::Pair(va, vb),
+                    into: here,
+                });
+            }
+            Term::Enc {
+                payload,
+                confounder,
+                key,
+            } => {
+                let args: Vec<VarId> = payload.iter().map(|p| self.gen_expr(p)).collect();
+                let k = self.gen_expr(key);
+                self.list.push(Constraint::Prod {
+                    prod: Prod::Enc {
+                        args,
+                        confounder: confounder.canonical(),
+                        key: k,
+                    },
+                    into: here,
+                });
+            }
+            Term::Val(w) => {
+                // `(ρ,κ,ζ) ⊨ w^l iff {⌊w⌋} ⊆ ζ(l)`: embed the canonical
+                // value via auxiliary nonterminals.
+                let v = self.gen_value(w);
+                self.list.push(Constraint::Sub {
+                    from: v,
+                    into: here,
+                });
+            }
+        }
+        here
+    }
+
+    /// Embeds a concrete (canonical) value as grammar productions rooted at
+    /// a fresh auxiliary nonterminal.
+    fn gen_value(&mut self, w: &Value) -> VarId {
+        let here = self.vars.fresh_aux();
+        let prod = match w {
+            Value::Name(n) => Prod::Name(n.canonical()),
+            Value::Zero => Prod::Zero,
+            Value::Suc(inner) => Prod::Suc(self.gen_value(inner)),
+            Value::Pair(a, b) => {
+                let va = self.gen_value(a);
+                let vb = self.gen_value(b);
+                Prod::Pair(va, vb)
+            }
+            Value::Enc {
+                payload,
+                confounder,
+                key,
+            } => {
+                let args: Vec<VarId> = payload.iter().map(|p| self.gen_value(p)).collect();
+                let k = self.gen_value(key);
+                Prod::Enc {
+                    args,
+                    confounder: confounder.canonical(),
+                    key: k,
+                }
+            }
+        };
+        self.list.push(Constraint::Prod { prod, into: here });
+        here
+    }
+
+    /// `(ρ, κ, ζ) ⊨ P`.
+    fn gen_process(&mut self, p: &Process) {
+        match p {
+            Process::Nil => {}
+            Process::Output { chan, msg, then } => {
+                let c = self.gen_expr(chan);
+                let m = self.gen_expr(msg);
+                self.gen_process(then);
+                self.list.push(Constraint::Output { chan: c, msg: m });
+            }
+            Process::Input { chan, var, then } => {
+                let c = self.gen_expr(chan);
+                let x = self.rho(*var);
+                self.gen_process(then);
+                self.list.push(Constraint::Input { chan: c, var: x });
+            }
+            Process::Par(a, b) => {
+                self.gen_process(a);
+                self.gen_process(b);
+            }
+            Process::Restrict { body, .. } => self.gen_process(body),
+            Process::Replicate(q) => self.gen_process(q),
+            Process::Match { lhs, rhs, then } => {
+                self.gen_expr(lhs);
+                self.gen_expr(rhs);
+                self.gen_process(then);
+            }
+            Process::Let {
+                fst,
+                snd,
+                expr,
+                then,
+            } => {
+                let e = self.gen_expr(expr);
+                let f = self.rho(*fst);
+                let s = self.rho(*snd);
+                self.gen_process(then);
+                self.list.push(Constraint::Split {
+                    scrutinee: e,
+                    fst: f,
+                    snd: s,
+                });
+            }
+            Process::CaseNat {
+                expr,
+                zero,
+                pred,
+                succ,
+            } => {
+                let e = self.gen_expr(expr);
+                let x = self.rho(*pred);
+                self.gen_process(zero);
+                self.gen_process(succ);
+                self.list.push(Constraint::CaseSuc {
+                    scrutinee: e,
+                    pred: x,
+                });
+            }
+            Process::CaseDec {
+                expr,
+                vars,
+                key,
+                then,
+            } => {
+                let e = self.gen_expr(expr);
+                let k = self.gen_expr(key);
+                let xs: Vec<VarId> = vars.iter().map(|v| self.rho(*v)).collect();
+                self.gen_process(then);
+                self.list.push(Constraint::Decrypt {
+                    scrutinee: e,
+                    key: k,
+                    vars: xs,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuspi_syntax::parse_process;
+
+    fn count<F: Fn(&Constraint) -> bool>(cs: &Constraints, f: F) -> usize {
+        cs.list.iter().filter(|c| f(c)).count()
+    }
+
+    #[test]
+    fn output_generates_output_constraint() {
+        let p = parse_process("c<m>.0").unwrap();
+        let cs = Constraints::generate(&p);
+        assert_eq!(count(&cs, |c| matches!(c, Constraint::Output { .. })), 1);
+        assert_eq!(count(&cs, |c| matches!(c, Constraint::Prod { .. })), 2); // c, m
+    }
+
+    #[test]
+    fn input_generates_input_constraint() {
+        let p = parse_process("c(x).d<x>.0").unwrap();
+        let cs = Constraints::generate(&p);
+        assert_eq!(count(&cs, |c| matches!(c, Constraint::Input { .. })), 1);
+        // the x occurrence inside the output produces a Sub from ρ(x)
+        assert_eq!(count(&cs, |c| matches!(c, Constraint::Sub { .. })), 1);
+    }
+
+    #[test]
+    fn encryption_generates_enc_production() {
+        let p = parse_process("c<{m, new r}:k>.0").unwrap();
+        let cs = Constraints::generate(&p);
+        let enc = cs.list.iter().find_map(|c| match c {
+            Constraint::Prod {
+                prod: Prod::Enc { args, .. },
+                ..
+            } => Some(args.len()),
+            _ => None,
+        });
+        assert_eq!(enc, Some(1));
+    }
+
+    #[test]
+    fn decryption_generates_decrypt_constraint() {
+        let p = parse_process("case e of {x, y}:k in 0").unwrap();
+        let cs = Constraints::generate(&p);
+        let found = cs.list.iter().find_map(|c| match c {
+            Constraint::Decrypt { vars, .. } => Some(vars.len()),
+            _ => None,
+        });
+        assert_eq!(found, Some(2));
+    }
+
+    #[test]
+    fn match_generates_no_conditionals() {
+        let p = parse_process("[a is b] 0").unwrap();
+        let cs = Constraints::generate(&p);
+        assert!(cs.list.iter().all(|c| matches!(c, Constraint::Prod { .. })));
+    }
+
+    #[test]
+    fn generation_is_linear_in_process_size() {
+        // Chain of n relays: constraint count grows linearly.
+        let mk = |n: usize| {
+            let mut src = String::new();
+            for i in 0..n {
+                src.push_str(&format!("c{i}(x{i}).c{}<x{i}>.0 | ", i + 1));
+            }
+            src.push('0');
+            parse_process(&src).unwrap()
+        };
+        let c10 = Constraints::generate(&mk(10)).list.len();
+        let c20 = Constraints::generate(&mk(20)).list.len();
+        let c40 = Constraints::generate(&mk(40)).list.len();
+        // constraints(n) = a·n + b, so consecutive doublings add 10a / 20a.
+        assert_eq!(c40 - c20, 2 * (c20 - c10), "linear growth");
+    }
+
+    #[test]
+    fn embedded_values_become_aux_productions() {
+        use nuspi_syntax::{builder as b, Value};
+        let w = Value::pair(Value::name("a"), Value::zero());
+        let p = b::output(b::name("c"), b::val(w), b::nil());
+        let cs = Constraints::generate(&p);
+        // pair + name + zero productions through aux vars, plus c's name.
+        assert!(count(&cs, |c| matches!(c, Constraint::Prod { .. })) >= 4);
+        assert_eq!(count(&cs, |c| matches!(c, Constraint::Sub { .. })), 1);
+    }
+
+    #[test]
+    fn nested_case_nat_generates_case_constraint() {
+        let p = parse_process("case 2 of 0: 0, suc(x): c<x>.0").unwrap();
+        let cs = Constraints::generate(&p);
+        assert_eq!(count(&cs, |c| matches!(c, Constraint::CaseSuc { .. })), 1);
+    }
+
+    #[test]
+    fn let_generates_split_constraint() {
+        let p = parse_process("let (x, y) = (a, b) in 0").unwrap();
+        let cs = Constraints::generate(&p);
+        assert_eq!(count(&cs, |c| matches!(c, Constraint::Split { .. })), 1);
+    }
+}

@@ -1,0 +1,213 @@
+//! Human-readable rendering of solutions.
+//!
+//! A [`Solution`] is a grammar; reading raw productions requires chasing
+//! nonterminal ids. [`Solution::render_production`] prints one production
+//! with its children *inlined* up to a depth budget (cycles and deep
+//! nests render as `…`), and [`Solution::render_estimate`] dumps the
+//! whole `(ρ, κ, ζ)` triple the way the paper's Example 1 presents it.
+
+use crate::domain::{FlowVar, Prod, VarId};
+use crate::solver::Solution;
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+impl Solution {
+    /// Renders one production, inlining child nonterminals up to `depth`.
+    pub fn render_production(&self, prod: &Prod, depth: usize) -> String {
+        let mut out = String::new();
+        self.render_prod_into(prod, depth, &mut HashSet::new(), &mut out);
+        out
+    }
+
+    fn render_var_into(
+        &self,
+        id: VarId,
+        depth: usize,
+        seen: &mut HashSet<VarId>,
+        out: &mut String,
+    ) {
+        let prods = self.prods_of_id(id);
+        if depth == 0 || !seen.insert(id) {
+            out.push('…');
+            return;
+        }
+        let mut rendered: Vec<String> = prods
+            .iter()
+            .map(|p| {
+                let mut s = String::new();
+                self.render_prod_into(p, depth - 1, seen, &mut s);
+                s
+            })
+            .collect();
+        rendered.sort();
+        match rendered.len() {
+            0 => out.push('∅'),
+            1 => out.push_str(&rendered[0]),
+            _ => {
+                out.push('{');
+                out.push_str(&rendered.join(" | "));
+                out.push('}');
+            }
+        }
+        seen.remove(&id);
+    }
+
+    fn render_prod_into(
+        &self,
+        prod: &Prod,
+        depth: usize,
+        seen: &mut HashSet<VarId>,
+        out: &mut String,
+    ) {
+        match prod {
+            Prod::Name(n) => out.push_str(n.as_str()),
+            Prod::Zero => out.push('0'),
+            Prod::Suc(a) => {
+                out.push_str("suc(");
+                self.render_var_into(*a, depth, seen, out);
+                out.push(')');
+            }
+            Prod::Pair(a, b) => {
+                out.push('(');
+                self.render_var_into(*a, depth, seen, out);
+                out.push_str(", ");
+                self.render_var_into(*b, depth, seen, out);
+                out.push(')');
+            }
+            Prod::Enc {
+                args,
+                confounder,
+                key,
+            } => {
+                out.push('{');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    self.render_var_into(*a, depth, seen, out);
+                }
+                if !args.is_empty() {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{confounder}}}:");
+                self.render_var_into(*key, depth, seen, out);
+            }
+        }
+    }
+
+    /// Renders the set of productions of a flow variable.
+    pub fn render_set(&self, fv: FlowVar, depth: usize) -> String {
+        let mut items: Vec<String> = self
+            .prods_of(fv)
+            .iter()
+            .map(|p| self.render_production(p, depth))
+            .collect();
+        items.sort();
+        if items.is_empty() {
+            "∅".to_owned()
+        } else {
+            format!("{{ {} }}", items.join(", "))
+        }
+    }
+
+    /// Dumps the whole estimate `(ρ, κ, ζ)` in the presentation order of
+    /// the paper's Example 1: `κ` (channels) first, then `ρ` (variables),
+    /// then `ζ` (labels). Auxiliary nonterminals are skipped.
+    pub fn render_estimate(&self, depth: usize) -> String {
+        let mut kappas = Vec::new();
+        let mut rhos = Vec::new();
+        let mut zetas = Vec::new();
+        for (_, fv) in self.flow_vars() {
+            match fv {
+                FlowVar::Kappa(n) => {
+                    kappas.push((n.as_str().to_owned(), self.render_set(fv, depth)))
+                }
+                FlowVar::Rho(x) => rhos.push((
+                    format!("{x}#{}", x.id()),
+                    self.render_set(fv, depth),
+                )),
+                FlowVar::Zeta(l) => zetas.push((l.index(), self.render_set(fv, depth))),
+                FlowVar::Aux(_) => {}
+            }
+        }
+        kappas.sort();
+        rhos.sort();
+        zetas.sort_by_key(|(l, _)| *l);
+        let mut out = String::new();
+        for (n, set) in kappas {
+            let _ = writeln!(out, "κ({n}) = {set}");
+        }
+        for (x, set) in rhos {
+            let _ = writeln!(out, "ρ({x}) = {set}");
+        }
+        for (l, set) in zetas {
+            let _ = writeln!(out, "ζ(ℓ{l}) = {set}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::analyze;
+    use crate::domain::FlowVar;
+    use nuspi_syntax::{parse_process, Symbol};
+
+    #[test]
+    fn renders_atomic_sets() {
+        let p = parse_process("c<m>.c<0>.0").unwrap();
+        let sol = analyze(&p);
+        let shown = sol.render_set(FlowVar::Kappa(Symbol::intern("c")), 3);
+        assert_eq!(shown, "{ 0, m }");
+    }
+
+    #[test]
+    fn renders_structured_productions() {
+        let p = parse_process("c<{m, new r}:k>.0").unwrap();
+        let sol = analyze(&p);
+        let shown = sol.render_set(FlowVar::Kappa(Symbol::intern("c")), 3);
+        assert_eq!(shown, "{ {m, r}:k }");
+    }
+
+    #[test]
+    fn renders_pairs_and_sucs() {
+        let p = parse_process("c<(a, suc(0))>.0").unwrap();
+        let sol = analyze(&p);
+        let shown = sol.render_set(FlowVar::Kappa(Symbol::intern("c")), 4);
+        assert_eq!(shown, "{ (a, suc(0)) }");
+    }
+
+    #[test]
+    fn cycles_render_as_ellipsis_not_loops() {
+        let p = parse_process("c<0>.0 | !c(x).c<suc(x)>.0").unwrap();
+        let sol = analyze(&p);
+        let shown = sol.render_set(FlowVar::Kappa(Symbol::intern("c")), 6);
+        assert!(shown.contains("suc("), "{shown}");
+        assert!(shown.contains('…'), "recursive grammar must cut: {shown}");
+    }
+
+    #[test]
+    fn empty_sets_render_as_empty_symbol() {
+        let p = parse_process("c(x). x<0>.0").unwrap();
+        let sol = analyze(&p);
+        // x never receives anything: ρ(x) = ∅.
+        let rho = sol
+            .flow_vars()
+            .find_map(|(_, fv)| match fv {
+                FlowVar::Rho(_) => Some(fv),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(sol.render_set(rho, 3), "∅");
+    }
+
+    #[test]
+    fn estimate_dump_has_all_components() {
+        let p = parse_process("c<m>.0 | c(x).0").unwrap();
+        let sol = analyze(&p);
+        let dump = sol.render_estimate(3);
+        assert!(dump.contains("κ(c)"));
+        assert!(dump.contains("ρ(x"));
+        assert!(dump.contains("ζ(ℓ"));
+    }
+}

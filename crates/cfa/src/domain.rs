@@ -1,0 +1,305 @@
+//! The abstract value domain of the CFA, represented as a regular tree
+//! grammar.
+//!
+//! The analysis result `(ρ, κ, ζ)` maps variables, canonical channel names
+//! and labels to sets of canonical values. Those sets are infinite in
+//! general (`Val = ℘(Val)` closes over pairs, successors and encryptions),
+//! so — following the paper's own implementation note ("the specification
+//! in Table 2 needs to be interpreted as defining a regular tree grammar
+//! whose least solution can be computed in polynomial time") — each flow
+//! variable is a grammar *nonterminal* and each abstract value a
+//! *production* whose children are again nonterminals:
+//!
+//! ```text
+//! ζ(l)  →  enc{ ζ(l₁), …, ζ(lₖ), r }_{ ζ(l₀) }
+//! ρ(x)  →  pair( ζ(l₁), ζ(l₂) )
+//! κ(n)  →  n′ | 0 | suc(κ(n)) | …
+//! ```
+//!
+//! The language `L(v)` of a nonterminal is the set of canonical values it
+//! derives; `L` is the concretisation function of the analysis.
+
+use nuspi_syntax::{Label, Symbol, Value, Var};
+use std::fmt;
+
+/// A nonterminal of the grammar: one of the three components of the
+/// analysis estimate, or an auxiliary node describing a concrete value
+/// embedded in a (run-time) process.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FlowVar {
+    /// `ρ(x)` — values the variable `x` may be bound to.
+    Rho(Var),
+    /// `κ(n)` — values that may flow on channels with canonical name `n`.
+    Kappa(Symbol),
+    /// `ζ(l)` — values the term occurrence labelled `l` may evaluate to.
+    Zeta(Label),
+    /// Auxiliary nonterminal for a sub-value of an embedded concrete value
+    /// (`Term::Val`); identified by an arbitrary unique id.
+    Aux(u32),
+}
+
+impl fmt::Display for FlowVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowVar::Rho(x) => write!(f, "ρ({x})"),
+            FlowVar::Kappa(n) => write!(f, "κ({n})"),
+            FlowVar::Zeta(l) => write!(f, "ζ({l})"),
+            FlowVar::Aux(u32::MAX) => write!(f, "the attacker's knowledge"),
+            FlowVar::Aux(i) => write!(f, "aux{i}"),
+        }
+    }
+}
+
+/// A dense handle for a [`FlowVar`]; indexes every solver-side table.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A production of the grammar: one abstract value whose immediate
+/// children are nonterminals.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Prod {
+    /// The canonical name `n`.
+    Name(Symbol),
+    /// The numeral `0`.
+    Zero,
+    /// `suc(A)`.
+    Suc(VarId),
+    /// `pair(A, B)`.
+    Pair(VarId, VarId),
+    /// `enc{A₁,…,Aₖ, r}_{A₀}` — payload nonterminals, the canonical
+    /// confounder of the creating encryption site, and the key
+    /// nonterminal.
+    Enc {
+        /// Payload children `A₁…Aₖ`.
+        args: Vec<VarId>,
+        /// Canonical confounder `⌊r⌋` of the creating site.
+        confounder: Symbol,
+        /// Key child `A₀`.
+        key: VarId,
+    },
+}
+
+impl Prod {
+    /// Whether this production, matched against `other`, can derive a
+    /// common value *at the root* — the children still need checking.
+    /// Returns the child pairs to check, or `None` if the roots clash.
+    pub fn root_compatible<'p>(&'p self, other: &'p Prod) -> Option<Vec<(VarId, VarId)>> {
+        match (self, other) {
+            (Prod::Name(a), Prod::Name(b)) if a == b => Some(Vec::new()),
+            (Prod::Zero, Prod::Zero) => Some(Vec::new()),
+            (Prod::Suc(a), Prod::Suc(b)) => Some(vec![(*a, *b)]),
+            (Prod::Pair(a1, a2), Prod::Pair(b1, b2)) => Some(vec![(*a1, *b1), (*a2, *b2)]),
+            (
+                Prod::Enc {
+                    args: a,
+                    confounder: ra,
+                    key: ka,
+                },
+                Prod::Enc {
+                    args: b,
+                    confounder: rb,
+                    key: kb,
+                },
+            ) if a.len() == b.len() && ra == rb => {
+                let mut pairs: Vec<(VarId, VarId)> =
+                    a.iter().copied().zip(b.iter().copied()).collect();
+                pairs.push((*ka, *kb));
+                Some(pairs)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether this production can derive the given canonical value at the
+    /// root. Returns the (child nonterminal, child value) obligations, or
+    /// `None` on a root clash.
+    pub fn matches_value<'v>(&self, value: &'v Value) -> Option<Vec<(VarId, &'v Value)>> {
+        match (self, value) {
+            (Prod::Name(s), Value::Name(n)) if *s == n.canonical() => Some(Vec::new()),
+            (Prod::Zero, Value::Zero) => Some(Vec::new()),
+            (Prod::Suc(a), Value::Suc(w)) => Some(vec![(*a, &**w)]),
+            (Prod::Pair(a, b), Value::Pair(u, v)) => Some(vec![(*a, &**u), (*b, &**v)]),
+            (
+                Prod::Enc {
+                    args,
+                    confounder,
+                    key,
+                },
+                Value::Enc {
+                    payload,
+                    confounder: r,
+                    key: k,
+                },
+            ) if args.len() == payload.len() && *confounder == r.canonical() => {
+                let mut obligations: Vec<(VarId, &Value)> = args
+                    .iter()
+                    .copied()
+                    .zip(payload.iter().map(|w| &**w))
+                    .collect();
+                obligations.push((*key, &**k));
+                Some(obligations)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Interning table mapping [`FlowVar`]s to dense [`VarId`]s.
+#[derive(Clone, Debug, Default)]
+pub struct VarTable {
+    map: std::collections::HashMap<FlowVar, VarId>,
+    list: Vec<FlowVar>,
+    next_aux: u32,
+}
+
+impl VarTable {
+    /// An empty table.
+    pub fn new() -> VarTable {
+        VarTable::default()
+    }
+
+    /// Interns `fv`, allocating a fresh id on first sight.
+    pub fn intern(&mut self, fv: FlowVar) -> VarId {
+        if let Some(&id) = self.map.get(&fv) {
+            return id;
+        }
+        let id = VarId(u32::try_from(self.list.len()).expect("too many flow variables"));
+        self.map.insert(fv, id);
+        self.list.push(fv);
+        id
+    }
+
+    /// A fresh auxiliary nonterminal.
+    pub fn fresh_aux(&mut self) -> VarId {
+        let fv = FlowVar::Aux(self.next_aux);
+        self.next_aux += 1;
+        self.intern(fv)
+    }
+
+    /// Looks up an already interned flow variable.
+    pub fn get(&self, fv: FlowVar) -> Option<VarId> {
+        self.map.get(&fv).copied()
+    }
+
+    /// The flow variable behind an id.
+    pub fn describe(&self, id: VarId) -> FlowVar {
+        self.list[id.index()]
+    }
+
+    /// Number of interned flow variables.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// Iterates over all interned (id, flow-var) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, FlowVar)> + '_ {
+        self.list
+            .iter()
+            .enumerate()
+            .map(|(i, fv)| (VarId(i as u32), *fv))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let mut t = VarTable::new();
+        let a = t.intern(FlowVar::Kappa(Symbol::intern("c")));
+        let b = t.intern(FlowVar::Kappa(Symbol::intern("c")));
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn distinct_flowvars_get_distinct_ids() {
+        let mut t = VarTable::new();
+        let a = t.intern(FlowVar::Kappa(Symbol::intern("c")));
+        let b = t.intern(FlowVar::Kappa(Symbol::intern("d")));
+        assert_ne!(a, b);
+        assert_eq!(t.describe(a), FlowVar::Kappa(Symbol::intern("c")));
+    }
+
+    #[test]
+    fn aux_vars_are_unique() {
+        let mut t = VarTable::new();
+        assert_ne!(t.fresh_aux(), t.fresh_aux());
+    }
+
+    #[test]
+    fn root_compatibility_names() {
+        let a = Prod::Name(Symbol::intern("k"));
+        let b = Prod::Name(Symbol::intern("k"));
+        let c = Prod::Name(Symbol::intern("j"));
+        assert_eq!(a.root_compatible(&b), Some(vec![]));
+        assert_eq!(a.root_compatible(&c), None);
+        assert_eq!(a.root_compatible(&Prod::Zero), None);
+    }
+
+    #[test]
+    fn root_compatibility_structured() {
+        let v0 = VarId(0);
+        let v1 = VarId(1);
+        let p = Prod::Pair(v0, v1);
+        let q = Prod::Pair(v1, v0);
+        assert_eq!(p.root_compatible(&q), Some(vec![(v0, v1), (v1, v0)]));
+        assert_eq!(Prod::Suc(v0).root_compatible(&Prod::Suc(v1)), Some(vec![(v0, v1)]));
+    }
+
+    #[test]
+    fn enc_compatibility_requires_arity_and_confounder() {
+        let v0 = VarId(0);
+        let r = Symbol::intern("r");
+        let s = Symbol::intern("s");
+        let e1 = Prod::Enc {
+            args: vec![v0],
+            confounder: r,
+            key: v0,
+        };
+        let e2 = Prod::Enc {
+            args: vec![v0],
+            confounder: s,
+            key: v0,
+        };
+        let e3 = Prod::Enc {
+            args: vec![v0, v0],
+            confounder: r,
+            key: v0,
+        };
+        assert!(e1.root_compatible(&e1.clone()).is_some());
+        assert!(e1.root_compatible(&e2).is_none(), "different sites");
+        assert!(e1.root_compatible(&e3).is_none(), "different arity");
+    }
+
+    #[test]
+    fn matches_value_name_and_zero() {
+        let p = Prod::Name(Symbol::intern("a"));
+        let w = Value::Name(nuspi_syntax::Name::global("a"));
+        assert_eq!(p.matches_value(&w), Some(vec![]));
+        assert_eq!(Prod::Zero.matches_value(&Value::Zero), Some(vec![]));
+        assert_eq!(p.matches_value(&Value::Zero), None);
+    }
+
+    #[test]
+    fn matches_value_recurses_on_children() {
+        let v0 = VarId(0);
+        let w = Value::numeral(1);
+        let obligations = Prod::Suc(v0).matches_value(&w).unwrap();
+        assert_eq!(obligations.len(), 1);
+        assert_eq!(obligations[0].0, v0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Language-level queries on solved grammars.
+//!
+//! The language `L(v)` of a nonterminal is a regular tree language; this
+//! module answers the decidable questions a user of the analysis asks
+//! about it:
+//!
+//! * [`Solution::is_empty_lang`] — does the flow variable denote any
+//!   value at all? (an empty `ρ(x)` means the variable can never be
+//!   bound at run time);
+//! * [`Solution::is_finite_lang`] — finitely many values, or unboundedly
+//!   many (a growing protocol state, e.g. `!c(x).c⟨suc(x)⟩`)?
+//! * [`Solution::min_height`] — the height of the smallest derivable
+//!   value;
+//! * [`Solution::count_upto`] — the number of distinct values up to a
+//!   height bound (saturating).
+
+use crate::domain::{FlowVar, Prod, VarId};
+use crate::solver::Solution;
+use std::collections::{HashMap, HashSet};
+
+impl Solution {
+    /// The set of *productive* nonterminals: those deriving at least one
+    /// finite value.
+    fn productive(&self) -> HashSet<VarId> {
+        let mut productive: HashSet<VarId> = HashSet::new();
+        loop {
+            let mut changed = false;
+            for (id, _) in self.flow_vars() {
+                if productive.contains(&id) {
+                    continue;
+                }
+                let ok = self.prods_of_id(id).iter().any(|p| {
+                    prod_children(p).iter().all(|c| productive.contains(c))
+                });
+                if ok {
+                    productive.insert(id);
+                    changed = true;
+                }
+            }
+            if !changed {
+                return productive;
+            }
+        }
+    }
+
+    /// Whether `L(fv) = ∅` — no value can ever arise there.
+    pub fn is_empty_lang(&self, fv: FlowVar) -> bool {
+        match self.var_id(fv) {
+            Some(id) => !self.productive().contains(&id),
+            None => true,
+        }
+    }
+
+    /// Whether `L(fv)` is finite. Infinite languages arise from cycles
+    /// through productive nonterminals (e.g. `κ(c) → suc(κ(c))`).
+    pub fn is_finite_lang(&self, fv: FlowVar) -> bool {
+        let Some(start) = self.var_id(fv) else {
+            return true;
+        };
+        let productive = self.productive();
+        if !productive.contains(&start) {
+            return true; // empty is finite
+        }
+        // The language is infinite iff a productive cycle is reachable
+        // from `start` through productive children.
+        // DFS with colouring over the productive sub-grammar.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Colour {
+            Visiting,
+            Done,
+        }
+        let mut colour: HashMap<VarId, Colour> = HashMap::new();
+        fn dfs(
+            sol: &Solution,
+            productive: &HashSet<VarId>,
+            colour: &mut HashMap<VarId, Colour>,
+            at: VarId,
+        ) -> bool {
+            match colour.get(&at) {
+                Some(Colour::Visiting) => return true, // cycle
+                Some(Colour::Done) => return false,
+                None => {}
+            }
+            colour.insert(at, Colour::Visiting);
+            for p in sol.prods_of_id(at) {
+                for c in prod_children(p) {
+                    if productive.contains(&c) && dfs(sol, productive, colour, c) {
+                        return true;
+                    }
+                }
+            }
+            colour.insert(at, Colour::Done);
+            false
+        }
+        !dfs(self, &productive, &mut colour, start)
+    }
+
+    /// The height of the smallest value in `L(fv)` (`None` if empty).
+    /// A bare name or `0` has height 1.
+    pub fn min_height(&self, fv: FlowVar) -> Option<usize> {
+        let start = self.var_id(fv)?;
+        // Bellman-Ford-style relaxation: min height per nonterminal.
+        let mut height: HashMap<VarId, usize> = HashMap::new();
+        loop {
+            let mut changed = false;
+            for (id, _) in self.flow_vars() {
+                let mut best: Option<usize> = height.get(&id).copied();
+                for p in self.prods_of_id(id) {
+                    let children = prod_children(p);
+                    let mut h = 1usize;
+                    let mut ok = true;
+                    for c in children {
+                        match height.get(&c) {
+                            Some(ch) => h = h.max(1 + ch),
+                            None => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    if ok && best.map(|b| h < b).unwrap_or(true) {
+                        best = Some(h);
+                    }
+                }
+                if best != height.get(&id).copied() {
+                    if let Some(b) = best {
+                        height.insert(id, b);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        height.get(&start).copied()
+    }
+
+    /// The number of distinct values of `L(fv)` with height ≤ `max_height`,
+    /// saturating at `cap`.
+    pub fn count_upto(&self, fv: FlowVar, max_height: usize, cap: usize) -> usize {
+        let Some(start) = self.var_id(fv) else {
+            return 0;
+        };
+        // counts[h][v] = number of values of height ≤ h derivable from v.
+        let n = self.flow_vars().count();
+        let mut prev = vec![0usize; n];
+        for _ in 0..max_height {
+            let mut next = vec![0usize; n];
+            for (id, _) in self.flow_vars() {
+                let mut total = 0usize;
+                for p in self.prods_of_id(id) {
+                    let children = prod_children(p);
+                    let mut combo = 1usize;
+                    for c in &children {
+                        combo = combo.saturating_mul(prev[c.index()]);
+                    }
+                    total = total.saturating_add(combo);
+                }
+                next[id.index()] = total.min(cap);
+            }
+            prev = next;
+        }
+        prev[start.index()].min(cap)
+    }
+}
+
+fn prod_children(p: &Prod) -> Vec<VarId> {
+    match p {
+        Prod::Name(_) | Prod::Zero => Vec::new(),
+        Prod::Suc(a) => vec![*a],
+        Prod::Pair(a, b) => vec![*a, *b],
+        Prod::Enc { args, key, .. } => {
+            let mut v = args.clone();
+            v.push(*key);
+            v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::analyze;
+    use crate::domain::FlowVar;
+    use nuspi_syntax::{parse_process, Symbol, Value};
+
+    fn kappa(c: &str) -> FlowVar {
+        FlowVar::Kappa(Symbol::intern(c))
+    }
+
+    #[test]
+    fn unused_variable_has_empty_language() {
+        let p = parse_process("c(x). x<0>.0").unwrap();
+        let sol = analyze(&p);
+        let rho = sol
+            .flow_vars()
+            .find_map(|(_, fv)| matches!(fv, FlowVar::Rho(_)).then_some(fv))
+            .unwrap();
+        assert!(sol.is_empty_lang(rho));
+        assert!(sol.is_finite_lang(rho), "empty is finite");
+        assert_eq!(sol.min_height(rho), None);
+        assert_eq!(sol.count_upto(rho, 5, 100), 0);
+    }
+
+    #[test]
+    fn simple_channel_language_is_finite() {
+        let p = parse_process("c<m>.c<0>.0").unwrap();
+        let sol = analyze(&p);
+        assert!(!sol.is_empty_lang(kappa("c")));
+        assert!(sol.is_finite_lang(kappa("c")));
+        assert_eq!(sol.min_height(kappa("c")), Some(1));
+        assert_eq!(sol.count_upto(kappa("c"), 3, 100), 2);
+    }
+
+    #[test]
+    fn growing_counter_language_is_infinite() {
+        let p = parse_process("c<0>.0 | !c(x).c<suc(x)>.0").unwrap();
+        let sol = analyze(&p);
+        assert!(!sol.is_finite_lang(kappa("c")));
+        assert_eq!(sol.min_height(kappa("c")), Some(1)); // the 0
+        // heights ≤ 3 ⇒ values 0, suc 0, suc suc 0.
+        assert_eq!(sol.count_upto(kappa("c"), 3, 100), 3);
+    }
+
+    #[test]
+    fn unproductive_cycle_is_empty_not_infinite() {
+        // x is only ever re-sent, never seeded: κ(c) ⊆ ρ(x) ⊆ κ(c) with no
+        // base production.
+        let p = parse_process("!c(x).c<x>.0").unwrap();
+        let sol = analyze(&p);
+        assert!(sol.is_empty_lang(kappa("c")));
+        assert!(sol.is_finite_lang(kappa("c")));
+    }
+
+    #[test]
+    fn structured_language_counts_combinations() {
+        let p = parse_process("c<(a, b)>.c<(a, a)>.0").unwrap();
+        let sol = analyze(&p);
+        // Pair components mix: ζ(l1) = {a}, ζ(l2) = {b} per occurrence —
+        // labels are distinct, so exactly the two written pairs.
+        assert_eq!(sol.count_upto(kappa("c"), 3, 100), 2);
+        assert_eq!(sol.min_height(kappa("c")), Some(2));
+    }
+
+    #[test]
+    fn ciphertext_heights_include_keys() {
+        let p = parse_process("c<{m, new r}:k>.0").unwrap();
+        let sol = analyze(&p);
+        assert_eq!(sol.min_height(kappa("c")), Some(2));
+        assert!(sol.is_finite_lang(kappa("c")));
+        // membership agrees
+        assert!(sol.contains(
+            kappa("c"),
+            &Value::enc(
+                vec![Value::name("m")],
+                nuspi_syntax::Name::global("r"),
+                Value::name("k")
+            )
+        ));
+    }
+
+    #[test]
+    fn attacker_ether_is_infinite() {
+        let p = parse_process("c<m>.0").unwrap();
+        let secret = std::collections::HashSet::new();
+        let att = crate::attacker::analyze_with_attacker(&p, &secret);
+        let ether_fv = att.solution.describe(att.ether);
+        assert!(!att.solution.is_finite_lang(ether_fv));
+        assert!(!att.solution.is_empty_lang(ether_fv));
+        assert_eq!(att.solution.min_height(ether_fv), Some(1));
+    }
+}

@@ -1,0 +1,423 @@
+//! `nuspi` — command-line front end for the νSPI analyses.
+//!
+//! ```text
+//! nuspi check   <file> [--secret NAME]...        audit: confinement + carefulness + intruder
+//! nuspi analyze <file> [--secret NAME]... [--attacker] [--depth N] [--summary]
+//!                                                print the least estimate (ρ, κ, ζ)
+//! nuspi run     <file> [--steps N] [--seed N] [--classic]
+//!                                                random simulation, printing the trace
+//! nuspi explore <file> [--max-depth N] [--max-states N]
+//!                                                bounded state-space statistics
+//! nuspi explain <file> [--secret NAME]...        narrate how secrets reach public channels
+//! ```
+//!
+//! `<file>` may be `-` for stdin. Exit status: 0 on success/secure, 1 on
+//! an insecure verdict, 2 on usage or parse errors.
+
+use nuspi::{Analyzer, EvalMode, ExecConfig, Policy};
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("nuspi: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  nuspi check   <file> [--secret NAME]...
+  nuspi analyze <file> [--secret NAME]... [--attacker] [--depth N] [--summary]
+  nuspi run     <file> [--steps N] [--seed N] [--classic] [--msc]
+  nuspi explore <file> [--max-depth N] [--max-states N]
+  nuspi explain <file> [--secret NAME]...";
+
+struct Opts {
+    file: Option<String>,
+    secrets: Vec<String>,
+    attacker: bool,
+    classic: bool,
+    msc: bool,
+    summary: bool,
+    depth: usize,
+    steps: usize,
+    seed: u64,
+    max_depth: usize,
+    max_states: usize,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        file: None,
+        secrets: Vec::new(),
+        attacker: false,
+        classic: false,
+        msc: false,
+        summary: false,
+        depth: 3,
+        steps: 64,
+        seed: 0,
+        max_depth: 24,
+        max_states: 4096,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut num = |name: &str| -> Result<u64, String> {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse::<u64>()
+                .map_err(|e| format!("{name}: {e}"))
+        };
+        match a.as_str() {
+            "--secret" => o
+                .secrets
+                .push(it.next().ok_or("--secret needs a name")?.clone()),
+            "--attacker" => o.attacker = true,
+            "--classic" => o.classic = true,
+            "--msc" => o.msc = true,
+            "--summary" => o.summary = true,
+            "--depth" => o.depth = num("--depth")? as usize,
+            "--steps" => o.steps = num("--steps")? as usize,
+            "--seed" => o.seed = num("--seed")?,
+            "--max-depth" => o.max_depth = num("--max-depth")? as usize,
+            "--max-states" => o.max_states = num("--max-states")? as usize,
+            _ if a.starts_with("--") => return Err(format!("unknown flag {a}")),
+            _ if o.file.is_none() => o.file = Some(a.clone()),
+            _ => return Err(format!("unexpected argument {a}")),
+        }
+    }
+    Ok(o)
+}
+
+fn read_source(file: &str) -> Result<String, String> {
+    if file == "-" {
+        let mut s = String::new();
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|e| format!("stdin: {e}"))?;
+        Ok(s)
+    } else {
+        std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing command".into());
+    };
+    if cmd == "help" || cmd == "--help" || cmd == "-h" {
+        println!("{USAGE}");
+        return Ok(ExitCode::SUCCESS);
+    }
+    let o = parse_opts(&args[1..])?;
+    let file = o.file.clone().ok_or("missing <file>")?;
+    let src = read_source(&file)?;
+    let process = nuspi::parse_process(&src).map_err(|e| e.to_string())?;
+    if !process.is_closed() {
+        return Err("process has free variables".into());
+    }
+    let policy = Policy::with_secrets(o.secrets.iter().map(String::as_str));
+
+    match cmd.as_str() {
+        "check" => {
+            let analyzer = Analyzer::new().policy(policy);
+            let audit = analyzer.audit(&process).map_err(|e| e.to_string())?;
+            println!("{audit}");
+            if !audit.confinement.is_confined() {
+                for v in &audit.confinement.violations {
+                    println!("  static: {v}");
+                }
+            }
+            for v in &audit.carefulness.violations {
+                println!("  dynamic: {v}");
+            }
+            for (s, a) in &audit.attacks {
+                println!("  attack on {s}:");
+                for step in &a.trace {
+                    println!("    - {step}");
+                }
+            }
+            Ok(if audit.is_secure() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            })
+        }
+        "analyze" => {
+            let solution = if o.attacker {
+                let secret = policy.secrets().collect();
+                nuspi_cfa::analyze_with_attacker(&process, &secret).solution
+            } else {
+                nuspi::analyze(&process)
+            };
+            if o.summary {
+                let mut channels = solution.channels();
+                channels.sort_by_key(|c| c.as_str());
+                println!(
+                    "{:<16} {:>7} {:>9} {:>11} {:>13}",
+                    "channel", "empty", "finite", "min height", "values (≤h4)"
+                );
+                for c in channels {
+                    let fv = nuspi::FlowVar::Kappa(c);
+                    println!(
+                        "{:<16} {:>7} {:>9} {:>11} {:>13}",
+                        c.as_str(),
+                        solution.is_empty_lang(fv),
+                        solution.is_finite_lang(fv),
+                        solution
+                            .min_height(fv)
+                            .map(|h| h.to_string())
+                            .unwrap_or_else(|| "-".to_owned()),
+                        solution.count_upto(fv, 4, 9999),
+                    );
+                }
+            } else {
+                print!("{}", solution.render_estimate(o.depth));
+            }
+            let st = solution.stats();
+            println!(
+                "-- {} flow vars, {} productions, {} edges, {} conditional firings",
+                st.flow_vars, st.productions, st.edges, st.conditional_firings
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "run" => {
+            let cfg = ExecConfig {
+                mode: if o.classic {
+                    EvalMode::ClassicSpi
+                } else {
+                    EvalMode::NuSpi
+                },
+                ..ExecConfig::default()
+            };
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(o.seed);
+            let trace = nuspi::semantics::run_random(&process, o.steps, &cfg, &mut rng);
+            if o.msc {
+                print!("{}", nuspi::semantics::render_msc(&trace));
+                return Ok(ExitCode::SUCCESS);
+            }
+            for (i, step) in trace.steps.iter().enumerate() {
+                for out in &step.outputs {
+                    println!("step {i}: {} ! {}", out.channel, out.value);
+                }
+                if step.outputs.is_empty() {
+                    println!("step {i}: τ");
+                }
+            }
+            if let Some(end) = trace.end {
+                println!("-- {} steps, final: {end}", trace.steps.len());
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "explore" => {
+            let cfg = ExecConfig {
+                max_depth: o.max_depth,
+                max_states: o.max_states,
+                ..ExecConfig::default()
+            };
+            let mut barbs = std::collections::BTreeSet::new();
+            let stats = nuspi::semantics::explore_tau(&process, &cfg, |_, cs| {
+                for c in cs {
+                    if let Some(ch) = c.action.channel() {
+                        let dir = if matches!(c.action, nuspi::semantics::Action::In(_)) {
+                            "?"
+                        } else {
+                            "!"
+                        };
+                        barbs.insert(format!("{}{dir}", ch.canonical()));
+                    }
+                }
+                true
+            });
+            println!(
+                "states: {}, transitions: {}, truncated: {}",
+                stats.states, stats.transitions, stats.truncated
+            );
+            println!(
+                "observable barbs: {}",
+                barbs.into_iter().collect::<Vec<_>>().join(", ")
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "explain" => {
+            let secret: std::collections::HashSet<_> = policy.secrets().collect();
+            let (att, provenance) =
+                nuspi_cfa::analyze_with_attacker_traced(&process, &secret);
+            let kinds = nuspi::security::AbstractKind::compute(&att.solution, &policy);
+            let mut flagged = 0;
+            let mut channels = att.solution.channels();
+            channels.sort_by_key(|c| c.as_str());
+            for chan in channels {
+                if !policy.is_public(chan) || chan == nuspi_cfa::attacker::attacker_name() {
+                    continue;
+                }
+                let fv = nuspi::FlowVar::Kappa(chan);
+                let mut prods: Vec<_> = att.solution.prods_of(fv).iter().cloned().collect();
+                prods.sort_by_key(|p| format!("{p:?}"));
+                for prod in prods {
+                    // Report the root causes, not attacker-recombined
+                    // junk: secret names, and ciphertexts minted by the
+                    // process itself.
+                    let interesting = match &prod {
+                        nuspi_cfa::Prod::Name(_) => true,
+                        nuspi_cfa::Prod::Enc { confounder, .. } => {
+                            *confounder != nuspi_cfa::attacker::attacker_confounder()
+                        }
+                        _ => false,
+                    };
+                    if !interesting || !kinds.facts_of_prod(&prod, &policy).may_secret {
+                        continue;
+                    }
+                    flagged += 1;
+                    println!(
+                        "secret-kind value {} may reach public channel {chan}:",
+                        att.solution.render_production(&prod, 3)
+                    );
+                    for line in provenance.explain(&att.solution, fv, &prod) {
+                        println!("  {line}");
+                    }
+                    println!();
+                }
+            }
+            if flagged == 0 {
+                println!("no secret-kind value reaches any public channel (confined).");
+                Ok(ExitCode::SUCCESS)
+            } else {
+                println!("{flagged} flow(s) flagged.");
+                Ok(ExitCode::FAILURE)
+            }
+        }
+        other => Err(format!("unknown command {other}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_opts_collects_secrets_and_flags() {
+        let o = parse_opts(&s(&[
+            "file.nuspi",
+            "--secret",
+            "k",
+            "--secret",
+            "m",
+            "--attacker",
+            "--depth",
+            "5",
+        ]))
+        .unwrap();
+        assert_eq!(o.file.as_deref(), Some("file.nuspi"));
+        assert_eq!(o.secrets, vec!["k", "m"]);
+        assert!(o.attacker);
+        assert_eq!(o.depth, 5);
+    }
+
+    #[test]
+    fn parse_opts_rejects_unknown_flags() {
+        assert!(parse_opts(&s(&["f", "--bogus"])).is_err());
+        assert!(parse_opts(&s(&["f", "--secret"])).is_err());
+        assert!(parse_opts(&s(&["f", "--depth", "x"])).is_err());
+        assert!(parse_opts(&s(&["a", "b"])).is_err());
+    }
+
+    #[test]
+    fn run_requires_command_and_file() {
+        assert!(run(&s(&[])).is_err());
+        assert!(run(&s(&["check"])).is_err());
+        assert!(run(&s(&["bogus-cmd", "/nonexistent"])).is_err());
+    }
+
+    #[test]
+    fn check_command_end_to_end() {
+        let dir = std::env::temp_dir().join("nuspi-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.nuspi");
+        std::fs::write(&good, "(new k) (new s) net<{s, new r}:k>.0").unwrap();
+        let code = run(&s(&[
+            "check",
+            good.to_str().unwrap(),
+            "--secret",
+            "k",
+            "--secret",
+            "s",
+        ]))
+        .unwrap();
+        assert_eq!(code, ExitCode::SUCCESS);
+
+        let bad = dir.join("bad.nuspi");
+        std::fs::write(&bad, "(new s) net<s>.0").unwrap();
+        let code = run(&s(&["check", bad.to_str().unwrap(), "--secret", "s"])).unwrap();
+        assert_eq!(code, ExitCode::FAILURE);
+    }
+
+    #[test]
+    fn analyze_and_explore_commands_run() {
+        let dir = std::env::temp_dir().join("nuspi-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let f = dir.join("analyze.nuspi");
+        std::fs::write(&f, "c<m>.0 | c(x).d<x>.0").unwrap();
+        assert_eq!(
+            run(&s(&["analyze", f.to_str().unwrap()])).unwrap(),
+            ExitCode::SUCCESS
+        );
+        assert_eq!(
+            run(&s(&["analyze", f.to_str().unwrap(), "--attacker"])).unwrap(),
+            ExitCode::SUCCESS
+        );
+        assert_eq!(
+            run(&s(&["explore", f.to_str().unwrap(), "--max-depth", "4"])).unwrap(),
+            ExitCode::SUCCESS
+        );
+        assert_eq!(
+            run(&s(&["run", f.to_str().unwrap(), "--steps", "4", "--seed", "1"])).unwrap(),
+            ExitCode::SUCCESS
+        );
+    }
+
+    #[test]
+    fn explain_command_narrates_leaks() {
+        let dir = std::env::temp_dir().join("nuspi-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let f = dir.join("leaky.nuspi");
+        std::fs::write(&f, "(new sec) (a<sec>.0 | a(x).b<x>.0)").unwrap();
+        let code = run(&s(&["explain", f.to_str().unwrap(), "--secret", "sec"])).unwrap();
+        assert_eq!(code, ExitCode::FAILURE);
+        let g = dir.join("tight.nuspi");
+        std::fs::write(&g, "(new k) (new sec) a<{sec, new r}:k>.0").unwrap();
+        let code = run(&s(&[
+            "explain",
+            g.to_str().unwrap(),
+            "--secret",
+            "sec",
+            "--secret",
+            "k",
+        ]))
+        .unwrap();
+        assert_eq!(code, ExitCode::SUCCESS);
+    }
+
+    #[test]
+    fn open_processes_are_rejected() {
+        let dir = std::env::temp_dir().join("nuspi-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let f = dir.join("open.nuspi");
+        // `x` free: builder-level programs can be open, but files cannot.
+        std::fs::write(&f, "c<0>.0").unwrap();
+        assert!(run(&s(&["check", f.to_str().unwrap()])).is_ok());
+        let g = dir.join("garbage.nuspi");
+        std::fs::write(&g, "c<").unwrap();
+        assert!(run(&s(&["check", g.to_str().unwrap()])).is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! The Andrew secure RPC handshake (BAN-simplified, single session).
+//!
+//! ```text
+//! Message 1   A → B : {N_A}K
+//! Message 2   B → A : {suc(N_A), N_B}K
+//! Message 3   A → B : {suc(N_B)}K
+//! Message 4   B → A : {K', N'_B}K
+//! payload     A → B : {m}K'
+//! ```
+//!
+//! `K` is the long-term shared key; the handshake increments nonces with
+//! the calculus' native `suc`, and message 4 installs the fresh session
+//! key `K'`.
+
+use crate::spec::ProtocolSpec;
+
+/// A single honest Andrew RPC session followed by a payload under the new
+/// session key.
+pub fn andrew() -> ProtocolSpec {
+    ProtocolSpec::build(
+        "andrew-rpc",
+        "Andrew secure RPC: suc-incremented nonce handshake, fresh session key",
+        "
+        (new kab0) (new m) (
+          (new na) cAB<{na, new r1}:kab0>.
+          cBA(m2). case m2 of {san, nb}:kab0 in [san is suc(na)]
+          cAB2<{suc(nb), new r2}:kab0>.
+          cBA2(m4). case m4 of {kabp, nbp}:kab0 in
+          cMSG<{m, new r5}:kabp>.0
+          |
+          cAB(m1). case m1 of {na2}:kab0 in
+          (new nb) cBA<{suc(na2), nb, new r3}:kab0>.
+          cAB2(m3). case m3 of {snb}:kab0 in [snb is suc(nb)]
+          (new kabp) (new nbp) cBA2<{kabp, nbp, new r4}:kab0>.
+          cMSG(mm). case mm of {p}:kabp in 0
+        )",
+        &["kab0", "kabp", "m", "na", "nb", "nbp"],
+        &["cAB", "cBA", "cAB2", "cBA2", "cMSG"],
+        "m",
+        true,
+    )
+}
+
+/// Flawed variant: message 4 sends the new session key in clear, paired
+/// with the (still encrypted) confirmation nonce.
+pub fn andrew_key_in_clear() -> ProtocolSpec {
+    ProtocolSpec::build(
+        "andrew-key-in-clear",
+        "Andrew RPC broken at message 4: new session key travels unencrypted",
+        "
+        (new kab0) (new m) (
+          (new na) cAB<{na, new r1}:kab0>.
+          cBA(m2). case m2 of {san, nb}:kab0 in [san is suc(na)]
+          cAB2<{suc(nb), new r2}:kab0>.
+          cBA2(m4). let (kabp, cnb) = m4 in
+          cMSG<{m, new r5}:kabp>.0
+          |
+          cAB(m1). case m1 of {na2}:kab0 in
+          (new nb) cBA<{suc(na2), nb, new r3}:kab0>.
+          cAB2(m3). case m3 of {snb}:kab0 in [snb is suc(nb)]
+          (new kabp) (new nbp) cBA2<(kabp, {nbp, new r4}:kab0)>.
+          cMSG(mm). case mm of {p}:kabp in 0
+        )",
+        &["kab0", "kabp", "m", "na", "nb", "nbp"],
+        &["cAB", "cBA", "cAB2", "cBA2", "cMSG"],
+        "m",
+        false,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuspi_semantics::{explore_tau, Barb, ExecConfig};
+    use nuspi_syntax::Symbol;
+
+    #[test]
+    fn parses_and_closes() {
+        assert!(andrew().process.is_closed());
+        assert!(andrew_key_in_clear().process.is_closed());
+    }
+
+    #[test]
+    fn honest_session_delivers_the_payload() {
+        let spec = andrew();
+        let mut delivered = false;
+        let cfg = ExecConfig {
+            max_depth: 16,
+            max_states: 8000,
+            ..ExecConfig::default()
+        };
+        explore_tau(&spec.process, &cfg, |_, cs| {
+            if cs
+                .iter()
+                .any(|c| Barb::Out(Symbol::intern("cMSG")).matches(c.action))
+            {
+                delivered = true;
+                return false;
+            }
+            true
+        });
+        assert!(delivered);
+    }
+
+    #[test]
+    fn nonce_increment_gates_the_handshake() {
+        // Sanity: the honest session requires the suc-matches to pass, so
+        // at least four internal steps happen before the payload.
+        let spec = andrew();
+        let mut steps = 0;
+        explore_tau(
+            &spec.process,
+            &ExecConfig {
+                max_depth: 16,
+                max_states: 8000,
+                ..ExecConfig::default()
+            },
+            |_, _| {
+                steps += 1;
+                true
+            },
+        );
+        assert!(steps >= 5);
+    }
+}

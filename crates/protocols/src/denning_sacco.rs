@@ -1,0 +1,111 @@
+//! The Denning–Sacco symmetric-key protocol (single session, no
+//! timestamps) and its replay-prone structure.
+//!
+//! ```text
+//! Message 1   A → S : A, B
+//! Message 2   S → A : {B, K_AB, {K_AB, A}K_BS}K_AS
+//! Message 3   A → B : {K_AB, A}K_BS
+//! payload     A → B : {m}K_AB
+//! ```
+//!
+//! Denning–Sacco fixes Needham–Schroeder's stale-key replay with
+//! timestamps; νSPI has no clock, so this encoding is the *core* exchange
+//! of a single honest session. Its payload secrecy against an outside
+//! intruder still holds (the session key only ever travels under
+//! long-term keys) and the CFA certifies it; the flawed variant leaks the
+//! ticket's content by encrypting it under the *recipient identity*
+//! (a public name) instead of `K_BS`.
+
+use crate::spec::ProtocolSpec;
+
+/// A single honest Denning–Sacco core session.
+pub fn denning_sacco() -> ProtocolSpec {
+    ProtocolSpec::build(
+        "denning-sacco",
+        "Denning-Sacco core: nested ticket under long-term keys",
+        "
+        (new kas) (new kbs) (new m) (
+          cAS<(a, b)>.
+          cSA(resp). case resp of {bb, kab, tk}:kas in [bb is b]
+          cAB<tk>.
+          cMSG<{m, new r3}:kab>.0
+          |
+          cAS(req). let (aa, bb2) = req in
+          (new kab) cSA<{bb2, kab, {kab, aa, new r2}:kbs, new r1}:kas>.0
+          |
+          cAB(tk2). case tk2 of {kab2, aa2}:kbs in
+          cMSG(mm). case mm of {p}:kab2 in 0
+        )",
+        &["kas", "kbs", "kab", "m"],
+        &["cAS", "cSA", "cAB", "cMSG"],
+        "m",
+        true,
+    )
+}
+
+/// Flawed variant: the server encrypts the ticket under the *recipient's
+/// public identity* instead of the long-term key `K_BS` — the intruder
+/// decrypts it with public knowledge and takes the session key.
+pub fn denning_sacco_public_ticket() -> ProtocolSpec {
+    ProtocolSpec::build(
+        "denning-sacco-public-ticket",
+        "Denning-Sacco broken at the ticket: encrypted under a public identity",
+        "
+        (new kas) (new kbs) (new m) (
+          cAS<(a, b)>.
+          cSA(resp). case resp of {bb, kab, tk}:kas in [bb is b]
+          cAB<tk>.
+          cMSG<{m, new r3}:kab>.0
+          |
+          cAS(req). let (aa, bb2) = req in
+          (new kab) cSA<{bb2, kab, {kab, aa, new r2}:bb2, new r1}:kas>.0
+          |
+          cAB(tk2). case tk2 of {kab2, aa2}:b in
+          cMSG(mm). case mm of {p}:kab2 in 0
+        )",
+        &["kas", "kbs", "kab", "m"],
+        &["cAS", "cSA", "cAB", "cMSG"],
+        "m",
+        false,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuspi_semantics::{explore_tau, Barb, ExecConfig};
+    use nuspi_syntax::Symbol;
+
+    #[test]
+    fn parses_and_closes() {
+        assert!(denning_sacco().process.is_closed());
+        assert!(denning_sacco_public_ticket().process.is_closed());
+    }
+
+    #[test]
+    fn honest_session_delivers_the_payload() {
+        let spec = denning_sacco();
+        let mut delivered = false;
+        explore_tau(&spec.process, &ExecConfig::default(), |_, cs| {
+            if cs
+                .iter()
+                .any(|c| Barb::Out(Symbol::intern("cMSG")).matches(c.action))
+            {
+                delivered = true;
+                return false;
+            }
+            true
+        });
+        assert!(delivered);
+    }
+
+    #[test]
+    fn honest_variant_is_confined_and_flawed_is_not() {
+        let honest = denning_sacco();
+        let report = nuspi_security::confinement(&honest.process, &honest.policy);
+        assert!(report.is_confined(), "{:?}", report.violations);
+        let flawed = denning_sacco_public_ticket();
+        let report = nuspi_security::confinement(&flawed.process, &flawed.policy);
+        assert!(!report.is_confined());
+    }
+}

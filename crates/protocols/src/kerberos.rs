@@ -1,0 +1,133 @@
+//! A Kerberos-style two-server exchange (ticket-granting flow, single
+//! session, no timestamps — νSPI has no clock; freshness is carried by
+//! nonces).
+//!
+//! ```text
+//! Message 1   C → AS  : C, TGS, N1
+//! Message 2   AS → C  : {K_CT, N1, {K_CT, C}K_AT}K_CA     (TGT inside)
+//! Message 3   C → TGS : {K_CT, C}K_AT, SRV, N2
+//! Message 4   TGS → C : {K_CS, N2, {K_CS, C}K_TS}K_CT     (service ticket)
+//! Message 5   C → SRV : {K_CS, C}K_TS
+//! payload     C → SRV : {m}K_CS
+//! ```
+//!
+//! Two chained ticket layers exercise the analysis harder than the
+//! single-server protocols: the client's second-hop key `K_CT` is itself
+//! a *received* value used as a decryption key, and the service key
+//! `K_CS` is two hops away from any long-term secret.
+
+use crate::spec::ProtocolSpec;
+
+/// A single honest Kerberos-style session: authentication server,
+/// ticket-granting server, service, payload under the service key.
+pub fn kerberos() -> ProtocolSpec {
+    ProtocolSpec::build(
+        "kerberos",
+        "Kerberos-style two-hop ticket chain: payload under the service key",
+        "
+        (new kca) (new kat) (new kts) (new m) (
+          -- C (client)
+          (new n1) cAS<(cid, (tgs, n1))>.
+          cSA(m2). case m2 of {kct, n1b, tgt}:kca in [n1b is n1]
+          (new n2) cTG<(tgt, (srv, n2))>.
+          cGT(m4). case m4 of {kcs, n2b, st}:kct in [n2b is n2]
+          cSV<st>.
+          cMSG<{m, new r9}:kcs>.0
+          |
+          -- AS (authentication server)
+          cAS(m1). let (cc, rest) = m1 in let (tt, nn1) = rest in
+          (new kct) cSA<{kct, nn1, {kct, cc, new r2}:kat, new r1}:kca>.0
+          |
+          -- TGS (ticket-granting server)
+          cTG(m3). let (tgt2, rest3) = m3 in let (ss, nn2) = rest3 in
+          case tgt2 of {kct2, cc2}:kat in
+          (new kcs) cGT<{kcs, nn2, {kcs, cc2, new r4}:kts, new r3}:kct2>.0
+          |
+          -- SRV (service)
+          cSV(m5). case m5 of {kcs2, cc3}:kts in
+          cMSG(mm). case mm of {p}:kcs2 in 0
+        )",
+        &["kca", "kat", "kts", "kct", "kcs", "m"],
+        &["cAS", "cSA", "cTG", "cGT", "cSV", "cMSG"],
+        "m",
+        true,
+    )
+}
+
+/// Flawed variant: the ticket-granting server replies under the *ticket*
+/// key `K_AT`-protected identity but sends the fresh service key
+/// additionally in clear beside the reply — a debugging tap left in.
+pub fn kerberos_debug_tap() -> ProtocolSpec {
+    ProtocolSpec::build(
+        "kerberos-debug-tap",
+        "Kerberos variant with a debug tap leaking the service key",
+        "
+        (new kca) (new kat) (new kts) (new m) (
+          (new n1) cAS<(cid, (tgs, n1))>.
+          cSA(m2). case m2 of {kct, n1b, tgt}:kca in [n1b is n1]
+          (new n2) cTG<(tgt, (srv, n2))>.
+          cGT(m4). case m4 of {kcs, n2b, st}:kct in [n2b is n2]
+          cSV<st>.
+          cMSG<{m, new r9}:kcs>.0
+          |
+          cAS(m1). let (cc, rest) = m1 in let (tt, nn1) = rest in
+          (new kct) cSA<{kct, nn1, {kct, cc, new r2}:kat, new r1}:kca>.0
+          |
+          cTG(m3). let (tgt2, rest3) = m3 in let (ss, nn2) = rest3 in
+          case tgt2 of {kct2, cc2}:kat in
+          (new kcs) (debug<kcs>.0 | cGT<{kcs, nn2, {kcs, cc2, new r4}:kts, new r3}:kct2>.0)
+          |
+          cSV(m5). case m5 of {kcs2, cc3}:kts in
+          cMSG(mm). case mm of {p}:kcs2 in 0
+        )",
+        &["kca", "kat", "kts", "kct", "kcs", "m"],
+        &["cAS", "cSA", "cTG", "cGT", "cSV", "cMSG", "debug"],
+        "m",
+        false,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuspi_semantics::{explore_tau, Barb, ExecConfig};
+    use nuspi_syntax::Symbol;
+
+    #[test]
+    fn parses_and_closes() {
+        assert!(kerberos().process.is_closed());
+        assert!(kerberos_debug_tap().process.is_closed());
+    }
+
+    #[test]
+    fn honest_session_delivers_the_payload() {
+        let spec = kerberos();
+        let mut delivered = false;
+        let cfg = ExecConfig {
+            max_depth: 20,
+            max_states: 20000,
+            ..ExecConfig::default()
+        };
+        explore_tau(&spec.process, &cfg, |_, cs| {
+            if cs
+                .iter()
+                .any(|c| Barb::Out(Symbol::intern("cMSG")).matches(c.action))
+            {
+                delivered = true;
+                return false;
+            }
+            true
+        });
+        assert!(delivered, "two-hop chain must complete");
+    }
+
+    #[test]
+    fn two_hop_chain_verdicts() {
+        let honest = kerberos();
+        let report = nuspi_security::confinement(&honest.process, &honest.policy);
+        assert!(report.is_confined(), "{:?}", report.violations);
+        let flawed = kerberos_debug_tap();
+        let report = nuspi_security::confinement(&flawed.process, &flawed.policy);
+        assert!(!report.is_confined());
+    }
+}

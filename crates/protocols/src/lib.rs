@@ -1,0 +1,117 @@
+//! # nuspi-protocols — a protocol suite for the νSPI analyses
+//!
+//! Encodings of classic symmetric-key protocols in the νSPI-calculus,
+//! each packaged as a [`ProtocolSpec`]: the process, its secret/public
+//! partition, and the verdict the CFA is expected to reach. The honest
+//! versions are confined (their payload provably secret per Theorem 4);
+//! every flawed variant breaks one link and is both rejected statically
+//! and attacked dynamically by the Dolev–Yao intruder.
+//!
+//! The [`motivating`] module contains the paper's §1
+//! (ciphertext-comparison) and §5 (implicit-flow) examples as *open*
+//! processes `P(x)` for the non-interference experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use nuspi_protocols::{suite, wmf};
+//! use nuspi_security::confinement;
+//!
+//! let spec = wmf::wmf();
+//! assert!(confinement(&spec.process, &spec.policy).is_confined());
+//! assert!(suite().len() >= 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod andrew;
+pub mod denning_sacco;
+pub mod kerberos;
+pub mod motivating;
+pub mod ns;
+pub mod otway_rees;
+mod spec;
+pub mod wmf;
+pub mod yahalom;
+
+pub use motivating::{
+    channel_flow, ciphertext_comparison, ciphertext_comparison_test, encrypted_forwarder,
+    implicit_flow, open_examples,
+};
+pub use spec::{OpenExample, ProtocolSpec};
+
+/// The full closed-protocol suite: every honest protocol and every flawed
+/// variant, in a stable order.
+pub fn suite() -> Vec<ProtocolSpec> {
+    vec![
+        wmf::wmf(),
+        wmf::wmf_key_in_clear(),
+        wmf::wmf_payload_in_clear(),
+        wmf::wmf_public_key(),
+        ns::needham_schroeder(),
+        ns::needham_schroeder_nonce_leak(),
+        otway_rees::otway_rees(),
+        otway_rees::otway_rees_key_in_clear(),
+        otway_rees::otway_rees_untagged(),
+        yahalom::yahalom(),
+        yahalom::yahalom_nonce_in_clear(),
+        andrew::andrew(),
+        andrew::andrew_key_in_clear(),
+        denning_sacco::denning_sacco(),
+        denning_sacco::denning_sacco_public_ticket(),
+        kerberos::kerberos(),
+        kerberos::kerberos_debug_tap(),
+    ]
+}
+
+/// Only the honest (expected-confined) protocols.
+pub fn honest_suite() -> Vec<ProtocolSpec> {
+    suite().into_iter().filter(|s| s.expect_confined).collect()
+}
+
+/// Only the flawed (expected-rejected) variants.
+pub fn flawed_suite() -> Vec<ProtocolSpec> {
+    suite().into_iter().filter(|s| !s.expect_confined).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_split_between_honest_and_flawed() {
+        let all = suite().len();
+        assert_eq!(honest_suite().len() + flawed_suite().len(), all);
+        assert_eq!(honest_suite().len(), 7);
+        assert_eq!(flawed_suite().len(), 10);
+    }
+
+    #[test]
+    fn suite_names_are_unique() {
+        let mut names: Vec<&str> = suite().iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), suite().len());
+    }
+
+    #[test]
+    fn every_spec_is_closed_and_names_its_secret() {
+        for spec in suite() {
+            assert!(spec.process.is_closed(), "{}", spec.name);
+            assert!(spec.policy.is_secret(spec.secret), "{}", spec.name);
+            assert!(!spec.source.is_empty());
+        }
+    }
+
+    #[test]
+    fn no_free_secret_names_in_any_spec() {
+        for spec in suite() {
+            assert!(
+                spec.policy.free_secret_names(&spec.process).is_empty(),
+                "{}: secrets must be restricted",
+                spec.name
+            );
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! The paper's motivating examples.
+//!
+//! * §1's **ciphertext-comparison attack**: a process that emits `{0}_k`,
+//!   `{1}_k` and `{b}_k` under one key. With algebraic ("classic spi")
+//!   perfect encryption the attacker learns `b` by comparing ciphertexts;
+//!   νSPI's history-dependent encryption makes all three ciphertexts
+//!   distinct and defeats the attack. [`ciphertext_comparison`] is the
+//!   process as `P(x)`, and [`ciphertext_comparison_test`] the public test
+//!   that distinguishes the two instantiations under classic semantics.
+//! * §5's **implicit flow**: `P(x) = [x is 0] c⟨0⟩` — never *sends* the
+//!   secret, but its control flow reveals whether `x = 0`. Secrecy in the
+//!   Dolev–Yao sense holds; message independence fails, and the invariance
+//!   check rejects it.
+
+use crate::spec::OpenExample;
+use nuspi_security::{Policy, PublicTest};
+use nuspi_semantics::Barb;
+use nuspi_syntax::{builder as b, Name, Symbol, Var};
+
+/// §1's process: `P(x) = (νk) c⟨{0,(νr)r}_k⟩. c⟨{1,(νr)r}_k⟩. c⟨{x,(νr)r}_k⟩`.
+///
+/// All three encryption sites share the *same* confounder binder `r`, so
+/// under [`EvalMode::ClassicSpi`](nuspi_semantics::EvalMode) equal
+/// plaintexts yield equal ciphertexts — exactly the algebraic spi-calculus
+/// behaviour the paper's §1 criticises.
+pub fn ciphertext_comparison() -> OpenExample {
+    let x = Var::fresh("x");
+    let k = Name::global("k");
+    let r = Name::global("r");
+    let send = |payload, then| {
+        b::output(
+            b::name("c"),
+            b::enc(vec![payload], r, b::name_expr(k)),
+            then,
+        )
+    };
+    let body = send(
+        b::numeral(0),
+        send(b::numeral(1), send(b::var(x), b::nil())),
+    );
+    OpenExample {
+        name: "ciphertext-comparison",
+        description: "§1 motivation: secret bit under one key after 0 and 1",
+        process: b::restrict(k, body),
+        var: x,
+        public_channels: vec![Symbol::intern("c")],
+        policy: Policy::with_secrets(["k"]),
+        expect_independent: true, // under νSPI semantics
+    }
+}
+
+/// The distinguishing observer of §1: receive all three ciphertexts and
+/// compare the third against the first. Under classic spi this passes
+/// exactly when `x = 0`.
+pub fn ciphertext_comparison_test() -> PublicTest {
+    let w = nuspi_security::witness_channel();
+    let y1 = Var::fresh("y1");
+    let y2 = Var::fresh("y2");
+    let y3 = Var::fresh("y3");
+    let observer = b::input(
+        b::name("c"),
+        y1,
+        b::input(
+            b::name("c"),
+            y2,
+            b::input(
+                b::name("c"),
+                y3,
+                b::guard(
+                    b::var(y3),
+                    b::var(y1),
+                    b::output(b::name(w.as_str()), b::zero(), b::nil()),
+                ),
+            ),
+        ),
+    );
+    PublicTest {
+        observer,
+        barb: Barb::Out(w),
+        description: "compare third ciphertext with first".to_owned(),
+    }
+}
+
+/// §5's implicit flow: `P(x) = [x is 0] c⟨0⟩`.
+pub fn implicit_flow() -> OpenExample {
+    let x = Var::fresh("x");
+    OpenExample {
+        name: "implicit-flow",
+        description: "§5 motivation: control flow depends on the message",
+        process: b::guard(
+            b::var(x),
+            b::zero(),
+            b::output(b::name("c"), b::zero(), b::nil()),
+        ),
+        var: x,
+        public_channels: vec![Symbol::intern("c")],
+        policy: Policy::new(),
+        expect_independent: false,
+    }
+}
+
+/// A channel-position flow: `P(x) = x⟨0⟩` — the attacker observes which
+/// channel fires.
+pub fn channel_flow() -> OpenExample {
+    let x = Var::fresh("x");
+    OpenExample {
+        name: "channel-flow",
+        description: "the message is used as a channel",
+        process: b::output(b::var(x), b::zero(), b::nil()),
+        var: x,
+        public_channels: vec![Symbol::intern("c")],
+        policy: Policy::new(),
+        expect_independent: false,
+    }
+}
+
+/// A well-behaved forwarder: `P(x) = (νk) c⟨{x,(νr)r}_k⟩` — the message
+/// only ever travels encrypted under a restricted key.
+pub fn encrypted_forwarder() -> OpenExample {
+    let x = Var::fresh("x");
+    let k = Name::global("kfwd");
+    OpenExample {
+        name: "encrypted-forwarder",
+        description: "message forwarded under a restricted key (independent)",
+        process: b::restrict(
+            k,
+            b::output(
+                b::name("c"),
+                b::enc(vec![b::var(x)], Name::global("r"), b::name_expr(k)),
+                b::nil(),
+            ),
+        ),
+        var: x,
+        public_channels: vec![Symbol::intern("c")],
+        policy: Policy::with_secrets(["kfwd"]),
+        expect_independent: true,
+    }
+}
+
+/// Every open example, for sweep-style experiments.
+pub fn open_examples() -> Vec<OpenExample> {
+    vec![
+        ciphertext_comparison(),
+        implicit_flow(),
+        channel_flow(),
+        encrypted_forwarder(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuspi_semantics::{passes_test, EvalMode, ExecConfig};
+    use nuspi_syntax::Value;
+
+    #[test]
+    fn open_examples_have_exactly_one_free_var() {
+        for ex in open_examples() {
+            let fv = ex.process.free_vars();
+            assert_eq!(fv.len(), 1, "{}", ex.name);
+            assert!(fv.contains(&ex.var), "{}", ex.name);
+        }
+    }
+
+    #[test]
+    fn ciphertext_comparison_attack_works_in_classic_spi() {
+        let ex = ciphertext_comparison();
+        let test = ciphertext_comparison_test();
+        let classic = ExecConfig {
+            mode: EvalMode::ClassicSpi,
+            ..ExecConfig::default()
+        };
+        let with_zero = ex.process.subst(ex.var, &Value::numeral(0));
+        let with_one = ex.process.subst(ex.var, &Value::numeral(1));
+        assert!(
+            passes_test(&with_zero, &test.observer, test.barb, &classic),
+            "x=0 makes the third ciphertext equal the first"
+        );
+        assert!(
+            !passes_test(&with_one, &test.observer, test.barb, &classic),
+            "x=1 does not"
+        );
+    }
+
+    #[test]
+    fn ciphertext_comparison_attack_fails_in_nuspi() {
+        let ex = ciphertext_comparison();
+        let test = ciphertext_comparison_test();
+        let nuspi = ExecConfig::default();
+        for n in [0, 1] {
+            let p = ex.process.subst(ex.var, &Value::numeral(n));
+            assert!(
+                !passes_test(&p, &test.observer, test.barb, &nuspi),
+                "fresh confounders make all ciphertexts distinct (x={n})"
+            );
+        }
+    }
+
+    #[test]
+    fn implicit_flow_runs_only_for_zero() {
+        let ex = implicit_flow();
+        let cfg = ExecConfig::default();
+        let idle = b::nil();
+        let with_zero = ex.process.subst(ex.var, &Value::numeral(0));
+        let with_one = ex.process.subst(ex.var, &Value::numeral(1));
+        assert!(passes_test(
+            &with_zero,
+            &idle,
+            Barb::Out(Symbol::intern("c")),
+            &cfg
+        ));
+        assert!(!passes_test(
+            &with_one,
+            &idle,
+            Barb::Out(Symbol::intern("c")),
+            &cfg
+        ));
+    }
+}

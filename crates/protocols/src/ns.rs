@@ -1,0 +1,115 @@
+//! The Needham–Schroeder symmetric-key protocol (single session).
+//!
+//! ```text
+//! Message 1   A → S : A, B, N_A
+//! Message 2   S → A : {N_A, B, K_AB, {K_AB, A}K_BS}K_AS
+//! Message 3   A → B : {K_AB, A}K_BS
+//! Message 4   B → A : {N_B}K_AB
+//! Message 5   A → B : {suc(N_B)}K_AB
+//! payload     A → B : {M}K_AB
+//! ```
+//!
+//! The nonce handshake uses the calculus' native numerals (`suc`); the
+//! ticket is a nested encryption travelling inside message 2.
+
+use crate::spec::ProtocolSpec;
+
+/// A single honest session of Needham–Schroeder symmetric-key, ending
+//  with a payload shipped under the freshly established session key.
+pub fn needham_schroeder() -> ProtocolSpec {
+    ProtocolSpec::build(
+        "ns-symmetric",
+        "Needham-Schroeder symmetric key: nonce handshake, nested ticket, secret payload",
+        "
+        (new kas) (new kbs) (new m) (
+          (new na) cAS<(a, (b, na))>.
+          cSA(resp). case resp of {n, bb, kab, tk}:kas in
+          [n is na] [bb is b]
+          cAB<tk>. cBA(w). case w of {nb}:kab in
+          cAB2<{suc(nb), new r4}:kab>.
+          cMSG<{m, new r5}:kab>.0
+          |
+          cAS(req). let (aa, rest) = req in let (bb2, na2) = rest in
+          (new kab) cSA<{na2, bb2, kab, {kab, aa, new r2}:kbs, new r1}:kas>.0
+          |
+          cAB(tk2). case tk2 of {kab2, aa2}:kbs in
+          (new nb) cBA<{nb, new r3}:kab2>.
+          cAB2(z). case z of {w2}:kab2 in [w2 is suc(nb)]
+          cMSG(mm). case mm of {p}:kab2 in 0
+        )",
+        &["kas", "kbs", "kab", "m", "nb"],
+        &["cAS", "cSA", "cAB", "cBA", "cAB2", "cMSG"],
+        "m",
+        true,
+    )
+}
+
+/// Flawed variant: the server sends the ticket *outside* the message-2
+/// encryption, paired in clear — a malleability hole. The session key is
+/// still protected (the ticket is under `K_BS`), but the variant also
+/// leaks the responder nonce by re-sending it in clear, which the
+/// analysis flags.
+pub fn needham_schroeder_nonce_leak() -> ProtocolSpec {
+    ProtocolSpec::build(
+        "ns-nonce-leak",
+        "NS variant leaking the responder nonce in clear (rejected)",
+        "
+        (new kas) (new kbs) (new m) (
+          (new na) cAS<(a, (b, na))>.
+          cSA(resp). case resp of {n, bb, kab, tk}:kas in
+          [n is na] [bb is b]
+          cAB<tk>. cBA(w). case w of {nb}:kab in
+          cAB2<nb>.
+          cMSG<{m, new r5}:kab>.0
+          |
+          cAS(req). let (aa, rest) = req in let (bb2, na2) = rest in
+          (new kab) cSA<{na2, bb2, kab, {kab, aa, new r2}:kbs, new r1}:kas>.0
+          |
+          cAB(tk2). case tk2 of {kab2, aa2}:kbs in
+          (new nb) cBA<{nb, new r3}:kab2>.
+          cAB2(z). [z is nb]
+          cMSG(mm). case mm of {p}:kab2 in 0
+        )",
+        &["kas", "kbs", "kab", "m", "nb"],
+        &["cAS", "cSA", "cAB", "cBA", "cAB2", "cMSG"],
+        "nb",
+        false,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuspi_semantics::{explore_tau, Barb, ExecConfig};
+    use nuspi_syntax::Symbol;
+
+    #[test]
+    fn parses_and_closes() {
+        assert!(needham_schroeder().process.is_closed());
+        assert!(needham_schroeder_nonce_leak().process.is_closed());
+    }
+
+    #[test]
+    fn honest_session_delivers_the_payload() {
+        // The full six-message run must be executable: B eventually inputs
+        // on cMSG, so some reachable state exhibits the barb.
+        let spec = needham_schroeder();
+        let mut delivered = false;
+        let cfg = ExecConfig {
+            max_depth: 16,
+            max_states: 6000,
+            ..ExecConfig::default()
+        };
+        explore_tau(&spec.process, &cfg, |_, cs| {
+            if cs
+                .iter()
+                .any(|c| Barb::Out(Symbol::intern("cMSG")).matches(c.action))
+            {
+                delivered = true;
+                return false;
+            }
+            true
+        });
+        assert!(delivered, "session must reach the payload message");
+    }
+}

@@ -1,0 +1,159 @@
+//! The Otway–Rees key-distribution protocol (single session, simplified
+//! identities).
+//!
+//! ```text
+//! Message 1   A → B : M, {N_A, M, A, B}K_AS
+//! Message 2   B → S : M, {N_A, M, A, B}K_AS, {N_B, M, A, B}K_BS
+//! Message 3   S → B : M, {N_A, K_AB}K_AS, {N_B, K_AB}K_BS
+//! Message 4   B → A : M, {N_A, K_AB}K_AS
+//! payload     A → B : {m}K_AB
+//! ```
+//!
+//! `M` is the public run identifier; both parties bind their nonce, the
+//! run id and the identities into their request ciphertext, and the
+//! server cross-checks the identifiers before minting the session key.
+//! The identities inside the request ciphertexts are essential: dropping
+//! them gives messages 1 and 3 the same shape under the same key, and the
+//! classic Otway–Rees *type-flaw attack* (reflect message 1 back as
+//! message 4, so the public run id is accepted as the session key)
+//! becomes possible — the attacker-closed CFA finds exactly that flaw on
+//! the untagged variant, see [`otway_rees_untagged`].
+
+use crate::spec::ProtocolSpec;
+
+/// A single honest Otway–Rees session followed by a payload under the
+/// distributed session key.
+pub fn otway_rees() -> ProtocolSpec {
+    ProtocolSpec::build(
+        "otway-rees",
+        "Otway-Rees key distribution: run-id bound nonces, server cross-check",
+        "
+        (new kas) (new kbs) (new m) (
+          (new na) (new mid) cAB<(mid, {na, mid, a, b, new r1}:kas)>.
+          cBA(resp). let (mid2, ca) = resp in [mid2 is mid]
+          case ca of {na2, kab}:kas in [na2 is na]
+          cMSG<{m, new r5}:kab>.0
+          |
+          cAB(m1). let (mid3, ca2) = m1 in
+          (new nb) cBS<(mid3, (ca2, {nb, mid3, a, b, new r2}:kbs))>.
+          cSB(m3). let (mid4, rest) = m3 in let (cas, cbs2) = rest in
+          case cbs2 of {nb2, kab2}:kbs in [nb2 is nb]
+          cBA<(mid4, cas)>.
+          cMSG(mm). case mm of {p}:kab2 in 0
+          |
+          cBS(m2). let (mid5, rest2) = m2 in let (caa, cbb) = rest2 in
+          case caa of {na3, mid6, aa, bb}:kas in
+          case cbb of {nb3, mid7, aa2, bb2}:kbs in
+          [mid6 is mid7]
+          (new kab) cSB<(mid5, ({na3, kab, new r3}:kas, {nb3, kab, new r4}:kbs))>.0
+        )",
+        &["kas", "kbs", "kab", "m", "na", "nb"],
+        &["cAB", "cBA", "cBS", "cSB", "cMSG"],
+        "m",
+        true,
+    )
+}
+
+/// The *untagged* Otway–Rees: the request ciphertexts omit the identities,
+/// so messages 1 and 3 have the same arity under the same key — the
+/// classic type-flaw attack applies (reflect A's own request back to A as
+/// message 4; A then accepts the public run identifier as the session
+/// key). Expected: rejected by the attacker-closed CFA and broken by the
+/// Dolev–Yao intruder.
+pub fn otway_rees_untagged() -> ProtocolSpec {
+    ProtocolSpec::build(
+        "otway-rees-untagged",
+        "Otway-Rees without identity tags: classic type-flaw reflection attack",
+        "
+        (new kas) (new kbs) (new m) (
+          (new na) (new mid) cAB<(mid, {na, mid, new r1}:kas)>.
+          cBA(resp). let (mid2, ca) = resp in [mid2 is mid]
+          case ca of {na2, kab}:kas in [na2 is na]
+          cMSG<{m, new r5}:kab>.0
+          |
+          cAB(m1). let (mid3, ca2) = m1 in
+          (new nb) cBS<(mid3, (ca2, {nb, mid3, new r2}:kbs))>.
+          cSB(m3). let (mid4, rest) = m3 in let (cas, cbs2) = rest in
+          case cbs2 of {nb2, kab2}:kbs in [nb2 is nb]
+          cBA<(mid4, cas)>.
+          cMSG(mm). case mm of {p}:kab2 in 0
+          |
+          cBS(m2). let (mid5, rest2) = m2 in let (caa, cbb) = rest2 in
+          case caa of {na3, mid6}:kas in
+          case cbb of {nb3, mid7}:kbs in
+          [mid6 is mid7]
+          (new kab) cSB<(mid5, ({na3, kab, new r3}:kas, {nb3, kab, new r4}:kbs))>.0
+        )",
+        &["kas", "kbs", "kab", "m", "na", "nb"],
+        &["cAB", "cBA", "cBS", "cSB", "cMSG"],
+        "m",
+        false,
+    )
+}
+
+/// Flawed variant: the server puts the session key for `B` in clear in
+/// message 3 (paired rather than encrypted).
+pub fn otway_rees_key_in_clear() -> ProtocolSpec {
+    ProtocolSpec::build(
+        "otway-rees-key-in-clear",
+        "Otway-Rees broken at message 3: B's copy of the key travels in clear",
+        "
+        (new kas) (new kbs) (new m) (
+          (new na) (new mid) cAB<(mid, {na, mid, a, b, new r1}:kas)>.
+          cBA(resp). let (mid2, ca) = resp in [mid2 is mid]
+          case ca of {na2, kab}:kas in [na2 is na]
+          cMSG<{m, new r5}:kab>.0
+          |
+          cAB(m1). let (mid3, ca2) = m1 in
+          (new nb) cBS<(mid3, (ca2, {nb, mid3, a, b, new r2}:kbs))>.
+          cSB(m3). let (mid4, rest) = m3 in let (cas, kab2) = rest in
+          cBA<(mid4, cas)>.
+          cMSG(mm). case mm of {p}:kab2 in 0
+          |
+          cBS(m2). let (mid5, rest2) = m2 in let (caa, cbb) = rest2 in
+          case caa of {na3, mid6, aa, bb}:kas in
+          case cbb of {nb3, mid7, aa2, bb2}:kbs in
+          [mid6 is mid7]
+          (new kab) cSB<(mid5, ({na3, kab, new r3}:kas, kab))>.0
+        )",
+        &["kas", "kbs", "kab", "m", "na", "nb"],
+        &["cAB", "cBA", "cBS", "cSB", "cMSG"],
+        "m",
+        false,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuspi_semantics::{explore_tau, Barb, ExecConfig};
+    use nuspi_syntax::Symbol;
+
+    #[test]
+    fn parses_and_closes() {
+        assert!(otway_rees().process.is_closed());
+        assert!(otway_rees_key_in_clear().process.is_closed());
+    }
+
+    #[test]
+    fn honest_session_delivers_the_payload() {
+        let spec = otway_rees();
+        let mut delivered = false;
+        let cfg = ExecConfig {
+            max_depth: 16,
+            max_states: 8000,
+            ..ExecConfig::default()
+        };
+        explore_tau(&spec.process, &cfg, |_, cs| {
+            if cs
+                .iter()
+                .any(|c| Barb::Out(Symbol::intern("cMSG")).matches(c.action))
+            {
+                delivered = true;
+                return false;
+            }
+            true
+        });
+        assert!(delivered);
+    }
+}

@@ -1,0 +1,72 @@
+//! Protocol specifications: a νSPI encoding plus its secrecy policy and
+//! the verdict the analysis is expected to reach.
+
+use nuspi_security::Policy;
+use nuspi_syntax::{parse_process, Process, Symbol, Var};
+
+/// A closed protocol instance with its policy and expected verdicts.
+#[derive(Clone, Debug)]
+pub struct ProtocolSpec {
+    /// Short identifier (e.g. `"wmf"`).
+    pub name: &'static str,
+    /// One-line description of the protocol and the property at stake.
+    pub description: &'static str,
+    /// The νSPI source the process was parsed from.
+    pub source: String,
+    /// The closed process.
+    pub process: Process,
+    /// The secret/public partition.
+    pub policy: Policy,
+    /// The public channels the protocol communicates on.
+    pub public_channels: Vec<Symbol>,
+    /// The canonical name whose secrecy the protocol is meant to protect.
+    pub secret: Symbol,
+    /// Whether the CFA is expected to certify confinement (flawed variants
+    /// expect `false`).
+    pub expect_confined: bool,
+}
+
+impl ProtocolSpec {
+    pub(crate) fn build(
+        name: &'static str,
+        description: &'static str,
+        source: &str,
+        secrets: &[&str],
+        public_channels: &[&str],
+        secret: &str,
+        expect_confined: bool,
+    ) -> ProtocolSpec {
+        let process = parse_process(source)
+            .unwrap_or_else(|e| panic!("protocol {name} does not parse: {e}"));
+        assert!(process.is_closed(), "protocol {name} must be closed");
+        ProtocolSpec {
+            name,
+            description,
+            source: source.to_owned(),
+            process,
+            policy: Policy::with_secrets(secrets.iter().copied()),
+            public_channels: public_channels.iter().map(|c| Symbol::intern(c)).collect(),
+            secret: Symbol::intern(secret),
+            expect_confined,
+        }
+    }
+}
+
+/// An *open* example `P(x)` used by the non-interference experiments.
+#[derive(Clone, Debug)]
+pub struct OpenExample {
+    /// Short identifier.
+    pub name: &'static str,
+    /// What the example demonstrates.
+    pub description: &'static str,
+    /// The open process (exactly one free variable, `var`).
+    pub process: Process,
+    /// The free variable `x` of `P(x)`.
+    pub var: Var,
+    /// The public channels the example uses.
+    pub public_channels: Vec<Symbol>,
+    /// Names that must be kept secret besides the tracked message.
+    pub policy: Policy,
+    /// Whether Theorem 5's static premises are expected to hold.
+    pub expect_independent: bool,
+}

@@ -1,0 +1,127 @@
+//! The Wide Mouthed Frog key-exchange protocol (the paper's Example 1)
+//! and two deliberately flawed variants.
+//!
+//! ```text
+//! Message 1   A → S : {K_AB}K_AS
+//! Message 2   S → B : {K_AB}K_BS
+//! Message 3   A → B : {M}K_AB
+//! ```
+//!
+//! `A` and `B` share long-term keys with a trusted server `S`; `A` mints a
+//! session key, routes it through `S`, and finally ships the payload `M`
+//! under the session key. The analysis certifies that `M` stays secret
+//! (Example 1's confinement argument); the flawed variants break exactly
+//! one link of that argument and are rejected.
+
+use crate::spec::ProtocolSpec;
+
+/// The paper's Example 1, verbatim (with the payload `m` restricted so
+/// that it may be declared secret).
+pub fn wmf() -> ProtocolSpec {
+    ProtocolSpec::build(
+        "wmf",
+        "Wide Mouthed Frog key exchange (Example 1): payload stays secret",
+        "
+        (new m) (new kAS) (new kBS) (
+          ((new kAB) cAS<{kAB, new r1}:kAS>. cAB<{m, new r2}:kAB>.0
+           | cBS(t). case t of {y}:kBS in cAB(z). case z of {q}:y in 0)
+          | cAS(x). case x of {s}:kAS in cBS<{s, new r3}:kBS>.0
+        )",
+        &["kAS", "kBS", "kAB", "m"],
+        &["cAS", "cBS", "cAB"],
+        "m",
+        true,
+    )
+}
+
+/// Flawed variant: the server forwards the session key *in clear* on the
+/// public channel `cBS`. The CFA rejects it and the Dolev–Yao intruder
+/// extracts the payload.
+pub fn wmf_key_in_clear() -> ProtocolSpec {
+    ProtocolSpec::build(
+        "wmf-key-in-clear",
+        "WMF broken at message 2: server re-sends the session key unencrypted",
+        "
+        (new m) (new kAS) (
+          ((new kAB) cAS<{kAB, new r1}:kAS>. cAB<{m, new r2}:kAB>.0
+           | cBS(y). cAB(z). case z of {q}:y in 0)
+          | cAS(x). case x of {s}:kAS in cBS<s>.0
+        )",
+        &["kAS", "kAB", "m"],
+        &["cAS", "cBS", "cAB"],
+        "m",
+        false,
+    )
+}
+
+/// Flawed variant: `A` skips encryption entirely for message 3.
+pub fn wmf_payload_in_clear() -> ProtocolSpec {
+    ProtocolSpec::build(
+        "wmf-payload-in-clear",
+        "WMF broken at message 3: payload sent unencrypted",
+        "
+        (new m) (new kAS) (new kBS) (
+          ((new kAB) cAS<{kAB, new r1}:kAS>. cAB<m>.0
+           | cBS(t). case t of {y}:kBS in cAB(z). 0)
+          | cAS(x). case x of {s}:kAS in cBS<{s, new r3}:kBS>.0
+        )",
+        &["kAS", "kBS", "kAB", "m"],
+        &["cAS", "cBS", "cAB"],
+        "m",
+        false,
+    )
+}
+
+/// Flawed variant: message 3 is encrypted under a *public* constant key.
+pub fn wmf_public_key() -> ProtocolSpec {
+    ProtocolSpec::build(
+        "wmf-public-key",
+        "WMF broken at message 3: payload encrypted under a public constant",
+        "
+        (new m) (new kAS) (new kBS) (
+          ((new kAB) cAS<{kAB, new r1}:kAS>. cAB<{m, new r2}:pubkey>.0
+           | cBS(t). case t of {y}:kBS in cAB(z). case z of {q}:pubkey in 0)
+          | cAS(x). case x of {s}:kAS in cBS<{s, new r3}:kBS>.0
+        )",
+        &["kAS", "kBS", "kAB", "m"],
+        &["cAS", "cBS", "cAB"],
+        "m",
+        false,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuspi_semantics::{explore_tau, ExecConfig};
+
+    #[test]
+    fn all_variants_parse_and_close() {
+        for spec in [wmf(), wmf_key_in_clear(), wmf_payload_in_clear(), wmf_public_key()] {
+            assert!(spec.process.is_closed(), "{}", spec.name);
+            assert!(!spec.public_channels.is_empty());
+        }
+    }
+
+    #[test]
+    fn wmf_completes_three_internal_steps() {
+        let spec = wmf();
+        let mut max_depth_reached = 0;
+        let mut depth = 0;
+        explore_tau(&spec.process, &ExecConfig::default(), |_, cs| {
+            depth += 1;
+            if cs.iter().any(|c| c.action == nuspi_semantics::Action::Tau) {
+                max_depth_reached += 1;
+            }
+            true
+        });
+        assert!(depth >= 4, "initial + three exchanges, got {depth}");
+    }
+
+    #[test]
+    fn policies_declare_the_payload_secret() {
+        for spec in [wmf(), wmf_key_in_clear(), wmf_payload_in_clear()] {
+            assert!(spec.policy.is_secret(spec.secret));
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! The Yahalom key-distribution protocol (single session).
+//!
+//! ```text
+//! Message 1   A → B : A, N_A
+//! Message 2   B → S : B, {A, N_A, N_B}K_BS
+//! Message 3   S → A : {B, K_AB, N_A, N_B}K_AS, {A, K_AB}K_BS
+//! Message 4   A → B : {A, K_AB}K_BS, {N_B}K_AB
+//! payload     A → B : {m}K_AB
+//! ```
+//!
+//! Yahalom is notable for protecting the responder nonce `N_B`: it only
+//! ever travels encrypted, and `A` proves knowledge of the session key by
+//! returning it under `K_AB`.
+
+use crate::spec::ProtocolSpec;
+
+/// A single honest Yahalom session followed by a payload under the
+/// distributed session key.
+pub fn yahalom() -> ProtocolSpec {
+    ProtocolSpec::build(
+        "yahalom",
+        "Yahalom key distribution: responder nonce never in clear",
+        "
+        (new kas) (new kbs) (new m) (
+          (new na) cAB<(a, na)>.
+          cSA(m3). let (ca, tk) = m3 in
+          case ca of {bb, kab, na2, nbx}:kas in [na2 is na] [bb is b]
+          cAB2<(tk, {nbx, new r4}:kab)>.
+          cMSG<{m, new r5}:kab>.0
+          |
+          cAB(m1). let (aa, na3) = m1 in
+          (new nb) cBS<(b, {aa, na3, nb, new r1}:kbs)>.
+          cAB2(m4). let (tk2, cnb) = m4 in
+          case tk2 of {aa2, kab2}:kbs in
+          case cnb of {nb2}:kab2 in [nb2 is nb]
+          cMSG(mm). case mm of {p}:kab2 in 0
+          |
+          cBS(m2). let (bb2, cb) = m2 in
+          case cb of {aa3, na4, nb3}:kbs in
+          (new kab) cSA<({bb2, kab, na4, nb3, new r2}:kas, {aa3, kab, new r3}:kbs)>.0
+        )",
+        &["kas", "kbs", "kab", "m", "nb"],
+        &["cAB", "cSA", "cBS", "cAB2", "cMSG"],
+        "m",
+        true,
+    )
+}
+
+/// Flawed variant: message 3 carries the responder nonce back in *clear*
+/// alongside the two ciphertexts, destroying its secrecy.
+pub fn yahalom_nonce_in_clear() -> ProtocolSpec {
+    ProtocolSpec::build(
+        "yahalom-nonce-in-clear",
+        "Yahalom broken at message 3: responder nonce echoed unencrypted",
+        "
+        (new kas) (new kbs) (new m) (
+          (new na) cAB<(a, na)>.
+          cSA(m3). let (ca, rest) = m3 in let (tk, nbclear) = rest in
+          case ca of {bb, kab, na2}:kas in [na2 is na] [bb is b]
+          cAB2<(tk, {nbclear, new r4}:kab)>.
+          cMSG<{m, new r5}:kab>.0
+          |
+          cAB(m1). let (aa, na3) = m1 in
+          (new nb) cBS<(b, {aa, na3, nb, new r1}:kbs)>.
+          cAB2(m4). let (tk2, cnb) = m4 in
+          case tk2 of {aa2, kab2}:kbs in
+          case cnb of {nb2}:kab2 in [nb2 is nb]
+          cMSG(mm). case mm of {p}:kab2 in 0
+          |
+          cBS(m2). let (bb2, cb) = m2 in
+          case cb of {aa3, na4, nb3}:kbs in
+          (new kab) cSA<({bb2, kab, na4, new r2}:kas, ({aa3, kab, new r3}:kbs, nb3))>.0
+        )",
+        &["kas", "kbs", "kab", "m", "nb"],
+        &["cAB", "cSA", "cBS", "cAB2", "cMSG"],
+        "nb",
+        false,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuspi_semantics::{explore_tau, Barb, ExecConfig};
+    use nuspi_syntax::Symbol;
+
+    #[test]
+    fn parses_and_closes() {
+        assert!(yahalom().process.is_closed());
+        assert!(yahalom_nonce_in_clear().process.is_closed());
+    }
+
+    #[test]
+    fn honest_session_delivers_the_payload() {
+        let spec = yahalom();
+        let mut delivered = false;
+        let cfg = ExecConfig {
+            max_depth: 16,
+            max_states: 8000,
+            ..ExecConfig::default()
+        };
+        explore_tau(&spec.process, &cfg, |_, cs| {
+            if cs
+                .iter()
+                .any(|c| Barb::Out(Symbol::intern("cMSG")).matches(c.action))
+            {
+                delivered = true;
+                return false;
+            }
+            true
+        });
+        assert!(delivered);
+    }
+}

@@ -1,0 +1,313 @@
+//! The `kind` operator (Definition 2), concrete and abstract.
+//!
+//! `kind : Val′ → {S, P}` classifies a value: a single "drop" of secret
+//! makes the whole value secret — *except* under encryption with a secret
+//! key, which re-publicises the ciphertext (the protection is the key).
+//! Confounders are not considered (they are discarded by decryption), so
+//! the kind of an encryption ignores its confounder.
+//!
+//! The abstract version runs the same classification over the CFA's
+//! grammar: for each nonterminal it computes whether its language *may*
+//! contain a secret-kind value and whether it may contain a public-kind
+//! value, by a monotone fixpoint over the productions.
+
+use crate::policy::Policy;
+use nuspi_cfa::{Prod, Solution, VarId};
+use nuspi_syntax::Value;
+use std::fmt;
+
+/// The kind of a value: secret or public.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Kind {
+    /// Secret.
+    S,
+    /// Public.
+    P,
+}
+
+impl fmt::Display for Kind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Kind::S => write!(f, "S"),
+            Kind::P => write!(f, "P"),
+        }
+    }
+}
+
+/// `kind(w)` per Definition 2.
+pub fn kind(w: &Value, policy: &Policy) -> Kind {
+    match w {
+        Value::Name(n) => {
+            if policy.name_is_secret(*n) {
+                Kind::S
+            } else {
+                Kind::P
+            }
+        }
+        Value::Zero => Kind::P,
+        Value::Suc(inner) => kind(inner, policy),
+        Value::Pair(a, b) => {
+            if kind(a, policy) == Kind::S || kind(b, policy) == Kind::S {
+                Kind::S
+            } else {
+                Kind::P
+            }
+        }
+        Value::Enc { payload, key, .. } => {
+            if kind(key, policy) == Kind::S || payload.is_empty() {
+                Kind::P
+            } else if payload.iter().any(|w| kind(w, policy) == Kind::S) {
+                Kind::S
+            } else {
+                Kind::P
+            }
+        }
+    }
+}
+
+/// Per-nonterminal kind facts: whether the language may contain a
+/// secret-kind value and whether it may contain a public-kind value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct KindFacts {
+    /// `∃ w ∈ L(v): kind(w) = S`.
+    pub may_secret: bool,
+    /// `∃ w ∈ L(v): kind(w) = P`.
+    pub may_public: bool,
+}
+
+impl KindFacts {
+    /// Whether the language is (known) non-empty.
+    pub fn nonempty(self) -> bool {
+        self.may_secret || self.may_public
+    }
+}
+
+/// The abstract kind analysis: a fixpoint assigning [`KindFacts`] to every
+/// flow variable of a solution.
+#[derive(Clone, Debug)]
+pub struct AbstractKind {
+    facts: Vec<KindFacts>,
+}
+
+impl AbstractKind {
+    /// Runs the fixpoint over the solved grammar.
+    pub fn compute(sol: &Solution, policy: &Policy) -> AbstractKind {
+        let n = sol.flow_vars().count();
+        let mut facts = vec![KindFacts::default(); n];
+        loop {
+            let mut changed = false;
+            for (id, _) in sol.flow_vars() {
+                let mut here = facts[id.index()];
+                for p in sol.prods_of_id(id) {
+                    let f = prod_facts(p, &facts, policy);
+                    here.may_secret |= f.may_secret;
+                    here.may_public |= f.may_public;
+                }
+                if here != facts[id.index()] {
+                    facts[id.index()] = here;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        AbstractKind { facts }
+    }
+
+    /// The facts for a nonterminal.
+    pub fn facts(&self, id: VarId) -> KindFacts {
+        self.facts.get(id.index()).copied().unwrap_or_default()
+    }
+
+    /// The facts of a single production, evaluated against the computed
+    /// fixpoint — lets callers single out *which* production of a
+    /// flagged κ entry can be secret-kind.
+    pub fn facts_of_prod(&self, p: &Prod, policy: &Policy) -> KindFacts {
+        prod_facts(p, &self.facts, policy)
+    }
+}
+
+fn prod_facts(p: &Prod, facts: &[KindFacts], policy: &Policy) -> KindFacts {
+    let get = |v: &VarId| facts.get(v.index()).copied().unwrap_or_default();
+    match p {
+        Prod::Name(n) => {
+            if policy.is_secret(*n) {
+                KindFacts {
+                    may_secret: true,
+                    may_public: false,
+                }
+            } else {
+                KindFacts {
+                    may_secret: false,
+                    may_public: true,
+                }
+            }
+        }
+        Prod::Zero => KindFacts {
+            may_secret: false,
+            may_public: true,
+        },
+        Prod::Suc(a) => get(a),
+        Prod::Pair(a, b) => {
+            let (fa, fb) = (get(a), get(b));
+            KindFacts {
+                // a secret drop in either slot (with the other non-empty)
+                may_secret: (fa.may_secret && fb.nonempty()) || (fb.may_secret && fa.nonempty()),
+                may_public: fa.may_public && fb.may_public,
+            }
+        }
+        Prod::Enc { args, key, .. } => {
+            let fk = get(key);
+            let all_nonempty = args.iter().all(|a| get(a).nonempty());
+            let all_public = args.iter().all(|a| get(a).may_public);
+            let some_secret = args.iter().any(|a| get(a).may_secret);
+            KindFacts {
+                // secret ciphertext: public key, non-empty payload, a
+                // secret drop somewhere, every slot inhabited
+                may_secret: fk.may_public && !args.is_empty() && some_secret && all_nonempty,
+                // public ciphertext: secret key (any payload), or empty
+                // payload, or public key with all-public payload
+                may_public: (fk.may_secret && all_nonempty)
+                    || (fk.nonempty() && args.is_empty())
+                    || (fk.may_public && all_public),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuspi_cfa::{analyze, FlowVar};
+    use nuspi_syntax::{parse_process, Name, Symbol, Value};
+
+    fn pol(secrets: &[&str]) -> Policy {
+        Policy::with_secrets(secrets.iter().copied())
+    }
+
+    #[test]
+    fn names_have_declared_kind() {
+        let policy = pol(&["k"]);
+        assert_eq!(kind(&Value::Name(Name::global("k")), &policy), Kind::S);
+        assert_eq!(kind(&Value::Name(Name::global("c")), &policy), Kind::P);
+    }
+
+    #[test]
+    fn numerals_are_public() {
+        let policy = pol(&["k"]);
+        assert_eq!(kind(&Value::numeral(4), &policy), Kind::P);
+    }
+
+    #[test]
+    fn a_drop_of_secret_poisons_pairs() {
+        let policy = pol(&["m"]);
+        let w = Value::pair(Value::zero(), Value::name("m"));
+        assert_eq!(kind(&w, &policy), Kind::S);
+        let v = Value::pair(Value::zero(), Value::name("c"));
+        assert_eq!(kind(&v, &policy), Kind::P);
+    }
+
+    #[test]
+    fn suc_inherits_kind() {
+        let policy = pol(&["m"]);
+        assert_eq!(kind(&Value::suc(Value::name("m")), &policy), Kind::S);
+    }
+
+    #[test]
+    fn secret_key_publicises_ciphertext() {
+        let policy = pol(&["k", "m"]);
+        let w = Value::enc(vec![Value::name("m")], Name::global("r"), Value::name("k"));
+        assert_eq!(kind(&w, &policy), Kind::P, "protected by the secret key");
+    }
+
+    #[test]
+    fn public_key_leaves_secret_payload_secret() {
+        let policy = pol(&["m"]);
+        let w = Value::enc(
+            vec![Value::name("m")],
+            Name::global("r"),
+            Value::name("pubkey"),
+        );
+        assert_eq!(kind(&w, &policy), Kind::S);
+    }
+
+    #[test]
+    fn empty_payload_is_public() {
+        let policy = pol(&["m"]);
+        let w = Value::enc(vec![], Name::global("r"), Value::name("pub"));
+        assert_eq!(kind(&w, &policy), Kind::P);
+    }
+
+    #[test]
+    fn confounders_do_not_affect_kind() {
+        let policy = pol(&["r"]);
+        let w = Value::enc(vec![Value::zero()], Name::global("r"), Value::name("pub"));
+        assert_eq!(kind(&w, &policy), Kind::P, "confounders are discarded");
+    }
+
+    #[test]
+    fn abstract_kind_matches_concrete_on_wmf_channels() {
+        let src = "
+            (new kAS) (new kBS) (
+              ((new kAB) cAS<{kAB, new r1}:kAS>. cAB<{m, new r2}:kAB>.0
+               | cBS(t). case t of {y}:kBS in cAB(z). case z of {q}:y in 0)
+              | cAS(x). case x of {s}:kAS in cBS<{s, new r3}:kBS>.0
+            )";
+        let p = parse_process(src).unwrap();
+        let sol = analyze(&p);
+        let policy = pol(&["kAS", "kBS", "kAB", "m"]);
+        let ak = AbstractKind::compute(&sol, &policy);
+        // Everything flowing on the public channels is of kind P: the
+        // ciphertexts are protected by secret keys.
+        for c in ["cAS", "cBS", "cAB"] {
+            let id = sol.var_id(FlowVar::Kappa(Symbol::intern(c))).unwrap();
+            let f = ak.facts(id);
+            assert!(!f.may_secret, "κ({c}) must be all-public");
+            assert!(f.may_public);
+        }
+    }
+
+    #[test]
+    fn abstract_kind_flags_cleartext_secret() {
+        let p = parse_process("(new m) c<m>.0").unwrap();
+        let sol = analyze(&p);
+        let policy = pol(&["m"]);
+        let ak = AbstractKind::compute(&sol, &policy);
+        let id = sol.var_id(FlowVar::Kappa(Symbol::intern("c"))).unwrap();
+        assert!(ak.facts(id).may_secret);
+    }
+
+    #[test]
+    fn abstract_kind_handles_recursive_grammars() {
+        // κ(c) derives arbitrarily deep numerals; all public.
+        let p = parse_process("c<0>.0 | !c(x).c<suc(x)>.0").unwrap();
+        let sol = analyze(&p);
+        let policy = pol(&[]);
+        let ak = AbstractKind::compute(&sol, &policy);
+        let id = sol.var_id(FlowVar::Kappa(Symbol::intern("c"))).unwrap();
+        let f = ak.facts(id);
+        assert!(f.may_public && !f.may_secret);
+    }
+
+    #[test]
+    fn abstract_kind_secret_key_publicises() {
+        let p = parse_process("(new k) (new m) c<{m, new r}:k>.0").unwrap();
+        let sol = analyze(&p);
+        let policy = pol(&["k", "m"]);
+        let ak = AbstractKind::compute(&sol, &policy);
+        let id = sol.var_id(FlowVar::Kappa(Symbol::intern("c"))).unwrap();
+        let f = ak.facts(id);
+        assert!(f.may_public && !f.may_secret);
+    }
+
+    #[test]
+    fn abstract_kind_public_key_leaks() {
+        let p = parse_process("(new m) c<{m, new r}:pub>.0").unwrap();
+        let sol = analyze(&p);
+        let policy = pol(&["m"]);
+        let ak = AbstractKind::compute(&sol, &policy);
+        let id = sol.var_id(FlowVar::Kappa(Symbol::intern("c"))).unwrap();
+        assert!(ak.facts(id).may_secret);
+    }
+}

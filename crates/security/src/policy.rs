@@ -1,0 +1,117 @@
+//! Security policies: the partition of names into secret and public.
+//!
+//! §4 of the paper partitions the names `N′` into public names `P` and
+//! secret names `S`, closed under indexing (`n ∈ S iff Nₙ ⊆ S`) — which is
+//! automatic here because the partition is declared on *canonical* base
+//! symbols. Free names of analysed processes are required to be public;
+//! secrets must be restricted.
+
+use nuspi_syntax::{Name, Process, Symbol};
+use std::collections::HashSet;
+
+/// A partition of canonical names into secret (`S`) and public (`P`).
+///
+/// Any name whose canonical base is not declared secret is public.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Policy {
+    secret: HashSet<Symbol>,
+}
+
+impl Policy {
+    /// The all-public policy.
+    pub fn new() -> Policy {
+        Policy::default()
+    }
+
+    /// A policy declaring the given canonical names secret.
+    pub fn with_secrets<I, S>(secrets: I) -> Policy
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<Symbol>,
+    {
+        Policy {
+            secret: secrets.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Declares another canonical name secret.
+    pub fn add_secret(&mut self, s: impl Into<Symbol>) -> &mut Self {
+        self.secret.insert(s.into());
+        self
+    }
+
+    /// Whether the canonical name is secret (`n ∈ S`).
+    pub fn is_secret(&self, n: Symbol) -> bool {
+        self.secret.contains(&n)
+    }
+
+    /// Whether the canonical name is public (`n ∈ P`).
+    pub fn is_public(&self, n: Symbol) -> bool {
+        !self.is_secret(n)
+    }
+
+    /// Whether a (possibly indexed) name is secret; the partition is closed
+    /// under indexing by construction.
+    pub fn name_is_secret(&self, n: Name) -> bool {
+        self.is_secret(n.canonical())
+    }
+
+    /// The declared secret symbols.
+    pub fn secrets(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.secret.iter().copied()
+    }
+
+    /// The paper's well-formedness demand on analysed processes: all free
+    /// names are public (secrets either do not occur or are restricted).
+    /// Returns the offending free secret names.
+    pub fn free_secret_names(&self, p: &Process) -> Vec<Name> {
+        p.free_names()
+            .into_iter()
+            .filter(|n| self.name_is_secret(*n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuspi_syntax::parse_process;
+
+    #[test]
+    fn default_policy_is_all_public() {
+        let p = Policy::new();
+        assert!(p.is_public(Symbol::intern("anything")));
+    }
+
+    #[test]
+    fn declared_secrets_are_secret() {
+        let p = Policy::with_secrets(["k", "m"]);
+        assert!(p.is_secret(Symbol::intern("k")));
+        assert!(p.is_secret(Symbol::intern("m")));
+        assert!(p.is_public(Symbol::intern("c")));
+    }
+
+    #[test]
+    fn partition_is_closed_under_indexing() {
+        let p = Policy::with_secrets(["k"]);
+        let fresh = Name::global("k").freshen();
+        assert!(p.name_is_secret(fresh));
+        assert!(!p.name_is_secret(Name::global("c").freshen()));
+    }
+
+    #[test]
+    fn free_secret_names_flags_violations() {
+        let policy = Policy::with_secrets(["m"]);
+        let leaky = parse_process("c<m>.0").unwrap();
+        assert_eq!(policy.free_secret_names(&leaky).len(), 1);
+        let ok = parse_process("(new m) c<{m, new r}:k>.0").unwrap();
+        assert!(policy.free_secret_names(&ok).is_empty());
+    }
+
+    #[test]
+    fn add_secret_chains() {
+        let mut p = Policy::new();
+        p.add_secret("a").add_secret("b");
+        assert_eq!(p.secrets().count(), 2);
+    }
+}

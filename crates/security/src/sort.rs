@@ -1,0 +1,239 @@
+//! The `sort` operator (Definition 6), concrete and abstract.
+//!
+//! §5 tracks where the value bound to the distinguished free variable `x`
+//! of `P(x)` can reach, by substituting a special canonical name `n*` for
+//! it. A value has sort `E` (exposed) when `n*` is visible in it, and sort
+//! `I` (independent) when `n*` does not occur or occurs only under an
+//! encryption — ciphertexts always have sort `I`.
+
+use nuspi_cfa::{Prod, Solution, VarId};
+use nuspi_syntax::{Name, Symbol, Value};
+use std::fmt;
+
+/// The distinguished tracking name `n*`. It must belong to the secret
+/// partition (`n* ∈ S`) when combining invariance with confinement
+/// (Theorem 5).
+pub fn n_star() -> Symbol {
+    Symbol::intern("n*")
+}
+
+/// The tracking name as a [`Name`] value, for substitution into `P(x)`.
+pub fn n_star_name() -> Name {
+    Name::global(n_star())
+}
+
+/// The sort of a value: independent of `n*`, or exposing it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Sort {
+    /// `n*` is not visible.
+    I,
+    /// `n*` is visible.
+    E,
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::I => write!(f, "I"),
+            Sort::E => write!(f, "E"),
+        }
+    }
+}
+
+/// `sort(w)` per Definition 6, tracking the canonical name `tracked`.
+pub fn sort(w: &Value, tracked: Symbol) -> Sort {
+    match w {
+        Value::Name(n) => {
+            if n.canonical() == tracked {
+                Sort::E
+            } else {
+                Sort::I
+            }
+        }
+        Value::Zero => Sort::I,
+        Value::Suc(inner) => sort(inner, tracked),
+        Value::Pair(a, b) => {
+            if sort(a, tracked) == Sort::E || sort(b, tracked) == Sort::E {
+                Sort::E
+            } else {
+                Sort::I
+            }
+        }
+        // Encryption hides everything: sort(enc{…}) = I.
+        Value::Enc { .. } => Sort::I,
+    }
+}
+
+/// Per-nonterminal sort facts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SortFacts {
+    /// `∃ w ∈ L(v): sort(w) = E`.
+    pub may_exposed: bool,
+    /// `∃ w ∈ L(v): sort(w) = I`.
+    pub may_independent: bool,
+}
+
+impl SortFacts {
+    /// Whether the language is (known) non-empty.
+    pub fn nonempty(self) -> bool {
+        self.may_exposed || self.may_independent
+    }
+}
+
+/// The abstract sort analysis over a solved grammar.
+#[derive(Clone, Debug)]
+pub struct AbstractSort {
+    facts: Vec<SortFacts>,
+    tracked: Symbol,
+}
+
+impl AbstractSort {
+    /// Runs the fixpoint, tracking the canonical name `tracked`
+    /// (typically [`n_star`]).
+    pub fn compute(sol: &Solution, tracked: Symbol) -> AbstractSort {
+        let n = sol.flow_vars().count();
+        let mut facts = vec![SortFacts::default(); n];
+        loop {
+            let mut changed = false;
+            for (id, _) in sol.flow_vars() {
+                let mut here = facts[id.index()];
+                for p in sol.prods_of_id(id) {
+                    let f = prod_facts(p, &facts, tracked);
+                    here.may_exposed |= f.may_exposed;
+                    here.may_independent |= f.may_independent;
+                }
+                if here != facts[id.index()] {
+                    facts[id.index()] = here;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        AbstractSort { facts, tracked }
+    }
+
+    /// The facts for a nonterminal.
+    pub fn facts(&self, id: VarId) -> SortFacts {
+        self.facts.get(id.index()).copied().unwrap_or_default()
+    }
+
+    /// The tracked canonical name.
+    pub fn tracked(&self) -> Symbol {
+        self.tracked
+    }
+}
+
+fn prod_facts(p: &Prod, facts: &[SortFacts], tracked: Symbol) -> SortFacts {
+    let get = |v: &VarId| facts.get(v.index()).copied().unwrap_or_default();
+    match p {
+        Prod::Name(n) => {
+            if *n == tracked {
+                SortFacts {
+                    may_exposed: true,
+                    may_independent: false,
+                }
+            } else {
+                SortFacts {
+                    may_exposed: false,
+                    may_independent: true,
+                }
+            }
+        }
+        Prod::Zero => SortFacts {
+            may_exposed: false,
+            may_independent: true,
+        },
+        Prod::Suc(a) => get(a),
+        Prod::Pair(a, b) => {
+            let (fa, fb) = (get(a), get(b));
+            SortFacts {
+                may_exposed: (fa.may_exposed && fb.nonempty())
+                    || (fb.may_exposed && fa.nonempty()),
+                may_independent: fa.may_independent && fb.may_independent,
+            }
+        }
+        Prod::Enc { args, key, .. } => {
+            let inhabited =
+                get(key).nonempty() && args.iter().all(|a| get(a).nonempty());
+            SortFacts {
+                may_exposed: false,
+                may_independent: inhabited,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuspi_cfa::{analyze, FlowVar};
+    use nuspi_syntax::{builder as b, parse_process, Var};
+
+    #[test]
+    fn sorts_of_basic_values() {
+        let t = n_star();
+        assert_eq!(sort(&Value::Name(n_star_name()), t), Sort::E);
+        assert_eq!(sort(&Value::name("a"), t), Sort::I);
+        assert_eq!(sort(&Value::numeral(2), t), Sort::I);
+    }
+
+    #[test]
+    fn pairs_expose_either_component() {
+        let t = n_star();
+        let w = Value::pair(Value::zero(), Value::name(n_star_name()));
+        assert_eq!(sort(&w, t), Sort::E);
+    }
+
+    #[test]
+    fn encryption_hides_the_tracked_name() {
+        let t = n_star();
+        let w = Value::enc(
+            vec![Value::name(n_star_name())],
+            Name::global("r"),
+            Value::name("k"),
+        );
+        assert_eq!(sort(&w, t), Sort::I);
+    }
+
+    #[test]
+    fn suc_inherits_sort() {
+        let t = n_star();
+        assert_eq!(sort(&Value::suc(Value::name(n_star_name())), t), Sort::E);
+    }
+
+    #[test]
+    fn abstract_sort_tracks_flows() {
+        // P(x) with x := n*, forwarded in clear on d.
+        let x = Var::fresh("x");
+        let open = b::input(b::name("c"), x, b::output(b::name("d"), b::var(x), b::nil()));
+        let p = b::par(
+            b::output(b::name("c"), b::name_expr(n_star_name()), b::nil()),
+            open,
+        );
+        let sol = analyze(&p);
+        let d = sol.var_id(FlowVar::Kappa(Symbol::intern("d"))).unwrap();
+        let st = AbstractSort::compute(&sol, n_star());
+        assert!(st.facts(d).may_exposed);
+    }
+
+    #[test]
+    fn abstract_sort_encryption_is_independent() {
+        let p = parse_process("c<{n*, new r}:k>.0").unwrap();
+        let sol = analyze(&p);
+        let c = sol.var_id(FlowVar::Kappa(Symbol::intern("c"))).unwrap();
+        let st = AbstractSort::compute(&sol, n_star());
+        let f = st.facts(c);
+        assert!(f.may_independent && !f.may_exposed);
+    }
+
+    #[test]
+    fn abstract_sort_handles_recursion() {
+        let p = parse_process("c<n*>.0 | !c(x).c<suc(x)>.0").unwrap();
+        let sol = analyze(&p);
+        let c = sol.var_id(FlowVar::Kappa(Symbol::intern("c"))).unwrap();
+        let st = AbstractSort::compute(&sol, n_star());
+        assert!(st.facts(c).may_exposed);
+    }
+}

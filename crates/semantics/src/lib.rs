@@ -1,0 +1,45 @@
+//! # nuspi-semantics — operational semantics of the νSPI-calculus
+//!
+//! Implements the three relations of Table 1 of the paper:
+//!
+//! * the call-by-value **evaluation** relation `E ⇓ (νr̃) w` ([`eval`]),
+//!   where each encryption mints a fresh confounder — "history dependent
+//!   cryptography";
+//! * the **reduction** relation `P > Q` ([`reduce`]) for guards
+//!   (match, let, integer case, decryption, replication);
+//! * the **commitment** relation `P —α→ A` ([`commitments`]) producing
+//!   abstractions, concretions and `τ` residuals, with interaction `F@C`.
+//!
+//! On top of the relations, [`explore_tau`] / [`run_random`] provide
+//! bounded exhaustive and randomized execution, and [`passes_test`]
+//! implements the public tests of Definition 8.
+//!
+//! # Examples
+//!
+//! ```
+//! use nuspi_semantics::{commitments, CommitConfig, Action};
+//! use nuspi_syntax::parse_process;
+//!
+//! let p = parse_process("c<m>.0 | c(x).d<x>.0")?;
+//! let cs = commitments(&p, &CommitConfig::default());
+//! assert!(cs.iter().any(|c| c.action == Action::Tau));
+//! # Ok::<(), nuspi_syntax::ParseError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod agent;
+mod commit;
+mod eval;
+mod exec;
+mod msc;
+
+pub use agent::{Abstraction, Action, Agent, Commitment, Concretion, OutputEvent};
+pub use commit::{commitments, reduce, CommitConfig};
+pub use eval::{eval, EvalError, EvalMode, Evaluated};
+pub use msc::render_msc;
+pub use exec::{
+    all_traces, explore_tau, passes_test, run_random, tau_successors, Barb, ExecConfig,
+    ExploreStats, Trace, TraceStep,
+};

@@ -1,0 +1,142 @@
+//! Message-sequence-chart rendering of execution traces.
+//!
+//! A [`Trace`](crate::Trace) records, per step, the output premises of the
+//! derivation. [`render_msc`] lays them out as an ASCII chart with one
+//! column per canonical channel, in order of first use — a quick visual of
+//! who said what when, used by the examples and the `nuspi run` CLI.
+
+use crate::exec::Trace;
+use std::fmt::Write as _;
+
+/// Renders a trace as an ASCII message sequence chart.
+///
+/// Fresh-name indices may drift between steps (each commitment
+/// enumeration re-freshens the restriction binders it opens, renaming a
+/// residual consistently), so the *same* logical nonce can print as
+/// `kAB#4` in one step and `kAB#9` in the next; the canonical base is the
+/// stable part.
+///
+/// ```text
+/// step  cAS                  cBS                  cAB
+/// ----  -------------------  -------------------  ----
+/// 1     {kAB#3, r1#4}:kAS#1
+/// 2                          {kAB#3, r3#6}:kBS#2
+/// 3                                               {m#7, r2#5}:kAB#3
+/// ```
+pub fn render_msc(trace: &Trace) -> String {
+    // Collect channels in order of first use.
+    let mut channels: Vec<String> = Vec::new();
+    let mut rows: Vec<(usize, String, String)> = Vec::new();
+    for (i, step) in trace.steps.iter().enumerate() {
+        if step.outputs.is_empty() {
+            rows.push((i + 1, String::new(), "τ (silent)".to_owned()));
+        }
+        for out in &step.outputs {
+            let chan = out.channel.canonical().as_str().to_owned();
+            if !channels.contains(&chan) {
+                channels.push(chan.clone());
+            }
+            rows.push((i + 1, chan, out.value.to_string()));
+        }
+    }
+    if channels.is_empty() {
+        return "  (no messages)\n".to_owned();
+    }
+    // Column widths: max message width per channel.
+    let mut widths: Vec<usize> = channels.iter().map(String::len).collect();
+    for (_, chan, msg) in &rows {
+        if let Some(ci) = channels.iter().position(|c| c == chan) {
+            widths[ci] = widths[ci].max(msg.len());
+        }
+    }
+    let mut out = String::new();
+    let _ = write!(out, "{:<5} ", "step");
+    for (c, w) in channels.iter().zip(&widths) {
+        let _ = write!(out, "{c:<w$}  ");
+    }
+    out.push('\n');
+    let _ = write!(out, "{:-<5} ", "");
+    for w in &widths {
+        let _ = write!(out, "{:-<w$}  ", "");
+    }
+    out.push('\n');
+    for (step, chan, msg) in rows {
+        let _ = write!(out, "{step:<5} ");
+        match channels.iter().position(|c| *c == chan) {
+            Some(ci) => {
+                for (i, w) in widths.iter().enumerate() {
+                    if i == ci {
+                        let _ = write!(out, "{msg:<w$}  ");
+                    } else {
+                        let _ = write!(out, "{:<w$}  ", "");
+                    }
+                }
+            }
+            None => {
+                let _ = write!(out, "{msg}");
+            }
+        }
+        // Trim trailing spaces for tidy output.
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{run_random, ExecConfig};
+    use nuspi_syntax::parse_process;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn trace_of(src: &str, steps: usize) -> Trace {
+        let p = parse_process(src).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        run_random(&p, steps, &ExecConfig::default(), &mut rng)
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        let t = trace_of("c<0>.0", 4); // no τ possible: empty trace
+        assert_eq!(render_msc(&t), "  (no messages)\n");
+    }
+
+    #[test]
+    fn single_message_chart() {
+        let t = trace_of("c<m>.0 | c(x).0", 4);
+        let chart = render_msc(&t);
+        assert!(chart.contains("step"), "{chart}");
+        assert!(chart.contains('c'), "{chart}");
+        assert!(chart.contains('m'), "{chart}");
+    }
+
+    #[test]
+    fn channels_appear_in_first_use_order() {
+        let t = trace_of("a<0>.b<1>.0 | a(x).b(y).0", 8);
+        let chart = render_msc(&t);
+        let header = chart.lines().next().unwrap();
+        let pa = header.find(" a").unwrap();
+        let pb = header.find(" b").unwrap();
+        assert!(pa < pb, "{header}");
+    }
+
+    #[test]
+    fn wmf_chart_shows_all_three_channels() {
+        let src = "
+            (new m) (new kAS) (new kBS) (
+              ((new kAB) cAS<{kAB, new r1}:kAS>. cAB<{m, new r2}:kAB>.0
+               | cBS(t). case t of {y}:kBS in cAB(z). case z of {q}:y in 0)
+              | cAS(x). case x of {s}:kAS in cBS<{s, new r3}:kBS>.0
+            )";
+        let t = trace_of(src, 8);
+        let chart = render_msc(&t);
+        for c in ["cAS", "cBS", "cAB"] {
+            assert!(chart.contains(c), "{chart}");
+        }
+        assert!(chart.lines().count() >= 5, "{chart}");
+    }
+}

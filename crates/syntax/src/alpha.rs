@@ -1,0 +1,610 @@
+//! α-equivalence of processes.
+//!
+//! The commitment machinery freshens every restriction binder it opens,
+//! so two executions of the same protocol produce syntactically different
+//! but α-equivalent states. [`alpha_equivalent`] decides equivalence by
+//! walking both trees with a binder correspondence; [`alpha_hash`]
+//! produces a 64-bit key invariant under α-conversion (bound names and
+//! variables are numbered in binding order; labels are ignored), which
+//! the executor uses to deduplicate states.
+//!
+//! Free names compare by full identity; bound names additionally require
+//! the same canonical base (νSPI's disciplined α-conversion only renames
+//! within a canonical class).
+
+use crate::{Expr, Name, Process, Term, Value, Var};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+#[derive(Default)]
+struct Numbering {
+    names: HashMap<Name, usize>,
+    vars: HashMap<Var, usize>,
+    next: usize,
+}
+
+impl Numbering {
+    fn bind_name(&mut self, n: Name) -> usize {
+        let id = self.next;
+        self.next += 1;
+        self.names.insert(n, id);
+        id
+    }
+
+    fn bind_var(&mut self, v: Var) -> usize {
+        let id = self.next;
+        self.next += 1;
+        self.vars.insert(v, id);
+        id
+    }
+}
+
+/// An α-invariant hash of a closed or open process. Equal results for
+/// α-equivalent processes; collisions across inequivalent processes are
+/// possible but vanishingly rare (64-bit).
+pub fn alpha_hash(p: &Process) -> u64 {
+    let mut h = DefaultHasher::new();
+    let mut env = Numbering::default();
+    hash_process(p, &mut env, &mut h);
+    h.finish()
+}
+
+/// Whether two processes are α-equivalent: identical up to a consistent
+/// renaming of bound names (within their canonical class) and bound
+/// variables. Labels are ignored.
+pub fn alpha_equivalent(p: &Process, q: &Process) -> bool {
+    let mut map = Correspondence::default();
+    eq_process(p, q, &mut map)
+}
+
+fn hash_name(n: Name, env: &Numbering, h: &mut impl Hasher) {
+    match env.names.get(&n) {
+        Some(id) => {
+            1u8.hash(h);
+            id.hash(h);
+            n.canonical().hash(h);
+        }
+        None => {
+            2u8.hash(h);
+            n.hash(h);
+        }
+    }
+}
+
+fn hash_var(v: Var, env: &Numbering, h: &mut impl Hasher) {
+    match env.vars.get(&v) {
+        Some(id) => {
+            3u8.hash(h);
+            id.hash(h);
+        }
+        None => {
+            4u8.hash(h);
+            v.hash(h);
+        }
+    }
+}
+
+fn hash_value(w: &Value, env: &Numbering, h: &mut impl Hasher) {
+    match w {
+        Value::Name(n) => hash_name(*n, env, h),
+        Value::Zero => 5u8.hash(h),
+        Value::Suc(inner) => {
+            6u8.hash(h);
+            hash_value(inner, env, h);
+        }
+        Value::Pair(a, b) => {
+            7u8.hash(h);
+            hash_value(a, env, h);
+            hash_value(b, env, h);
+        }
+        Value::Enc {
+            payload,
+            confounder,
+            key,
+        } => {
+            8u8.hash(h);
+            payload.len().hash(h);
+            for p in payload {
+                hash_value(p, env, h);
+            }
+            hash_name(*confounder, env, h);
+            hash_value(key, env, h);
+        }
+    }
+}
+
+fn hash_expr(e: &Expr, env: &mut Numbering, h: &mut impl Hasher) {
+    match &e.term {
+        Term::Name(n) => hash_name(*n, env, h),
+        Term::Var(v) => hash_var(*v, env, h),
+        Term::Zero => 9u8.hash(h),
+        // Atomic evaluated values are indistinguishable from the terms
+        // they evaluate from (substitution produces them).
+        Term::Val(w) if matches!(&**w, Value::Name(_)) => {
+            let Value::Name(n) = &**w else { unreachable!() };
+            hash_name(*n, env, h);
+        }
+        Term::Val(w) if matches!(&**w, Value::Zero) => 9u8.hash(h),
+        Term::Suc(i) => {
+            10u8.hash(h);
+            hash_expr(i, env, h);
+        }
+        Term::Pair(a, b) => {
+            11u8.hash(h);
+            hash_expr(a, env, h);
+            hash_expr(b, env, h);
+        }
+        Term::Enc {
+            payload,
+            confounder,
+            key,
+        } => {
+            12u8.hash(h);
+            payload.len().hash(h);
+            for p in payload {
+                hash_expr(p, env, h);
+            }
+            // The confounder binder identifies its site by canonical base.
+            confounder.canonical().hash(h);
+            hash_expr(key, env, h);
+        }
+        Term::Val(w) => {
+            13u8.hash(h);
+            hash_value(w, env, h);
+        }
+    }
+}
+
+fn hash_process(p: &Process, env: &mut Numbering, h: &mut impl Hasher) {
+    match p {
+        Process::Nil => 20u8.hash(h),
+        Process::Output { chan, msg, then } => {
+            21u8.hash(h);
+            hash_expr(chan, env, h);
+            hash_expr(msg, env, h);
+            hash_process(then, env, h);
+        }
+        Process::Input { chan, var, then } => {
+            22u8.hash(h);
+            hash_expr(chan, env, h);
+            let id = env.bind_var(*var);
+            id.hash(h);
+            hash_process(then, env, h);
+            env.vars.remove(var);
+        }
+        Process::Par(a, b) => {
+            23u8.hash(h);
+            hash_process(a, env, h);
+            hash_process(b, env, h);
+        }
+        Process::Restrict { name, body } => {
+            24u8.hash(h);
+            name.canonical().hash(h);
+            let prev = env.names.get(name).copied();
+            env.bind_name(*name);
+            hash_process(body, env, h);
+            match prev {
+                Some(id) => {
+                    env.names.insert(*name, id);
+                }
+                None => {
+                    env.names.remove(name);
+                }
+            }
+        }
+        Process::Match { lhs, rhs, then } => {
+            25u8.hash(h);
+            hash_expr(lhs, env, h);
+            hash_expr(rhs, env, h);
+            hash_process(then, env, h);
+        }
+        Process::Replicate(q) => {
+            26u8.hash(h);
+            hash_process(q, env, h);
+        }
+        Process::Let {
+            fst,
+            snd,
+            expr,
+            then,
+        } => {
+            27u8.hash(h);
+            hash_expr(expr, env, h);
+            env.bind_var(*fst).hash(h);
+            env.bind_var(*snd).hash(h);
+            hash_process(then, env, h);
+            env.vars.remove(fst);
+            env.vars.remove(snd);
+        }
+        Process::CaseNat {
+            expr,
+            zero,
+            pred,
+            succ,
+        } => {
+            28u8.hash(h);
+            hash_expr(expr, env, h);
+            hash_process(zero, env, h);
+            env.bind_var(*pred).hash(h);
+            hash_process(succ, env, h);
+            env.vars.remove(pred);
+        }
+        Process::CaseDec {
+            expr,
+            vars,
+            key,
+            then,
+        } => {
+            29u8.hash(h);
+            hash_expr(expr, env, h);
+            hash_expr(key, env, h);
+            vars.len().hash(h);
+            for v in vars {
+                env.bind_var(*v).hash(h);
+            }
+            hash_process(then, env, h);
+            for v in vars {
+                env.vars.remove(v);
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct Correspondence {
+    names: HashMap<Name, Name>,
+    vars: HashMap<Var, Var>,
+}
+
+fn eq_name(a: Name, b: Name, map: &Correspondence) -> bool {
+    match map.names.get(&a) {
+        Some(mapped) => *mapped == b,
+        None => a == b && !map.names.values().any(|v| *v == b),
+    }
+}
+
+fn eq_var(a: Var, b: Var, map: &Correspondence) -> bool {
+    match map.vars.get(&a) {
+        Some(mapped) => *mapped == b,
+        None => a == b,
+    }
+}
+
+fn eq_value(a: &Value, b: &Value, map: &Correspondence) -> bool {
+    match (a, b) {
+        (Value::Name(x), Value::Name(y)) => eq_name(*x, *y, map),
+        (Value::Zero, Value::Zero) => true,
+        (Value::Suc(x), Value::Suc(y)) => eq_value(x, y, map),
+        (Value::Pair(x1, x2), Value::Pair(y1, y2)) => {
+            eq_value(x1, y1, map) && eq_value(x2, y2, map)
+        }
+        (
+            Value::Enc {
+                payload: pa,
+                confounder: ca,
+                key: ka,
+            },
+            Value::Enc {
+                payload: pb,
+                confounder: cb,
+                key: kb,
+            },
+        ) => {
+            pa.len() == pb.len()
+                && eq_name(*ca, *cb, map)
+                && eq_value(ka, kb, map)
+                && pa.iter().zip(pb).all(|(x, y)| eq_value(x, y, map))
+        }
+        _ => false,
+    }
+}
+
+fn eq_expr(a: &Expr, b: &Expr, map: &mut Correspondence) -> bool {
+    match (&a.term, &b.term) {
+        (Term::Name(x), Term::Name(y)) => eq_name(*x, *y, map),
+        // A name term and the evaluated name value are the same thing;
+        // eq_name maps left-process names to right-process names, so the
+        // two orientations are handled separately.
+        (Term::Name(x), Term::Val(w)) => {
+            matches!(&**w, Value::Name(y) if eq_name(*x, *y, map))
+        }
+        (Term::Val(w), Term::Name(y)) => {
+            matches!(&**w, Value::Name(x) if eq_name(*x, *y, map))
+        }
+        (Term::Zero, Term::Val(w)) | (Term::Val(w), Term::Zero) => {
+            matches!(&**w, Value::Zero)
+        }
+        (Term::Var(x), Term::Var(y)) => eq_var(*x, *y, map),
+        (Term::Zero, Term::Zero) => true,
+        (Term::Suc(x), Term::Suc(y)) => eq_expr(x, y, map),
+        (Term::Pair(x1, x2), Term::Pair(y1, y2)) => eq_expr(x1, y1, map) && eq_expr(x2, y2, map),
+        (
+            Term::Enc {
+                payload: pa,
+                confounder: ca,
+                key: ka,
+            },
+            Term::Enc {
+                payload: pb,
+                confounder: cb,
+                key: kb,
+            },
+        ) => {
+            pa.len() == pb.len()
+                && ca.canonical() == cb.canonical()
+                && eq_expr(ka, kb, map)
+                && pa.iter().zip(pb).all(|(x, y)| eq_expr(x, y, map))
+        }
+        (Term::Val(x), Term::Val(y)) => eq_value(x, y, map),
+        _ => false,
+    }
+}
+
+fn eq_process(p: &Process, q: &Process, map: &mut Correspondence) -> bool {
+    match (p, q) {
+        (Process::Nil, Process::Nil) => true,
+        (
+            Process::Output {
+                chan: c1,
+                msg: m1,
+                then: t1,
+            },
+            Process::Output {
+                chan: c2,
+                msg: m2,
+                then: t2,
+            },
+        ) => eq_expr(c1, c2, map) && eq_expr(m1, m2, map) && eq_process(t1, t2, map),
+        (
+            Process::Input {
+                chan: c1,
+                var: v1,
+                then: t1,
+            },
+            Process::Input {
+                chan: c2,
+                var: v2,
+                then: t2,
+            },
+        ) => {
+            if !eq_expr(c1, c2, map) {
+                return false;
+            }
+            let prev = map.vars.insert(*v1, *v2);
+            let ok = eq_process(t1, t2, map);
+            restore(&mut map.vars, *v1, prev);
+            ok
+        }
+        (Process::Par(a1, b1), Process::Par(a2, b2)) => {
+            eq_process(a1, a2, map) && eq_process(b1, b2, map)
+        }
+        (
+            Process::Restrict { name: n1, body: b1 },
+            Process::Restrict { name: n2, body: b2 },
+        ) => {
+            if n1.canonical() != n2.canonical() {
+                return false;
+            }
+            let prev = map.names.insert(*n1, *n2);
+            let ok = eq_process(b1, b2, map);
+            restore(&mut map.names, *n1, prev);
+            ok
+        }
+        (
+            Process::Match {
+                lhs: l1,
+                rhs: r1,
+                then: t1,
+            },
+            Process::Match {
+                lhs: l2,
+                rhs: r2,
+                then: t2,
+            },
+        ) => eq_expr(l1, l2, map) && eq_expr(r1, r2, map) && eq_process(t1, t2, map),
+        (Process::Replicate(a), Process::Replicate(b)) => eq_process(a, b, map),
+        (
+            Process::Let {
+                fst: f1,
+                snd: s1,
+                expr: e1,
+                then: t1,
+            },
+            Process::Let {
+                fst: f2,
+                snd: s2,
+                expr: e2,
+                then: t2,
+            },
+        ) => {
+            if !eq_expr(e1, e2, map) {
+                return false;
+            }
+            let pf = map.vars.insert(*f1, *f2);
+            let ps = map.vars.insert(*s1, *s2);
+            let ok = eq_process(t1, t2, map);
+            restore(&mut map.vars, *s1, ps);
+            restore(&mut map.vars, *f1, pf);
+            ok
+        }
+        (
+            Process::CaseNat {
+                expr: e1,
+                zero: z1,
+                pred: p1,
+                succ: s1,
+            },
+            Process::CaseNat {
+                expr: e2,
+                zero: z2,
+                pred: p2,
+                succ: s2,
+            },
+        ) => {
+            if !eq_expr(e1, e2, map) || !eq_process(z1, z2, map) {
+                return false;
+            }
+            let prev = map.vars.insert(*p1, *p2);
+            let ok = eq_process(s1, s2, map);
+            restore(&mut map.vars, *p1, prev);
+            ok
+        }
+        (
+            Process::CaseDec {
+                expr: e1,
+                vars: v1,
+                key: k1,
+                then: t1,
+            },
+            Process::CaseDec {
+                expr: e2,
+                vars: v2,
+                key: k2,
+                then: t2,
+            },
+        ) => {
+            if v1.len() != v2.len() || !eq_expr(e1, e2, map) || !eq_expr(k1, k2, map) {
+                return false;
+            }
+            let prevs: Vec<_> = v1
+                .iter()
+                .zip(v2)
+                .map(|(a, b)| (*a, map.vars.insert(*a, *b)))
+                .collect();
+            let ok = eq_process(t1, t2, map);
+            for (a, prev) in prevs.into_iter().rev() {
+                restore(&mut map.vars, a, prev);
+            }
+            ok
+        }
+        _ => false,
+    }
+}
+
+fn restore<K: std::hash::Hash + Eq, V>(map: &mut HashMap<K, V>, k: K, prev: Option<V>) {
+    match prev {
+        Some(v) => {
+            map.insert(k, v);
+        }
+        None => {
+            map.remove(&k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{builder as b, parse_process};
+
+    #[test]
+    fn identical_processes_are_equivalent() {
+        let p = parse_process("(new k) c<k>.0").unwrap();
+        assert!(alpha_equivalent(&p, &p));
+        assert_eq!(alpha_hash(&p), alpha_hash(&p));
+    }
+
+    #[test]
+    fn renamed_binders_are_equivalent() {
+        let p = parse_process("(new k) c<k>.0").unwrap();
+        let fresh = match &p {
+            Process::Restrict { name, .. } => name.freshen(),
+            _ => unreachable!(),
+        };
+        let q = match &p {
+            Process::Restrict { name, body } => Process::Restrict {
+                name: fresh,
+                body: Box::new(body.rename_name(*name, fresh)),
+            },
+            _ => unreachable!(),
+        };
+        assert_ne!(p, q, "syntactically different");
+        assert!(alpha_equivalent(&p, &q));
+        assert_eq!(alpha_hash(&p), alpha_hash(&q));
+    }
+
+    #[test]
+    fn different_canonical_bases_are_not_equivalent() {
+        let p = parse_process("(new k) c<k>.0").unwrap();
+        let q = parse_process("(new j) c<j>.0").unwrap();
+        assert!(!alpha_equivalent(&p, &q), "disciplined α-conversion");
+    }
+
+    #[test]
+    fn bound_variables_rename_freely() {
+        let p = parse_process("c(x).d<x>.0").unwrap();
+        let q = parse_process("c(y).d<y>.0").unwrap();
+        assert!(alpha_equivalent(&p, &q));
+        assert_eq!(alpha_hash(&p), alpha_hash(&q));
+    }
+
+    #[test]
+    fn free_names_must_match_exactly() {
+        let p = parse_process("c<a>.0").unwrap();
+        let q = parse_process("c<b>.0").unwrap();
+        assert!(!alpha_equivalent(&p, &q));
+    }
+
+    #[test]
+    fn structure_must_match() {
+        let p = parse_process("c<0>.0 | 0").unwrap();
+        let q = parse_process("c<0>.0").unwrap();
+        assert!(!alpha_equivalent(&p, &q));
+    }
+
+    #[test]
+    fn values_with_renamed_bound_names_are_equivalent() {
+        // Simulate two residuals holding fresh variants of the same
+        // restricted name in substituted values.
+        let n1 = crate::Name::global("s").freshen();
+        let n2 = crate::Name::global("s").freshen();
+        let mk = |n: crate::Name| {
+            b::restrict(
+                n,
+                b::output(b::name("c"), b::val(crate::Value::name(n)), b::nil()),
+            )
+        };
+        let p = mk(n1);
+        let q = mk(n2);
+        assert!(alpha_equivalent(&p, &q));
+        assert_eq!(alpha_hash(&p), alpha_hash(&q));
+    }
+
+    #[test]
+    fn shadowing_is_handled() {
+        let p = parse_process("(new n) ((new n) c<n>.0 | d<n>.0)").unwrap();
+        assert!(alpha_equivalent(&p, &p));
+        // Outer vs inner reference structure differs from the flat one.
+        let q = parse_process("(new n) ((new n) c<n>.0 | d<0>.0)").unwrap();
+        assert!(!alpha_equivalent(&p, &q));
+    }
+
+    #[test]
+    fn hash_distinguishes_free_name_identity() {
+        let a = parse_process("c<a>.0").unwrap();
+        let b_ = parse_process("c<b>.0").unwrap();
+        assert_ne!(alpha_hash(&a), alpha_hash(&b_));
+    }
+
+    #[test]
+    fn labels_are_ignored() {
+        // Two parses of the same source get different labels but the same
+        // α-hash.
+        let p = parse_process("c<(0, suc(0))>.0").unwrap();
+        let q = parse_process("c<(0, suc(0))>.0").unwrap();
+        assert_ne!(p, q, "labels differ");
+        assert_eq!(alpha_hash(&p), alpha_hash(&q));
+        assert!(alpha_equivalent(&p, &q));
+    }
+
+    #[test]
+    fn let_and_case_binders_normalize() {
+        let p = parse_process("let (x, y) = (a, b) in c<x>.c<y>.0").unwrap();
+        let q = parse_process("let (u, v) = (a, b) in c<u>.c<v>.0").unwrap();
+        assert!(alpha_equivalent(&p, &q));
+        assert_eq!(alpha_hash(&p), alpha_hash(&q));
+        let diff = parse_process("let (u, v) = (a, b) in c<v>.c<u>.0").unwrap();
+        assert!(!alpha_equivalent(&p, &diff));
+    }
+}

@@ -1,0 +1,159 @@
+//! Global string interning.
+//!
+//! Every identifier in a νSPI program — the base of a [name](crate::Name),
+//! the display name of a [variable](crate::Var) — is interned once into a
+//! [`Symbol`]: a `Copy` handle that compares, hashes and orders in O(1).
+//!
+//! The interner is a process-wide table. This matches the paper's treatment
+//! of *canonical names*: the canonical representative `⌊aᵢ⌋` of every
+//! α-variant of `a` is the single interned base symbol `a`, so canonical
+//! identity is pointer identity here.
+//!
+//! # Examples
+//!
+//! ```
+//! use nuspi_syntax::Symbol;
+//!
+//! let a = Symbol::intern("kAS");
+//! let b = Symbol::intern("kAS");
+//! assert_eq!(a, b);
+//! assert_eq!(a.as_str(), "kAS");
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string: the canonical identity of an identifier.
+///
+/// Symbols are cheap to copy and compare. Two symbols are equal exactly when
+/// the strings they were interned from are equal.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `s`, returning its canonical [`Symbol`].
+    ///
+    /// Idempotent: interning the same string twice yields the same symbol.
+    pub fn intern(s: &str) -> Symbol {
+        let mut i = interner().lock().expect("interner poisoned");
+        if let Some(&id) = i.map.get(s) {
+            return Symbol(id);
+        }
+        let id = u32::try_from(i.strings.len()).expect("interner full");
+        // Interned strings live for the whole process; leaking gives us
+        // 'static borrows without unsafe.
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        i.map.insert(leaked, id);
+        i.strings.push(leaked);
+        Symbol(id)
+    }
+
+    /// The string this symbol was interned from.
+    pub fn as_str(self) -> &'static str {
+        let i = interner().lock().expect("interner poisoned");
+        i.strings[self.0 as usize]
+    }
+
+    /// A dense numeric id, usable as an index into side tables.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    #[test]
+    fn intern_is_idempotent() {
+        assert_eq!(Symbol::intern("x"), Symbol::intern("x"));
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        assert_ne!(Symbol::intern("alpha"), Symbol::intern("beta"));
+    }
+
+    #[test]
+    fn as_str_round_trips() {
+        let s = Symbol::intern("roundtrip_me");
+        assert_eq!(s.as_str(), "roundtrip_me");
+    }
+
+    #[test]
+    fn display_matches_source() {
+        assert_eq!(Symbol::intern("chan").to_string(), "chan");
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", Symbol::intern("d")).is_empty());
+    }
+
+    #[test]
+    fn equal_symbols_hash_equal() {
+        let h = |s: Symbol| {
+            let mut hasher = DefaultHasher::new();
+            s.hash(&mut hasher);
+            hasher.finish()
+        };
+        assert_eq!(h(Symbol::intern("hh")), h(Symbol::intern("hh")));
+    }
+
+    #[test]
+    fn from_str_impl() {
+        let s: Symbol = "conv".into();
+        assert_eq!(s, Symbol::intern("conv"));
+    }
+
+    #[test]
+    fn empty_string_interns() {
+        assert_eq!(Symbol::intern("").as_str(), "");
+    }
+
+    #[test]
+    fn many_symbols_stay_distinct() {
+        let syms: Vec<Symbol> = (0..200).map(|i| Symbol::intern(&format!("s{i}"))).collect();
+        for (i, a) in syms.iter().enumerate() {
+            for (j, b) in syms.iter().enumerate() {
+                assert_eq!(i == j, a == b);
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Stable names with disciplined α-conversion.
+//!
+//! The paper (§2) takes the set of names `N′` to be the disjoint union
+//! `⊎_{a∈N} {a, a₀, a₁, …}` and writes `⌊aᵢ⌋ = a` for the *canonical* name of
+//! each indexed variant. α-conversion is restricted so a name may only be
+//! renamed to another index of the same base; this keeps canonical identity
+//! stable under execution, which the Control Flow Analysis relies on (its
+//! `κ` component is indexed by canonical names).
+//!
+//! [`Name`] is exactly such a pair: an interned base [`Symbol`] and an index.
+//! Index `0` denotes the name as written in the source; fresh variants are
+//! minted with globally unique indices by [`Name::freshen`].
+
+use crate::Symbol;
+use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A νSPI name `aᵢ`: interned base plus disambiguating index.
+///
+/// The canonical representative `⌊aᵢ⌋` is [`Name::canonical`]. Names compare
+/// by full identity (base *and* index): two fresh variants of the same base
+/// are different names at runtime, but analyses collapse them to the shared
+/// canonical symbol.
+///
+/// # Examples
+///
+/// ```
+/// use nuspi_syntax::Name;
+///
+/// let r = Name::global("r");
+/// let r1 = r.freshen();
+/// assert_ne!(r, r1);                       // distinct runtime identities
+/// assert_eq!(r.canonical(), r1.canonical()); // same canonical name ⌊·⌋
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Name {
+    base: Symbol,
+    index: u32,
+}
+
+/// Source of globally unique fresh indices. Index 0 is reserved for
+/// source-written names, so the counter starts at 1.
+static FRESH: AtomicU32 = AtomicU32::new(1);
+
+impl Name {
+    /// The name exactly as written in the source (index 0).
+    pub fn global(base: impl Into<Symbol>) -> Name {
+        Name {
+            base: base.into(),
+            index: 0,
+        }
+    }
+
+    /// A name with an explicit index (mostly useful in tests).
+    pub fn with_index(base: impl Into<Symbol>, index: u32) -> Name {
+        Name {
+            base: base.into(),
+            index,
+        }
+    }
+
+    /// A fresh α-variant of this name: same canonical base, globally unique
+    /// index. This is the only disciplined α-conversion the calculus allows.
+    pub fn freshen(self) -> Name {
+        Name {
+            base: self.base,
+            index: FRESH.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// The canonical representative `⌊aᵢ⌋ = a`.
+    pub fn canonical(self) -> Symbol {
+        self.base
+    }
+
+    /// The disambiguating index (`0` for source-written names).
+    pub fn index(self) -> u32 {
+        self.index
+    }
+
+    /// Whether this is the source-written representative of its class.
+    pub fn is_source(self) -> bool {
+        self.index == 0
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.index == 0 {
+            write!(f, "{}", self.base)
+        } else {
+            write!(f, "{}#{}", self.base, self.index)
+        }
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Name({self})")
+    }
+}
+
+impl From<&str> for Name {
+    fn from(s: &str) -> Name {
+        Name::global(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_names_with_same_base_are_equal() {
+        assert_eq!(Name::global("a"), Name::global("a"));
+    }
+
+    #[test]
+    fn freshen_preserves_canonical() {
+        let a = Name::global("a");
+        let a1 = a.freshen();
+        assert_eq!(a1.canonical(), Symbol::intern("a"));
+        assert!(!a1.is_source());
+    }
+
+    #[test]
+    fn freshen_is_globally_unique() {
+        let a = Name::global("u");
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            assert!(seen.insert(a.freshen()));
+        }
+    }
+
+    #[test]
+    fn freshening_different_bases_keeps_them_apart() {
+        let a = Name::global("a").freshen();
+        let b = Name::global("b").freshen();
+        assert_ne!(a.canonical(), b.canonical());
+    }
+
+    #[test]
+    fn display_source_and_fresh() {
+        assert_eq!(Name::global("m").to_string(), "m");
+        let f = Name::global("m").freshen();
+        let shown = f.to_string();
+        assert!(shown.starts_with("m#"), "got {shown}");
+    }
+
+    #[test]
+    fn with_index_round_trips() {
+        let n = Name::with_index("k", 7);
+        assert_eq!(n.index(), 7);
+        assert_eq!(n.canonical(), Symbol::intern("k"));
+    }
+
+    #[test]
+    fn source_flag() {
+        assert!(Name::global("s").is_source());
+        assert!(!Name::with_index("s", 3).is_source());
+    }
+}

@@ -1,0 +1,182 @@
+//! Pretty-printing of expressions and processes.
+//!
+//! The output is valid input for the [parser](crate::parse) (round-trip
+//! property: parsing a printed closed process yields an α-equivalent
+//! process), except that labels and binder ids are not shown — they are
+//! re-minted on parse.
+
+use crate::{Expr, Process, Term};
+use std::fmt;
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.term)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Name(n) => write!(f, "{n}"),
+            Term::Var(x) => write!(f, "{x}"),
+            Term::Zero => write!(f, "0"),
+            Term::Suc(e) => write!(f, "suc({e})"),
+            Term::Pair(a, b) => write!(f, "({a}, {b})"),
+            Term::Enc {
+                payload,
+                confounder,
+                key,
+            } => {
+                write!(f, "{{")?;
+                for (i, e) in payload.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                if !payload.is_empty() {
+                    write!(f, ", ")?;
+                }
+                write!(f, "new {confounder}}}:{key}")
+            }
+            Term::Val(w) => write!(f, "{w}"),
+        }
+    }
+}
+
+impl fmt::Display for Process {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Process::Nil => write!(f, "0"),
+            Process::Output { chan, msg, then } => {
+                write!(f, "{chan}<{msg}>.{}", Paren(then))
+            }
+            Process::Input { chan, var, then } => {
+                write!(f, "{chan}({var}).{}", Paren(then))
+            }
+            Process::Par(p, q) => write!(f, "{} | {}", Paren(p), Paren(q)),
+            Process::Restrict { name, body } => write!(f, "(new {name}) {}", Paren(body)),
+            Process::Match { lhs, rhs, then } => {
+                write!(f, "[{lhs} is {rhs}] {}", Paren(then))
+            }
+            Process::Replicate(p) => write!(f, "!{}", Paren(p)),
+            Process::Let {
+                fst,
+                snd,
+                expr,
+                then,
+            } => write!(f, "let ({fst}, {snd}) = {expr} in {}", Paren(then)),
+            Process::CaseNat {
+                expr,
+                zero,
+                pred,
+                succ,
+            } => write!(
+                f,
+                "case {expr} of 0: {}, suc({pred}): {}",
+                Paren(zero),
+                Paren(succ)
+            ),
+            Process::CaseDec {
+                expr,
+                vars,
+                key,
+                then,
+            } => {
+                write!(f, "case {expr} of {{")?;
+                for (i, v) in vars.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}:{key} in {}", Paren(then))
+            }
+        }
+    }
+}
+
+/// Wraps composite sub-processes in parentheses so the printed form parses
+/// back with the intended structure.
+struct Paren<'a>(&'a Process);
+
+impl fmt::Display for Paren<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Process::Nil
+            | Process::Output { .. }
+            | Process::Input { .. }
+            | Process::Replicate(_) => write!(f, "{}", self.0),
+            _ => write!(f, "({})", self.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder as b;
+    use crate::{Name, Var};
+
+    #[test]
+    fn prints_output_chain() {
+        let p = b::output(b::name("c"), b::zero(), b::nil());
+        assert_eq!(p.to_string(), "c<0>.0");
+    }
+
+    #[test]
+    fn prints_input() {
+        let x = Var::fresh("x");
+        let p = b::input(b::name("c"), x, b::nil());
+        assert_eq!(p.to_string(), "c(x).0");
+    }
+
+    #[test]
+    fn prints_restriction_and_par() {
+        let p = b::restrict(Name::global("k"), b::par(b::nil(), b::nil()));
+        assert_eq!(p.to_string(), "(new k) (0 | 0)");
+    }
+
+    #[test]
+    fn prints_match() {
+        let p = b::guard(b::zero(), b::zero(), b::nil());
+        assert_eq!(p.to_string(), "[0 is 0] 0");
+    }
+
+    #[test]
+    fn prints_encryption_with_binder() {
+        let e = b::enc(vec![b::zero()], Name::global("r"), b::name("k"));
+        assert_eq!(e.to_string(), "{0, new r}:k");
+    }
+
+    #[test]
+    fn prints_case_nat() {
+        let x = Var::fresh("x");
+        let p = b::case_nat(b::numeral(1), b::nil(), x, b::nil());
+        assert_eq!(p.to_string(), "case suc(0) of 0: 0, suc(x): 0");
+    }
+
+    #[test]
+    fn prints_decryption() {
+        let x = Var::fresh("x");
+        let p = b::decrypt(
+            b::enc(vec![b::zero()], Name::global("r"), b::name("k")),
+            vec![x],
+            b::name("k"),
+            b::nil(),
+        );
+        assert_eq!(p.to_string(), "case {0, new r}:k of {x}:k in 0");
+    }
+
+    #[test]
+    fn prints_replication_and_let() {
+        let x = Var::fresh("x");
+        let y = Var::fresh("y");
+        let p = b::replicate(b::split(
+            x,
+            y,
+            b::pair(b::zero(), b::zero()),
+            b::nil(),
+        ));
+        assert_eq!(p.to_string(), "!(let (x, y) = (0, 0) in 0)");
+    }
+}

@@ -1,0 +1,80 @@
+//! Variables.
+//!
+//! Unlike the π-calculus, νSPI keeps names and variables distinct
+//! (Definition 1). A [`Var`] pairs a display symbol with a globally unique
+//! binder id: every binding occurrence (input prefix, `let`, `case`) gets
+//! its own id, so the abstract environment `ρ : V → ℘(Val)` of the CFA can
+//! be indexed per-binder without α-collisions, and Proposition 1's
+//! "variables occurring inside Q do not occur inside P" holds by
+//! construction for independently built processes.
+
+use crate::Symbol;
+use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A νSPI variable: display symbol plus unique binder id.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var {
+    sym: Symbol,
+    id: u32,
+}
+
+static NEXT: AtomicU32 = AtomicU32::new(0);
+
+impl Var {
+    /// A fresh variable (unique binder id) displayed as `sym`.
+    pub fn fresh(sym: impl Into<Symbol>) -> Var {
+        Var {
+            sym: sym.into(),
+            id: NEXT.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// The symbol the variable is displayed as.
+    pub fn symbol(self) -> Symbol {
+        self.sym
+    }
+
+    /// The unique binder id.
+    pub fn id(self) -> u32 {
+        self.id
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.sym)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Var({}.{})", self.sym, self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_vars_differ_even_with_same_symbol() {
+        let x1 = Var::fresh("x");
+        let x2 = Var::fresh("x");
+        assert_ne!(x1, x2);
+        assert_eq!(x1.symbol(), x2.symbol());
+    }
+
+    #[test]
+    fn display_uses_symbol() {
+        assert_eq!(Var::fresh("msg").to_string(), "msg");
+    }
+
+    #[test]
+    fn var_is_hashable() {
+        let v = Var::fresh("h");
+        let mut set = std::collections::HashSet::new();
+        set.insert(v);
+        assert!(set.contains(&v));
+    }
+}

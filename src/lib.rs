@@ -1,0 +1,9 @@
+//! Workspace root for the νSPI reproduction.
+//!
+//! This crate only hosts the repository-level integration tests
+//! (`tests/`) and runnable examples (`examples/`); the library surface
+//! lives in the [`nuspi`] facade crate and the `nuspi-*` workspace crates.
+
+#![forbid(unsafe_code)]
+
+pub use nuspi as facade;

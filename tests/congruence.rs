@@ -1,0 +1,147 @@
+//! Structural-congruence properties (the paper's `≡`): restrictions may
+//! be placed differently as long as their effect is the same, and the
+//! commitment relation must not care. These tests build ≡-variants of
+//! processes and compare observable behaviour.
+
+use nuspi::semantics::{commitments, explore_tau, Action, CommitConfig, ExecConfig};
+use nuspi::syntax::{alpha_equivalent, alpha_hash, builder as b, Name, Process};
+use nuspi_bench::genproc::{random_process, GenConfig};
+use proptest::prelude::*;
+
+/// Pushes a top-level restriction inward over a parallel composition when
+/// the name is free in only one side — the paradigmatic `≡` step
+/// `(νr)(P | Q) ≡ P | (νr)Q` when `r ∉ fn(P)`.
+fn push_restriction(p: &Process) -> Option<Process> {
+    if let Process::Restrict { name, body } = p {
+        if let Process::Par(left, right) = &**body {
+            let in_left = left.free_names().contains(name);
+            let in_right = right.free_names().contains(name);
+            if in_left && !in_right {
+                return Some(b::par(b::restrict(*name, (**left).clone()), (**right).clone()));
+            }
+            if in_right && !in_left {
+                return Some(b::par((**left).clone(), b::restrict(*name, (**right).clone())));
+            }
+        }
+    }
+    None
+}
+
+fn action_signature(p: &Process) -> Vec<String> {
+    let mut sigs: Vec<String> = commitments(p, &CommitConfig::default())
+        .into_iter()
+        .map(|c| match c.action {
+            Action::Tau => "τ".to_owned(),
+            Action::In(m) => format!("{}?", m.canonical()),
+            Action::Out(m) => format!("{}!", m.canonical()),
+        })
+        .collect();
+    sigs.sort();
+    sigs
+}
+
+#[test]
+fn pushed_restrictions_preserve_commitment_actions() {
+    let cases = [
+        "(new s) (c<s>.0 | d<0>.0)",
+        "(new s) (d<0>.0 | c<s>.0)",
+        "(new k) (c<{m, new r}:k>.0 | c(x).0)",
+    ];
+    for src in cases {
+        let p = nuspi::parse_process(src).unwrap();
+        let Some(q) = push_restriction(&p) else {
+            continue;
+        };
+        assert_eq!(
+            action_signature(&p),
+            action_signature(&q),
+            "{src}: ≡-variants must offer the same actions"
+        );
+    }
+}
+
+#[test]
+fn pushed_restrictions_preserve_the_state_space() {
+    let src = "(new s) (c<s>.0 | c(x).d<x>.0)";
+    let p = nuspi::parse_process(src).unwrap();
+    let q = match &p {
+        Process::Restrict { name, body } => match &**body {
+            Process::Par(l, r) => b::par(
+                b::restrict(*name, (**l).clone()),
+                (**r).clone(),
+            ),
+            _ => unreachable!(),
+        },
+        _ => unreachable!(),
+    };
+    // s is syntactically free only on the left, so the push is a genuine
+    // ≡ step; the right side receives s by scope extrusion either way.
+    let stats_p = explore_tau(&p, &ExecConfig::default(), |_, _| true);
+    let stats_q = explore_tau(&q, &ExecConfig::default(), |_, _| true);
+    assert_eq!(stats_p.states, stats_q.states);
+}
+
+#[test]
+fn unused_restriction_is_behaviourally_inert() {
+    // (νn)P with n ∉ fn(P): same actions, same reachable-state count.
+    let p = nuspi::parse_process("c<0>.0 | c(x).d<x>.0").unwrap();
+    let q = b::restrict(Name::global("unused"), p.clone());
+    assert_eq!(action_signature(&p), action_signature(&q));
+    let sp = explore_tau(&p, &ExecConfig::default(), |_, _| true);
+    let sq = explore_tau(&q, &ExecConfig::default(), |_, _| true);
+    assert_eq!(sp.states, sq.states);
+}
+
+#[test]
+fn analysis_is_invariant_under_restriction_placement() {
+    // The CFA ignores restriction structure entirely (Table 2's (νn)P
+    // clause), so ≡-variants get literally identical κ components.
+    let p = nuspi::parse_process("(new s) (c<s>.0 | d<0>.0)").unwrap();
+    let q = push_restriction(&p).unwrap();
+    let sol_p = nuspi::analyze(&p);
+    let sol_q = nuspi::analyze(&q);
+    for chan in ["c", "d"] {
+        let sym = nuspi::Symbol::intern(chan);
+        assert_eq!(
+            sol_p.kappa(sym).len(),
+            sol_q.kappa(sym).len(),
+            "κ({chan}) differs across ≡-variants"
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn alpha_hash_is_stable_across_clone_and_print(seed in 0u64..150) {
+        let p = random_process(seed, &GenConfig::default());
+        prop_assert_eq!(alpha_hash(&p), alpha_hash(&p.clone()));
+        prop_assert!(alpha_equivalent(&p, &p));
+    }
+
+    #[test]
+    fn freshened_restrictions_stay_alpha_equivalent(seed in 0u64..150) {
+        // Renaming every top-level restriction binder to a fresh variant
+        // (the executor's discipline) is invisible to α-equivalence.
+        let p = random_process(seed, &GenConfig::default());
+        let q = freshen_top_restrictions(&p);
+        prop_assert!(alpha_equivalent(&p, &q), "{p}\n!=\n{q}");
+        prop_assert_eq!(alpha_hash(&p), alpha_hash(&q));
+    }
+}
+
+fn freshen_top_restrictions(p: &Process) -> Process {
+    match p {
+        Process::Restrict { name, body } => {
+            let fresh = name.freshen();
+            Process::Restrict {
+                name: fresh,
+                body: Box::new(body.rename_name(*name, fresh)),
+            }
+        }
+        Process::Par(a, b_) => Process::Par(
+            Box::new(freshen_top_restrictions(a)),
+            Box::new(freshen_top_restrictions(b_)),
+        ),
+        other => other.clone(),
+    }
+}

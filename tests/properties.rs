@@ -1,0 +1,191 @@
+//! Property-based tests (proptest) over core invariants of the calculus
+//! and the analysis: evaluation, canonicalisation, the Dolev–Yao closure,
+//! kind/sort operators, and subject reduction on seeded random processes.
+
+use nuspi::security::{kind, sort, Kind, Knowledge, Policy, Sort};
+use nuspi::semantics::{commitments, eval, CommitConfig, EvalMode};
+use nuspi::syntax::{builder as b, Expr, Name, Value};
+use nuspi_bench::genproc::{random_process, GenConfig};
+use proptest::prelude::*;
+use std::rc::Rc;
+
+/// A strategy for random concrete values over a small alphabet.
+fn value_strategy() -> impl Strategy<Value = Rc<Value>> {
+    let leaf = prop_oneof![
+        (0u8..4).prop_map(|i| Value::name(format!("n{i}").as_str())),
+        Just(Value::zero()),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Value::suc),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Value::pair(a, b)),
+            (proptest::collection::vec(inner.clone(), 0..3), inner, 0u8..3).prop_map(
+                |(payload, key, r)| Value::enc(
+                    payload,
+                    Name::global(format!("r{r}").as_str()),
+                    key
+                )
+            ),
+        ]
+    })
+}
+
+/// A strategy for random closed expressions.
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0u8..4).prop_map(|i| b::name(&format!("n{i}"))),
+        (0u32..4).prop_map(b::numeral),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(b::suc),
+            (inner.clone(), inner.clone()).prop_map(|(a, b_)| b::pair(a, b_)),
+            (inner.clone(), inner).prop_map(|(p, k)| b::enc_auto(vec![p], k)),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn canonicalize_is_idempotent(w in value_strategy()) {
+        let once = w.canonicalize();
+        prop_assert_eq!(once.canonicalize(), once);
+    }
+
+    #[test]
+    fn canonicalize_preserves_kind_and_sort(w in value_strategy()) {
+        let policy = Policy::with_secrets(["n0", "n1"]);
+        let tracked = nuspi::Symbol::intern("n2");
+        let c = w.canonicalize();
+        prop_assert_eq!(kind(&w, &policy), kind(&c, &policy));
+        prop_assert_eq!(sort(&w, tracked), sort(&c, tracked));
+    }
+
+    #[test]
+    fn evaluation_restricts_exactly_the_fresh_confounders(e in expr_strategy()) {
+        let r = eval(&e, EvalMode::NuSpi).unwrap();
+        // Every restricted name occurs in the value, is non-source, and
+        // there are no duplicates (the "w.o. duplicates" side condition).
+        let mut seen = std::collections::HashSet::new();
+        for n in &r.restricted {
+            prop_assert!(!n.is_source());
+            prop_assert!(r.value.contains_name(*n));
+            prop_assert!(seen.insert(*n));
+        }
+    }
+
+    #[test]
+    fn evaluation_is_deterministic_up_to_confounders(e in expr_strategy()) {
+        let a = eval(&e, EvalMode::NuSpi).unwrap();
+        let b_ = eval(&e, EvalMode::NuSpi).unwrap();
+        prop_assert_eq!(a.value.canonicalize(), b_.value.canonicalize());
+        prop_assert_eq!(a.restricted.len(), b_.restricted.len());
+    }
+
+    #[test]
+    fn classic_mode_evaluation_is_fully_deterministic(e in expr_strategy()) {
+        let a = eval(&e, EvalMode::ClassicSpi).unwrap();
+        let b_ = eval(&e, EvalMode::ClassicSpi).unwrap();
+        prop_assert_eq!(a.value, b_.value);
+        prop_assert!(a.restricted.is_empty());
+    }
+
+    #[test]
+    fn knowledge_closure_is_extensive_and_idempotent(ws in proptest::collection::vec(value_strategy(), 0..6)) {
+        let mut k = Knowledge::from_names(["c"]);
+        for w in &ws {
+            k.learn(Rc::clone(w));
+        }
+        // extensive: everything learned is derivable
+        for w in &ws {
+            prop_assert!(k.can_derive(w));
+        }
+        // idempotent: re-learning changes nothing
+        let before = k.len();
+        for w in &ws {
+            k.learn(Rc::clone(w));
+        }
+        prop_assert_eq!(k.len(), before);
+    }
+
+    #[test]
+    fn derivable_values_stay_derivable_as_knowledge_grows(
+        ws in proptest::collection::vec(value_strategy(), 1..5),
+        extra in value_strategy(),
+    ) {
+        let mut k = Knowledge::from_names(["c"]);
+        for w in &ws {
+            k.learn(Rc::clone(w));
+        }
+        let derivable: Vec<Rc<Value>> = ws.iter().filter(|w| k.can_derive(w)).cloned().collect();
+        k.learn(extra);
+        for w in &derivable {
+            prop_assert!(k.can_derive(w), "monotonicity of C(W)");
+        }
+    }
+
+    #[test]
+    fn secret_key_ciphertexts_are_public_kind(payload in value_strategy()) {
+        let policy = Policy::with_secrets(["sk"]);
+        let ct = Value::enc(vec![payload], Name::global("r"), Value::name("sk"));
+        prop_assert_eq!(kind(&ct, &policy), Kind::P);
+    }
+
+    #[test]
+    fn ciphertext_sort_is_always_independent(payload in value_strategy(), key in value_strategy()) {
+        let tracked = nuspi::Symbol::intern("n0");
+        let ct = Value::enc(vec![payload], Name::global("r"), key);
+        prop_assert_eq!(sort(&ct, tracked), Sort::I);
+    }
+
+    #[test]
+    fn commitments_of_closed_processes_have_closed_residuals(seed in 0u64..400) {
+        let p = random_process(seed, &GenConfig::default());
+        for c in commitments(&p, &CommitConfig::default()) {
+            match c.agent {
+                nuspi::semantics::Agent::Proc(q) => prop_assert!(q.is_closed()),
+                nuspi::semantics::Agent::Conc(conc) => prop_assert!(conc.body.is_closed()),
+                nuspi::semantics::Agent::Abs(abs) => {
+                    let mut fv = abs.body.free_vars();
+                    fv.remove(&abs.var);
+                    prop_assert!(fv.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn analysis_predicts_every_immediate_output(seed in 0u64..300) {
+        // One-step subject reduction, clause (3), on random processes.
+        let p = random_process(seed, &GenConfig::default());
+        let sol = nuspi::analyze(&p);
+        for c in commitments(&p, &CommitConfig::default()) {
+            if let (nuspi::semantics::Action::Out(m), nuspi::semantics::Agent::Conc(conc)) =
+                (&c.action, &c.agent)
+            {
+                prop_assert!(
+                    sol.contains(nuspi::FlowVar::Zeta(conc.label), &conc.value),
+                    "seed {seed}: ζ({:?}) misses {}",
+                    conc.label,
+                    conc.value
+                );
+                prop_assert!(
+                    sol.contains(nuspi::FlowVar::Kappa(m.canonical()), &conc.value),
+                    "seed {seed}: κ({}) misses {}",
+                    m.canonical(),
+                    conc.value
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parse_print_round_trip_preserves_structure(seed in 0u64..300) {
+        let p = random_process(seed, &GenConfig::default());
+        let printed = p.to_string();
+        let q = nuspi::parse_process(&printed)
+            .map_err(|e| TestCaseError::fail(format!("{printed}: {e}")))?;
+        prop_assert_eq!(p.size(), q.size());
+        prop_assert_eq!(p.free_names().len(), q.free_names().len());
+    }
+}
