@@ -64,7 +64,11 @@ fn main() {
             care.to_string(),
             conf_ctx.to_string(),
             care_ctx.to_string(),
-            if ok { "ok".to_owned() } else { "VIOLATED".to_owned() },
+            if ok {
+                "ok".to_owned()
+            } else {
+                "VIOLATED".to_owned()
+            },
         ]);
         assert_eq!(
             conf, spec.expect_confined,

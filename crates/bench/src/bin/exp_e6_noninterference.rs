@@ -49,7 +49,11 @@ fn main() {
                 Ok(()) => "no distinguisher".to_owned(),
                 Err(d) => format!("distinguished: {}", d.test.description),
             },
-            if ok { "ok".to_owned() } else { "VIOLATED".to_owned() },
+            if ok {
+                "ok".to_owned()
+            } else {
+                "VIOLATED".to_owned()
+            },
         ]);
         assert_eq!(
             static_ok, ex.expect_independent,
@@ -72,7 +76,13 @@ fn main() {
     // concrete distinguisher exists (which keeps the theorem's direction
     // unfalsified and documents the conservatism).
     println!("payload independence across the honest suite:\n");
-    let mut sweep = Table::new(["protocol", "confined", "invariant", "static", "dynamic battery"]);
+    let mut sweep = Table::new([
+        "protocol",
+        "confined",
+        "invariant",
+        "static",
+        "dynamic battery",
+    ]);
     let mut theorem_violations = 0;
     let mut static_passes = 0;
     let sweep_cfg = ExecConfig {

@@ -26,9 +26,17 @@ fn main() {
     };
     let nuspi = ExecConfig::default();
 
-    let mut table = Table::new(["semantics", "x = 0 passes", "x = 1 passes", "attacker learns b?"]);
+    let mut table = Table::new([
+        "semantics",
+        "x = 0 passes",
+        "x = 1 passes",
+        "attacker learns b?",
+    ]);
     let mut rows = Vec::new();
-    for (name, cfg) in [("classic spi (algebraic)", &classic), ("νSPI (confounders)", &nuspi)] {
+    for (name, cfg) in [
+        ("classic spi (algebraic)", &classic),
+        ("νSPI (confounders)", &nuspi),
+    ] {
         let p0 = ex.process.subst(ex.var, &Value::numeral(0));
         let p1 = ex.process.subst(ex.var, &Value::numeral(1));
         let r0 = passes_test(&p0, &test.observer, test.barb, cfg);
@@ -39,7 +47,11 @@ fn main() {
             name.to_owned(),
             r0.to_string(),
             r1.to_string(),
-            if leaks { "YES — broken".to_owned() } else { "no".to_owned() },
+            if leaks {
+                "YES — broken".to_owned()
+            } else {
+                "no".to_owned()
+            },
         ]);
     }
     println!("{}", table.render());

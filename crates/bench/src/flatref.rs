@@ -5,14 +5,13 @@
 //! *exactly* the same least solution.
 
 use nuspi_cfa::{FiniteEstimate, FlowVar, Prod, Solution};
+use nuspi_semantics::rng::{Rng, SplitMix64};
 use nuspi_syntax::{builder as b, Expr, Name, Process, Term, Value, Var};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A random flat process: prefixes over a small channel pool, messages
 /// are names, receivers may forward.
 pub fn random_flat_process(seed: u64) -> Process {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut parts = Vec::new();
     for _ in 0..rng.gen_range(2..5) {
         let mut p = b::nil();

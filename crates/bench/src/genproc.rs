@@ -7,9 +7,8 @@
 //! the receiving side, so a useful fraction of the generated processes
 //! actually reduce.
 
+use nuspi_semantics::rng::{Rng, SplitMix64};
 use nuspi_syntax::{builder as b, Expr, Name, Process, Var};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Tunables for the generator.
 #[derive(Clone, Debug)]
@@ -40,13 +39,13 @@ impl Default for GenConfig {
 
 /// Generates a closed process from the seed.
 pub fn random_process(seed: u64, cfg: &GenConfig) -> Process {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut parts = Vec::new();
     for _ in 0..cfg.components {
         parts.push(component(&mut rng, cfg));
     }
     let body = b::par_all(parts);
-    if rng.gen_range(0..100) < cfg.restrict_pct {
+    if rng.gen_range(0..100) < cfg.restrict_pct as usize {
         let k = rng.gen_range(0..cfg.keys);
         b::restrict(Name::global(format!("key{k}").as_str()), body)
     } else {
@@ -54,22 +53,22 @@ pub fn random_process(seed: u64, cfg: &GenConfig) -> Process {
     }
 }
 
-fn chan(rng: &mut StdRng, cfg: &GenConfig) -> Expr {
+fn chan(rng: &mut SplitMix64, cfg: &GenConfig) -> Expr {
     let c = rng.gen_range(0..cfg.channels);
     b::name(&format!("chan{c}"))
 }
 
-fn key_name(rng: &mut StdRng, cfg: &GenConfig) -> Expr {
+fn key_name(rng: &mut SplitMix64, cfg: &GenConfig) -> Expr {
     let k = rng.gen_range(0..cfg.keys);
     b::name(&format!("key{k}"))
 }
 
 /// A random message expression; may mention the variables in scope.
-fn message(rng: &mut StdRng, cfg: &GenConfig, scope: &[Var], depth: usize) -> Expr {
+fn message(rng: &mut SplitMix64, cfg: &GenConfig, scope: &[Var], depth: usize) -> Expr {
     let pick = rng.gen_range(0..if depth == 0 { 3 } else { 6 });
     match pick {
         0 => b::name(&format!("datum{}", rng.gen_range(0..3))),
-        1 => b::numeral(rng.gen_range(0..3)),
+        1 => b::numeral(rng.gen_range(0..3) as u32),
         2 if !scope.is_empty() => {
             let v = scope[rng.gen_range(0..scope.len())];
             b::var(v)
@@ -87,12 +86,12 @@ fn message(rng: &mut StdRng, cfg: &GenConfig, scope: &[Var], depth: usize) -> Ex
     }
 }
 
-fn component(rng: &mut StdRng, cfg: &GenConfig) -> Process {
-    let prefixes = rng.gen_range(1..=cfg.max_prefixes);
+fn component(rng: &mut SplitMix64, cfg: &GenConfig) -> Process {
+    let prefixes = rng.gen_range_inclusive(1, cfg.max_prefixes);
     build(rng, cfg, prefixes, &mut Vec::new())
 }
 
-fn build(rng: &mut StdRng, cfg: &GenConfig, budget: usize, scope: &mut Vec<Var>) -> Process {
+fn build(rng: &mut SplitMix64, cfg: &GenConfig, budget: usize, scope: &mut Vec<Var>) -> Process {
     if budget == 0 {
         return b::nil();
     }

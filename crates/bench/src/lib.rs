@@ -11,7 +11,10 @@
 //! * [`flatref`] — a naive reference implementation of the analysis for
 //!   flat processes, used to cross-validate the grammar solver *exactly*;
 //! * [`theorems`] — machine checks of Theorems 1–3;
-//! * [`report`] — table rendering and log–log slope fitting.
+//! * [`report`] — table rendering and log–log slope fitting;
+//! * [`testkit`] — a std-only property-testing harness (seeded
+//!   generators plus greedy shrinking) replacing the external `proptest`
+//!   dependency in this offline build.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,5 +22,6 @@
 pub mod flatref;
 pub mod genproc;
 pub mod report;
+pub mod testkit;
 pub mod theorems;
 pub mod workloads;

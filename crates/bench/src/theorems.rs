@@ -10,8 +10,8 @@
 //! * [`check_moore_meet`] — Theorem 2 on finite estimates.
 
 use nuspi_cfa::{accept, analyze, FiniteEstimate, FlowVar, Prod, Solution};
-use nuspi_semantics::{explore_tau, Action, Agent, ExecConfig};
 use nuspi_security::{carefulness, confinement, Policy};
+use nuspi_semantics::{explore_tau, Action, Agent, ExecConfig};
 use nuspi_syntax::Process;
 
 /// Counters from a subject-reduction run.
@@ -138,11 +138,7 @@ pub struct ConfinedCareful {
 /// # Errors
 ///
 /// Returns a description if the meet fails acceptability or ordering.
-pub fn check_moore_meet(
-    p: &Process,
-    a: &FiniteEstimate,
-    b: &FiniteEstimate,
-) -> Result<(), String> {
+pub fn check_moore_meet(p: &Process, a: &FiniteEstimate, b: &FiniteEstimate) -> Result<(), String> {
     if !a.accepts(p) || !b.accepts(p) {
         return Err("premise failed: an input estimate is not acceptable".into());
     }

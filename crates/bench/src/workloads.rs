@@ -89,9 +89,7 @@ pub fn wmf_sessions_policy(n: usize) -> nuspi_security::Policy {
 /// the analysis (the CFA treats `!P` transparently) and the executor
 /// (bounded unfolding).
 pub fn replicated_wmf(n: usize) -> Process {
-    let mut parts = vec![
-        "!(cAS(x). case x of {s}:kAS in cBS<{s, new rs}:kBS>.0)".to_owned(),
-    ];
+    let mut parts = vec!["!(cAS(x). case x of {s}:kAS in cBS<{s, new rs}:kBS>.0)".to_owned()];
     for i in 0..n {
         parts.push(format!(
             "(new m{i}) (new kAB{i}) cAS<{{kAB{i}, new ra{i}}}:kAS>. cAB<{{m{i}, new rb{i}}}:kAB{i}>.0"
@@ -100,10 +98,7 @@ pub fn replicated_wmf(n: usize) -> Process {
             "cBS(t{i}). case t{i} of {{y{i}}}:kBS in cAB(z{i}). case z{i} of {{q{i}}}:y{i} in 0"
         ));
     }
-    parse(&format!(
-        "(new kAS) (new kBS) ({})",
-        parts.join(" | ")
-    ))
+    parse(&format!("(new kAS) (new kBS) ({})", parts.join(" | ")))
 }
 
 /// The policy for [`replicated_wmf`].
@@ -151,10 +146,7 @@ mod tests {
     #[test]
     fn crypto_chain_flows_end_to_end() {
         let sol = analyze(&crypto_chain(5));
-        assert!(sol.contains(
-            FlowVar::Kappa(Symbol::intern("done")),
-            &Value::name("seed")
-        ));
+        assert!(sol.contains(FlowVar::Kappa(Symbol::intern("done")), &Value::name("seed")));
     }
 
     #[test]

@@ -162,7 +162,10 @@ fn collect_arities(p: &Process, out: &mut HashSet<usize>) {
             collect_arities(then, out);
         }
         Process::CaseNat {
-            expr: e, zero, succ, ..
+            expr: e,
+            zero,
+            succ,
+            ..
         } => {
             expr(e, out);
             collect_arities(zero, out);

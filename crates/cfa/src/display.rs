@@ -122,10 +122,9 @@ impl Solution {
                 FlowVar::Kappa(n) => {
                     kappas.push((n.as_str().to_owned(), self.render_set(fv, depth)))
                 }
-                FlowVar::Rho(x) => rhos.push((
-                    format!("{x}#{}", x.id()),
-                    self.render_set(fv, depth),
-                )),
+                FlowVar::Rho(x) => {
+                    rhos.push((format!("{x}#{}", x.id()), self.render_set(fv, depth)))
+                }
                 FlowVar::Zeta(l) => zetas.push((l.index(), self.render_set(fv, depth))),
                 FlowVar::Aux(_) => {}
             }

@@ -257,7 +257,10 @@ mod tests {
         let p = Prod::Pair(v0, v1);
         let q = Prod::Pair(v1, v0);
         assert_eq!(p.root_compatible(&q), Some(vec![(v0, v1), (v1, v0)]));
-        assert_eq!(Prod::Suc(v0).root_compatible(&Prod::Suc(v1)), Some(vec![(v0, v1)]));
+        assert_eq!(
+            Prod::Suc(v0).root_compatible(&Prod::Suc(v1)),
+            Some(vec![(v0, v1)])
+        );
     }
 
     #[test]

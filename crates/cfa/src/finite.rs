@@ -130,10 +130,7 @@ impl FiniteEstimate {
             b: &HashMap<K, ValSet>,
         ) -> bool {
             a.iter().all(|(k, va)| {
-                va.is_empty()
-                    || b.get(k)
-                        .map(|vb| va.is_subset(vb))
-                        .unwrap_or(false)
+                va.is_empty() || b.get(k).map(|vb| va.is_subset(vb)).unwrap_or(false)
             })
         }
         leq_maps(&self.rho, &other.rho)
@@ -202,9 +199,7 @@ impl FiniteChecker<'_> {
     fn expr(&mut self, e: &Expr) {
         let l = e.label;
         match &e.term {
-            Term::Name(n) => {
-                self.need(Value::name(Name::global(n.canonical())), l, "name clause")
-            }
+            Term::Name(n) => self.need(Value::name(Name::global(n.canonical())), l, "name clause"),
             Term::Zero => self.need(Value::zero(), l, "zero clause"),
             Term::Var(x) => {
                 for w in self.est.rho(*x).clone() {
@@ -347,14 +342,10 @@ impl FiniteChecker<'_> {
                 self.process(then);
                 for w in self.est.zeta(expr.label).clone() {
                     if let Value::Enc {
-                        payload,
-                        key: used,
-                        ..
+                        payload, key: used, ..
                     } = &*w
                     {
-                        if payload.len() == vars.len()
-                            && self.est.zeta(key.label).contains(used)
-                        {
+                        if payload.len() == vars.len() && self.est.zeta(key.label).contains(used) {
                             for (x, wi) in vars.iter().zip(payload) {
                                 if !self.est.rho(*x).contains(wi) {
                                     self.fail(format!("decryption clause: {wi} ∉ ρ({x})"));

@@ -29,9 +29,10 @@ impl Solution {
                 if productive.contains(&id) {
                     continue;
                 }
-                let ok = self.prods_of_id(id).iter().any(|p| {
-                    prod_children(p).iter().all(|c| productive.contains(c))
-                });
+                let ok = self
+                    .prods_of_id(id)
+                    .iter()
+                    .any(|p| prod_children(p).iter().all(|c| productive.contains(c)));
                 if ok {
                     productive.insert(id);
                     changed = true;
@@ -218,7 +219,7 @@ mod tests {
         let sol = analyze(&p);
         assert!(!sol.is_finite_lang(kappa("c")));
         assert_eq!(sol.min_height(kappa("c")), Some(1)); // the 0
-        // heights ≤ 3 ⇒ values 0, suc 0, suc suc 0.
+                                                         // heights ≤ 3 ⇒ values 0, suc 0, suc suc 0.
         assert_eq!(sol.count_upto(kappa("c"), 3, 100), 3);
     }
 

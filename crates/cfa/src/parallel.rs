@@ -1,0 +1,580 @@
+//! A parallel, sharded least-solution solver.
+//!
+//! [`solve_parallel`] partitions the flow variables across `threads`
+//! shards (`owner(v) = v mod nshards`) and runs bulk-synchronous rounds:
+//!
+//! * **Phase A** (parallel, read-only): each shard walks its freshly
+//!   dirtied `(variable, production)` pairs against the frozen grammar —
+//!   propagating along its outgoing subset edges and evaluating the
+//!   conditional constraints of Table 2 — and emits the resulting
+//!   cross-shard deltas (`prod ∈ v` facts and new subset edges) into
+//!   per-round mpsc channels. Parked decryptions are retried here each
+//!   round against the current snapshot.
+//! * **Routing** (barrier): the main thread drains the channel and sorts
+//!   each delta to the shard owning its target variable.
+//! * **Phase B** (parallel, write): each shard applies the deltas routed
+//!   to it — only to variables it owns, so no locks are needed — and
+//!   queues replay deltas for edges whose source already has productions.
+//!
+//! Correctness rests on monotonicity: every rule of Table 2 only *adds*
+//! productions and edges, so any firing order reaches the same least
+//! fixpoint as the sequential worklist (the differential suite checks
+//! this on hundreds of random processes against both the sequential and
+//! the naive reference solver). The one wrinkle is that `κ(n)` variables
+//! must exist before sharding — `Name` productions only originate from
+//! seed constraints, so all possible `κ` variables are interned up front
+//! and the variable universe is fixed for the whole run.
+//!
+//! Intersection-nonemptiness queries (`L(key) ∩ L(ζ(l′)) ≠ ∅`) are
+//! memoised per shard: positive answers are valid forever (languages only
+//! grow), negative answers are tagged with the round that computed them
+//! and expire as soon as the grammar can have changed.
+
+use crate::constraints::{Constraint, Constraints};
+use crate::domain::{FlowVar, Prod, VarId};
+use crate::solver::{
+    intersect_fixpoint, norm, solve, Cond, ProdView, ShardStats, Solution, SolverStats,
+};
+use std::collections::{HashMap, HashSet};
+use std::sync::mpsc;
+
+/// A unit of cross-shard work, routed to the shard owning its target.
+#[derive(Clone, Debug)]
+enum Delta {
+    /// `prod ∈ var` — routed to `owner(var)`.
+    Prod(VarId, Prod),
+    /// A subset edge `from ⊆ into` — routed to `owner(from)`, which
+    /// stores the edge and replays the existing productions of `from`.
+    Edge(VarId, VarId),
+}
+
+fn owner(v: VarId, nshards: usize) -> usize {
+    v.index() % nshards
+}
+
+/// The grammar fragment a shard owns: production sets and outgoing edges
+/// of its variables. Frozen during phase A, exclusively written by its
+/// own worker during phase B.
+#[derive(Default)]
+struct ShardCore {
+    prods: HashMap<VarId, HashSet<Prod>>,
+    edges: HashMap<VarId, Vec<VarId>>,
+    edge_set: HashSet<(VarId, VarId)>,
+}
+
+/// Per-shard mutable working state, alive across rounds.
+#[derive(Default)]
+struct ShardScratch {
+    /// Pairs inserted by the last phase B, to process next phase A.
+    dirty: Vec<(VarId, Prod)>,
+    /// Parked decryptions `(cond index, Enc production)` awaiting a key.
+    parked: Vec<(usize, Prod)>,
+    parked_set: HashSet<(usize, Prod)>,
+    /// Positive intersection answers — monotone, never expire.
+    cache: HashSet<(VarId, VarId)>,
+    /// Negative answers, tagged with the round that computed them.
+    neg_cache: HashMap<(VarId, VarId), usize>,
+    stats: ShardStats,
+}
+
+/// Read-only view over all shards, for the intersection saturation.
+struct ShardedView<'a> {
+    shards: &'a [ShardCore],
+}
+
+impl ProdView for ShardedView<'_> {
+    fn prods_at(&self, v: VarId) -> Option<&HashSet<Prod>> {
+        self.shards[owner(v, self.shards.len())].prods.get(&v)
+    }
+}
+
+/// Immutable per-run context shared by all workers.
+struct Globals {
+    conds: Vec<Cond>,
+    watchers: Vec<Vec<usize>>,
+    /// Pre-interned `κ(n)` ids — the variable universe is fixed before
+    /// sharding, so this map is complete and read-only.
+    kappa: HashMap<nuspi_syntax::Symbol, VarId>,
+    nshards: usize,
+}
+
+/// Computes the least solution on `threads` shards run by scoped worker
+/// threads. `threads = 1` degenerates to a single shard (and is itself a
+/// useful oracle: same code path, no concurrency). The result is
+/// identical — as an estimate `(ρ, κ, ζ)` — to [`solve`] and to
+/// [`solve_reference`](crate::solve_reference) on every input; the
+/// differential suite enforces this.
+pub fn solve_parallel(constraints: Constraints, threads: usize) -> Solution {
+    let nshards = threads.max(1);
+    let Constraints { mut vars, list } = constraints;
+
+    // Fix the variable universe: κ(n) can only arise for names with a
+    // seed production, so intern them all before sharding.
+    for c in &list {
+        if let Constraint::Prod {
+            prod: Prod::Name(n),
+            ..
+        } = c
+        {
+            vars.intern(FlowVar::Kappa(*n));
+        }
+    }
+    let kappa: HashMap<nuspi_syntax::Symbol, VarId> = vars
+        .iter()
+        .filter_map(|(id, fv)| match fv {
+            FlowVar::Kappa(n) => Some((n, id)),
+            _ => None,
+        })
+        .collect();
+
+    // Register conditionals and distribute seed facts and edges.
+    let mut globals = Globals {
+        conds: Vec::new(),
+        watchers: vec![Vec::new(); vars.len()],
+        kappa,
+        nshards,
+    };
+    let mut cores: Vec<ShardCore> = (0..nshards).map(|_| ShardCore::default()).collect();
+    let mut scratch: Vec<ShardScratch> = (0..nshards).map(|_| ShardScratch::default()).collect();
+    let watch = |globals: &mut Globals, var: VarId, cond: Cond| {
+        let idx = globals.conds.len();
+        globals.conds.push(cond);
+        globals.watchers[var.index()].push(idx);
+    };
+    let mut seeds: Vec<(VarId, Prod)> = Vec::new();
+    for c in list {
+        match c {
+            Constraint::Prod { prod, into } => seeds.push((into, prod)),
+            Constraint::Sub { from, into } => {
+                if from != into {
+                    let core = &mut cores[owner(from, nshards)];
+                    if core.edge_set.insert((from, into)) {
+                        core.edges.entry(from).or_default().push(into);
+                    }
+                }
+            }
+            Constraint::Output { chan, msg } => {
+                watch(&mut globals, chan, Cond::Output { msg });
+            }
+            Constraint::Input { chan, var } => {
+                watch(&mut globals, chan, Cond::Input { var });
+            }
+            Constraint::Split {
+                scrutinee,
+                fst,
+                snd,
+            } => watch(&mut globals, scrutinee, Cond::Split { fst, snd }),
+            Constraint::CaseSuc { scrutinee, pred } => {
+                watch(&mut globals, scrutinee, Cond::CaseSuc { pred });
+            }
+            Constraint::Decrypt {
+                scrutinee,
+                key,
+                vars,
+            } => watch(&mut globals, scrutinee, Cond::Decrypt { key, vars }),
+        }
+    }
+    for (into, prod) in seeds {
+        let shard = owner(into, nshards);
+        if cores[shard]
+            .prods
+            .entry(into)
+            .or_default()
+            .insert(prod.clone())
+        {
+            scratch[shard].dirty.push((into, prod));
+        }
+    }
+
+    // Bulk-synchronous rounds until a full round is barren.
+    let mut stats = SolverStats {
+        flow_vars: vars.len(),
+        ..SolverStats::default()
+    };
+    let mut pending: Vec<Vec<Delta>> = vec![Vec::new(); nshards];
+    loop {
+        let round_start = std::time::Instant::now();
+        stats.rounds += 1;
+        let round = stats.rounds;
+
+        // Phase A: read-only delta generation against the frozen grammar.
+        let (tx, rx) = mpsc::channel::<(usize, Vec<Delta>)>();
+        std::thread::scope(|s| {
+            for (shard, sc) in scratch.iter_mut().enumerate() {
+                let tx = tx.clone();
+                let cores = &cores;
+                let globals = &globals;
+                s.spawn(move || phase_a(shard, sc, cores, globals, round, &tx));
+            }
+        });
+        drop(tx);
+        for (dest, batch) in rx {
+            pending[dest].extend(batch);
+        }
+
+        // Phase B: each shard applies the deltas routed to it.
+        let inboxes: Vec<Vec<Delta>> = pending.iter_mut().map(std::mem::take).collect();
+        let (tx, rx) = mpsc::channel::<(usize, Vec<Delta>)>();
+        std::thread::scope(|s| {
+            for ((core, sc), inbox) in cores.iter_mut().zip(scratch.iter_mut()).zip(inboxes) {
+                let tx = tx.clone();
+                let nshards = globals.nshards;
+                s.spawn(move || phase_b(core, sc, inbox, nshards, &tx));
+            }
+        });
+        drop(tx);
+        for (dest, batch) in rx {
+            pending[dest].extend(batch);
+        }
+
+        stats
+            .round_millis
+            .push(round_start.elapsed().as_secs_f64() * 1e3);
+        let quiescent =
+            pending.iter().all(Vec::is_empty) && scratch.iter().all(|sc| sc.dirty.is_empty());
+        if quiescent {
+            break;
+        }
+    }
+
+    // Assemble the dense solution and merge the per-shard counters.
+    let mut prods: Vec<HashSet<Prod>> = vec![HashSet::new(); vars.len()];
+    for core in &mut cores {
+        for (v, set) in core.prods.drain() {
+            prods[v.index()] = set;
+        }
+    }
+    for (shard, (core, sc)) in cores.iter().zip(&scratch).enumerate() {
+        let mut shard_stats = sc.stats;
+        shard_stats.owned_vars = (0..vars.len()).filter(|i| i % nshards == shard).count();
+        shard_stats.productions = prods
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % nshards == shard)
+            .map(|(_, s)| s.len())
+            .sum();
+        shard_stats.edges = core.edge_set.len();
+        stats.conditional_firings += shard_stats.conditional_firings;
+        stats.intersection_queries += shard_stats.intersection_queries;
+        stats.cache_hits += shard_stats.cache_hits;
+        stats.cache_misses += shard_stats.cache_misses;
+        stats.edges += shard_stats.edges;
+        stats.per_shard.push(shard_stats);
+    }
+    stats.productions = prods.iter().map(HashSet::len).sum();
+    Solution::from_parts(vars, prods, stats)
+}
+
+/// Phase A of one shard: propagate dirtied pairs along this shard's
+/// edges, evaluate watched conditionals, retry parked decryptions.
+fn phase_a(
+    shard: usize,
+    sc: &mut ShardScratch,
+    cores: &[ShardCore],
+    globals: &Globals,
+    round: usize,
+    tx: &mpsc::Sender<(usize, Vec<Delta>)>,
+) {
+    let mut outbox: Vec<Vec<Delta>> = vec![Vec::new(); globals.nshards];
+    let view = ShardedView { shards: cores };
+    for (var, prod) in std::mem::take(&mut sc.dirty) {
+        if let Some(targets) = cores[shard].edges.get(&var) {
+            for &t in targets {
+                outbox[owner(t, globals.nshards)].push(Delta::Prod(t, prod.clone()));
+            }
+        }
+        for &idx in &globals.watchers[var.index()] {
+            eval_cond(idx, &prod, sc, &view, globals, round, &mut outbox);
+        }
+    }
+    // Retry parked decryptions against this round's snapshot.
+    for (idx, prod) in std::mem::take(&mut sc.parked) {
+        let Cond::Decrypt { key, vars } = &globals.conds[idx] else {
+            unreachable!("only decryptions are parked");
+        };
+        let Prod::Enc { args, key: ek, .. } = &prod else {
+            unreachable!("only Enc productions are parked");
+        };
+        if sc.query(*ek, *key, round, &view) {
+            sc.parked_set.remove(&(idx, prod.clone()));
+            sc.stats.conditional_firings += 1;
+            for (&a, &x) in args.iter().zip(vars) {
+                outbox[owner(a, globals.nshards)].push(Delta::Edge(a, x));
+            }
+        } else {
+            sc.parked.push((idx, prod));
+        }
+    }
+    for (dest, batch) in outbox.into_iter().enumerate() {
+        if !batch.is_empty() {
+            sc.stats.deltas_sent += batch.len();
+            tx.send((dest, batch)).expect("router outlives workers");
+        }
+    }
+}
+
+/// Evaluates one conditional constraint against a newly arrived
+/// production, emitting subset-edge deltas for the clauses that fire.
+fn eval_cond(
+    idx: usize,
+    prod: &Prod,
+    sc: &mut ShardScratch,
+    view: &ShardedView<'_>,
+    globals: &Globals,
+    round: usize,
+    outbox: &mut [Vec<Delta>],
+) {
+    match &globals.conds[idx] {
+        Cond::Output { msg } => {
+            if let Prod::Name(n) = prod {
+                let k = globals.kappa[n];
+                sc.stats.conditional_firings += 1;
+                outbox[owner(*msg, globals.nshards)].push(Delta::Edge(*msg, k));
+            }
+        }
+        Cond::Input { var } => {
+            if let Prod::Name(n) = prod {
+                let k = globals.kappa[n];
+                sc.stats.conditional_firings += 1;
+                outbox[owner(k, globals.nshards)].push(Delta::Edge(k, *var));
+            }
+        }
+        Cond::Split { fst, snd } => {
+            if let Prod::Pair(a, b) = prod {
+                sc.stats.conditional_firings += 1;
+                outbox[owner(*a, globals.nshards)].push(Delta::Edge(*a, *fst));
+                outbox[owner(*b, globals.nshards)].push(Delta::Edge(*b, *snd));
+            }
+        }
+        Cond::CaseSuc { pred } => {
+            if let Prod::Suc(a) = prod {
+                sc.stats.conditional_firings += 1;
+                outbox[owner(*a, globals.nshards)].push(Delta::Edge(*a, *pred));
+            }
+        }
+        Cond::Decrypt { key, vars } => {
+            if let Prod::Enc { args, key: ek, .. } = prod {
+                if args.len() != vars.len() {
+                    return;
+                }
+                if sc.query(*ek, *key, round, view) {
+                    sc.stats.conditional_firings += 1;
+                    for (&a, &x) in args.iter().zip(vars) {
+                        outbox[owner(a, globals.nshards)].push(Delta::Edge(a, x));
+                    }
+                } else if sc.parked_set.insert((idx, prod.clone())) {
+                    sc.parked.push((idx, prod.clone()));
+                }
+            }
+        }
+    }
+}
+
+impl ShardScratch {
+    /// Memoised `L(a) ∩ L(b) ≠ ∅` against the frozen round snapshot.
+    fn query(&mut self, a: VarId, b: VarId, round: usize, view: &ShardedView<'_>) -> bool {
+        self.stats.intersection_queries += 1;
+        let pair = norm(a, b);
+        if self.cache.contains(&pair) {
+            self.stats.cache_hits += 1;
+            return true;
+        }
+        if self.neg_cache.get(&pair) == Some(&round) {
+            self.stats.cache_hits += 1;
+            return false;
+        }
+        self.stats.cache_misses += 1;
+        if intersect_fixpoint(view, &mut self.cache, a, b) {
+            true
+        } else {
+            self.neg_cache.insert(pair, round);
+            false
+        }
+    }
+}
+
+/// Phase B of one shard: apply the routed deltas to owned variables,
+/// record new edges and replay their source productions.
+fn phase_b(
+    core: &mut ShardCore,
+    sc: &mut ShardScratch,
+    inbox: Vec<Delta>,
+    nshards: usize,
+    tx: &mpsc::Sender<(usize, Vec<Delta>)>,
+) {
+    let mut outbox: Vec<Vec<Delta>> = vec![Vec::new(); nshards];
+    for delta in inbox {
+        sc.stats.deltas_applied += 1;
+        match delta {
+            Delta::Prod(v, p) => {
+                if core.prods.entry(v).or_default().insert(p.clone()) {
+                    sc.dirty.push((v, p));
+                }
+            }
+            Delta::Edge(from, into) => {
+                if from == into || !core.edge_set.insert((from, into)) {
+                    continue;
+                }
+                core.edges.entry(from).or_default().push(into);
+                if let Some(existing) = core.prods.get(&from) {
+                    let dest = owner(into, nshards);
+                    for p in existing {
+                        outbox[dest].push(Delta::Prod(into, p.clone()));
+                    }
+                }
+            }
+        }
+    }
+    for (dest, batch) in outbox.into_iter().enumerate() {
+        if !batch.is_empty() {
+            sc.stats.deltas_sent += batch.len();
+            tx.send((dest, batch)).expect("router outlives workers");
+        }
+    }
+}
+
+/// Analyses a batch of constraint systems concurrently: `threads` scoped
+/// workers pull systems off a shared queue and solve each with the
+/// sequential worklist solver. Results keep the input order.
+pub fn solve_suite(systems: Vec<Constraints>, threads: usize) -> Vec<Solution> {
+    let n = systems.len();
+    let queue: std::sync::Mutex<Vec<(usize, Constraints)>> =
+        std::sync::Mutex::new(systems.into_iter().enumerate().rev().collect());
+    let results: std::sync::Mutex<Vec<Option<Solution>>> = std::sync::Mutex::new(vec![None; n]);
+    std::thread::scope(|s| {
+        for _ in 0..threads.max(1) {
+            s.spawn(|| loop {
+                let item = queue.lock().expect("queue lock").pop();
+                let Some((i, cs)) = item else { break };
+                let sol = solve(cs);
+                results.lock().expect("results lock")[i] = Some(sol);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("workers joined")
+        .into_iter()
+        .map(|o| o.expect("every system solved"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve_reference;
+    use nuspi_syntax::{parse_process, Symbol};
+
+    fn all_solvers(src: &str, threads: usize) -> (Solution, Solution, Solution) {
+        let p = parse_process(src).unwrap();
+        (
+            solve(Constraints::generate(&p)),
+            solve_parallel(Constraints::generate(&p), threads),
+            solve_reference(Constraints::generate(&p)),
+        )
+    }
+
+    fn assert_all_agree(src: &str) {
+        for threads in [1, 2, 4] {
+            let (seq, par, refr) = all_solvers(src, threads);
+            seq.estimate_eq(&par)
+                .unwrap_or_else(|e| panic!("{threads} threads vs sequential: {e}"));
+            par.estimate_eq(&refr)
+                .unwrap_or_else(|e| panic!("{threads} threads vs reference: {e}"));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_on_relay() {
+        assert_all_agree("a<m>.0 | a(x).b<x>.0 | b(y).0");
+    }
+
+    #[test]
+    fn parallel_matches_on_decryption() {
+        assert_all_agree("c<{m, new r}:k>.0 | c(z). case z of {x}:k in d<x>.0");
+    }
+
+    #[test]
+    fn parallel_matches_on_late_key() {
+        assert_all_agree(
+            "c<{m, new r}:k2>.0 | kchan<k2>.0 | kchan(kk). c(z). case z of {x}:kk in d<x>.0",
+        );
+    }
+
+    #[test]
+    fn parallel_matches_on_recursion() {
+        assert_all_agree("c<0>.0 | !c(x).c<suc(x)>.0");
+    }
+
+    #[test]
+    fn parallel_matches_on_structured_keys() {
+        assert_all_agree("c<{m, new r}:(a, b)>.0 | c(z). case z of {x}:(a, b) in d<x>.0");
+        assert_all_agree("c<{m, new r}:(a, b)>.0 | c(z). case z of {x}:(a, wrong) in d<x>.0");
+    }
+
+    #[test]
+    fn parallel_matches_on_wmf() {
+        assert_all_agree(
+            "
+            (new kAS) (new kBS) (
+              ((new kAB) cAS<{kAB, new r1}:kAS>. cAB<{m, new r2}:kAB>.0
+               | cBS(t). case t of {y}:kBS in cAB(z). case z of {q}:y in 0)
+              | cAS(x). case x of {s}:kAS in cBS<{s, new r3}:kBS>.0
+            )",
+        );
+    }
+
+    #[test]
+    fn shard_stats_are_consistent() {
+        let p = parse_process("c<{m, new r}:k>.0 | c(z). case z of {x}:k in d<x>.0").unwrap();
+        let sol = solve_parallel(Constraints::generate(&p), 4);
+        let st = sol.stats();
+        assert_eq!(st.per_shard.len(), 4);
+        assert_eq!(
+            st.cache_hits + st.cache_misses,
+            st.intersection_queries,
+            "every query is either a hit or a miss"
+        );
+        assert_eq!(
+            st.per_shard.iter().map(|s| s.owned_vars).sum::<usize>(),
+            st.flow_vars
+        );
+        assert_eq!(
+            st.per_shard.iter().map(|s| s.productions).sum::<usize>(),
+            st.productions
+        );
+        assert_eq!(st.round_millis.len(), st.rounds);
+        assert!(st.per_shard.iter().any(|s| s.deltas_sent > 0));
+    }
+
+    #[test]
+    fn suite_batch_matches_individual_solves() {
+        let sources = [
+            "a<m>.0 | a(x).b<x>.0",
+            "c<{m, new r}:k>.0 | c(z). case z of {x}:k in d<x>.0",
+            "c<0>.0 | !c(x).c<suc(x)>.0",
+        ];
+        // Parse once: labels are freshly minted per parse, so solo and
+        // batch must analyse the *same* labelled processes.
+        let procs: Vec<_> = sources.iter().map(|s| parse_process(s).unwrap()).collect();
+        let batch: Vec<Constraints> = procs.iter().map(Constraints::generate).collect();
+        let sols = solve_suite(batch, 3);
+        assert_eq!(sols.len(), sources.len());
+        for (p, sol) in procs.iter().zip(&sols) {
+            let solo = solve(Constraints::generate(p));
+            solo.estimate_eq(sol).unwrap();
+        }
+        assert!(sols[1]
+            .kappa(Symbol::intern("d"))
+            .contains(&Prod::Name(Symbol::intern("m"))));
+    }
+
+    #[test]
+    fn single_thread_shard_owns_everything() {
+        let p = parse_process("a<m>.0 | a(x).b<x>.0").unwrap();
+        let sol = solve_parallel(Constraints::generate(&p), 1);
+        let st = sol.stats();
+        assert_eq!(st.per_shard.len(), 1);
+        assert_eq!(st.per_shard[0].owned_vars, st.flow_vars);
+    }
+}

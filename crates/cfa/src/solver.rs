@@ -20,7 +20,7 @@ use nuspi_syntax::{Label, Symbol, Value, Var};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Size and effort counters of a solver run.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct SolverStats {
     /// Flow variables (nonterminals) in the final grammar.
     pub flow_vars: usize,
@@ -32,17 +32,67 @@ pub struct SolverStats {
     pub conditional_firings: usize,
     /// Intersection-nonemptiness queries issued.
     pub intersection_queries: usize,
+    /// Intersection queries answered from the memo cache (positive
+    /// entries are valid forever — languages only grow; negative entries
+    /// are valid within the round that computed them).
+    pub cache_hits: usize,
+    /// Intersection queries that ran the product-pair saturation.
+    pub cache_misses: usize,
     /// Outer fixpoint rounds (worklist drain + parked-decrypt scan).
     pub rounds: usize,
+    /// Wall-clock milliseconds per outer fixpoint round.
+    pub round_millis: Vec<f64>,
+    /// Per-shard counters ([`solve_parallel`](crate::solve_parallel)
+    /// only; empty for the sequential and reference solvers).
+    pub per_shard: Vec<ShardStats>,
+}
+
+/// Effort counters of one shard of the parallel solver.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ShardStats {
+    /// Flow variables owned by the shard.
+    pub owned_vars: usize,
+    /// Productions stored in the shard's variables at the end.
+    pub productions: usize,
+    /// Subset edges whose source the shard owns.
+    pub edges: usize,
+    /// Conditional-constraint firings evaluated on this shard.
+    pub conditional_firings: usize,
+    /// Intersection queries issued by this shard.
+    pub intersection_queries: usize,
+    /// Queries answered from the shard's memo cache.
+    pub cache_hits: usize,
+    /// Queries that ran the saturation.
+    pub cache_misses: usize,
+    /// Cross-shard deltas this shard emitted.
+    pub deltas_sent: usize,
+    /// Deltas this shard applied to its own variables.
+    pub deltas_applied: usize,
 }
 
 #[derive(Clone, Debug)]
-enum Cond {
+pub(crate) enum Cond {
     Output { msg: VarId },
     Input { var: VarId },
     Split { fst: VarId, snd: VarId },
     CaseSuc { pred: VarId },
     Decrypt { key: VarId, vars: Vec<VarId> },
+}
+
+/// Read-only access to the production sets of a grammar, however they are
+/// stored — a dense slice (sequential solver, [`Solution`]) or a sharded
+/// layout (the parallel solver). [`intersect_fixpoint`] is generic in
+/// this so all solvers share one intersection-nonemptiness decision
+/// procedure.
+pub(crate) trait ProdView {
+    /// The productions of `v`, or `None` if the variable has none.
+    fn prods_at(&self, v: VarId) -> Option<&HashSet<Prod>>;
+}
+
+impl ProdView for [HashSet<Prod>] {
+    fn prods_at(&self, v: VarId) -> Option<&HashSet<Prod>> {
+        self.get(v.index())
+    }
 }
 
 /// Why a production first entered a flow variable.
@@ -212,9 +262,7 @@ fn solve_impl(constraints: Constraints, traced: bool) -> (Solution, Option<Prove
                 fst,
                 snd,
             } => s.watch(scrutinee, Cond::Split { fst, snd }),
-            Constraint::CaseSuc { scrutinee, pred } => {
-                s.watch(scrutinee, Cond::CaseSuc { pred })
-            }
+            Constraint::CaseSuc { scrutinee, pred } => s.watch(scrutinee, Cond::CaseSuc { pred }),
             Constraint::Decrypt {
                 scrutinee,
                 key,
@@ -229,6 +277,7 @@ fn solve_impl(constraints: Constraints, traced: bool) -> (Solution, Option<Prove
     // Outer fixpoint: drain the worklist, then retry parked decryptions
     // whose key intersection may have become non-empty.
     loop {
+        let round_start = std::time::Instant::now();
         s.stats.rounds += 1;
         s.drain();
         let parked = std::mem::take(&mut s.parked);
@@ -250,6 +299,9 @@ fn solve_impl(constraints: Constraints, traced: bool) -> (Solution, Option<Prove
                 s.parked.push((idx, prod));
             }
         }
+        s.stats
+            .round_millis
+            .push(round_start.elapsed().as_secs_f64() * 1e3);
         if !progressed && s.queue.is_empty() {
             break;
         }
@@ -395,11 +447,16 @@ impl Solver {
     /// (languages only grow during solving, so non-emptiness is monotone).
     fn intersect_nonempty(&mut self, a: VarId, b: VarId) -> bool {
         self.stats.intersection_queries += 1;
-        intersect_fixpoint(&self.prods, &mut self.nonempty, a, b)
+        if self.nonempty.contains(&norm(a, b)) {
+            self.stats.cache_hits += 1;
+            return true;
+        }
+        self.stats.cache_misses += 1;
+        intersect_fixpoint(self.prods.as_slice(), &mut self.nonempty, a, b)
     }
 }
 
-fn norm(a: VarId, b: VarId) -> (VarId, VarId) {
+pub(crate) fn norm(a: VarId, b: VarId) -> (VarId, VarId) {
     if a <= b {
         (a, b)
     } else {
@@ -409,8 +466,8 @@ fn norm(a: VarId, b: VarId) -> (VarId, VarId) {
 
 /// Decides `L(a) ∩ L(b) ≠ ∅` over production sets `prods`, updating the
 /// monotone positive cache `known`.
-pub(crate) fn intersect_fixpoint(
-    prods: &[HashSet<Prod>],
+pub(crate) fn intersect_fixpoint<V: ProdView + ?Sized>(
+    prods: &V,
     known: &mut HashSet<(VarId, VarId)>,
     a: VarId,
     b: VarId,
@@ -431,10 +488,9 @@ pub(crate) fn intersect_fixpoint(
         }
         let (u, v) = pair;
         let mut here = Vec::new();
-        let (pu, pv) = (u.index(), v.index());
-        if pu < prods.len() && pv < prods.len() {
-            for p in &prods[pu] {
-                for q in &prods[pv] {
+        if let (Some(pu), Some(pv)) = (prods.prods_at(u), prods.prods_at(v)) {
+            for p in pu {
+                for q in pv {
                     if let Some(children) = p.root_compatible(q) {
                         let children: Vec<(VarId, VarId)> =
                             children.into_iter().map(|(x, y)| norm(x, y)).collect();
@@ -474,6 +530,50 @@ pub(crate) fn intersect_fixpoint(
 }
 
 impl Solution {
+    /// Assembles a solution from raw parts (used by the parallel and
+    /// reference solvers, which maintain their own storage layouts).
+    pub(crate) fn from_parts(
+        vars: VarTable,
+        prods: Vec<HashSet<Prod>>,
+        stats: SolverStats,
+    ) -> Solution {
+        Solution {
+            vars,
+            prods,
+            stats,
+            empty: HashSet::new(),
+        }
+    }
+
+    /// Compares two solutions of the *same* constraint system as
+    /// estimates: for every flow variable of either, the production sets
+    /// must coincide (a variable absent from one side counts as empty).
+    ///
+    /// This is semantic equality of `(ρ, κ, ζ)`: `κ` variables are
+    /// interned on demand, so their raw [`VarId`]s may differ between
+    /// solvers, but production *children* are always generation-time ids
+    /// and therefore comparable directly.
+    pub fn estimate_eq(&self, other: &Solution) -> Result<(), String> {
+        let mut names: Vec<FlowVar> = self.vars.iter().map(|(_, fv)| fv).collect();
+        names.extend(other.vars.iter().map(|(_, fv)| fv));
+        names.sort_by_key(|fv| format!("{fv:?}"));
+        names.dedup();
+        for fv in names {
+            let a = self.prods_of(fv);
+            let b = other.prods_of(fv);
+            if a != b {
+                let only_a: Vec<&Prod> = a.difference(b).collect();
+                let only_b: Vec<&Prod> = b.difference(a).collect();
+                return Err(format!(
+                    "{fv}: left has {} prods, right {};\n  only left:  {only_a:?}\n  only right: {only_b:?}",
+                    a.len(),
+                    b.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// The productions of a flow variable (empty if the variable never
     /// arose).
     pub fn prods_of(&self, fv: FlowVar) -> &HashSet<Prod> {
@@ -556,7 +656,7 @@ impl Solution {
     /// Decides `L(a) ∩ L(b) ≠ ∅` on the solved grammar.
     pub fn intersect_nonempty(&self, a: VarId, b: VarId) -> bool {
         let mut known = HashSet::new();
-        intersect_fixpoint(&self.prods, &mut known, a, b)
+        intersect_fixpoint(self.prods.as_slice(), &mut known, a, b)
     }
 
     /// Enumerates up to `limit` values of `L(fv)` with height at most
@@ -631,10 +731,7 @@ impl Solution {
                         return;
                     }
                     out.push(Value::Enc {
-                        payload: arg_sets
-                            .iter()
-                            .map(|s| s[0].clone().into())
-                            .collect(),
+                        payload: arg_sets.iter().map(|s| s[0].clone().into()).collect(),
                         confounder: nuspi_syntax::Name::global(*confounder),
                         key: kvs[0].clone().into(),
                     });
@@ -644,8 +741,8 @@ impl Solution {
     }
 
     /// The solver's effort counters.
-    pub fn stats(&self) -> SolverStats {
-        self.stats
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
     }
 }
 
@@ -675,15 +772,11 @@ mod tests {
 
     #[test]
     fn provenance_narrates_a_decryption_release() {
-        let p =
-            parse_process("c<{m, new r}:k>.0 | c(z). case z of {x}:k in d<x>.0").unwrap();
+        let p = parse_process("c<{m, new r}:k>.0 | c(z). case z of {x}:k in d<x>.0").unwrap();
         let (sol, prov) = solve_traced(Constraints::generate(&p));
         let prod = Prod::Name(Symbol::intern("m"));
         let story = prov.explain(&sol, FlowVar::Kappa(Symbol::intern("d")), &prod);
-        assert!(
-            story.iter().any(|l| l.contains("decryption")),
-            "{story:?}"
-        );
+        assert!(story.iter().any(|l| l.contains("decryption")), "{story:?}");
     }
 
     #[test]
@@ -698,10 +791,8 @@ mod tests {
 
     #[test]
     fn traced_and_untraced_solutions_agree() {
-        let p = parse_process(
-            "(new k) (c<{m, new r}:k>.0 | c(z). case z of {x}:k in d<x>.0)",
-        )
-        .unwrap();
+        let p =
+            parse_process("(new k) (c<{m, new r}:k>.0 | c(z). case z of {x}:k in d<x>.0)").unwrap();
         let plain = solve(Constraints::generate(&p));
         let (traced, _) = solve_traced(Constraints::generate(&p));
         assert_eq!(plain.stats().productions, traced.stats().productions);
@@ -751,9 +842,7 @@ mod tests {
                 P::Replicate(q) => walk(q, name, out),
                 P::Output { then, .. } => walk(then, name, out),
                 P::Match { then, .. } => walk(then, name, out),
-                P::Let {
-                    fst, snd, then, ..
-                } => {
+                P::Let { fst, snd, then, .. } => {
                     if fst.symbol().as_str() == name {
                         *out = Some(*fst);
                     }
@@ -810,10 +899,7 @@ mod tests {
         let (p, sol) = analyze("c<2>.0 | c(z). case z of 0: 0, suc(x): d<x>.0");
         let x = var_named(&p, "x");
         // x may be suc(0) — i.e. ρ(x) contains a Suc production.
-        assert!(sol
-            .rho(x)
-            .iter()
-            .any(|pr| matches!(pr, Prod::Suc(_))));
+        assert!(sol.rho(x).iter().any(|pr| matches!(pr, Prod::Suc(_))));
     }
 
     #[test]
@@ -841,8 +927,7 @@ mod tests {
 
     #[test]
     fn restricted_key_decryption_fires_on_canonical_name() {
-        let (p, sol) =
-            analyze("(new k) (c<{m, new r}:k>.0 | c(z). case z of {x}:k in d<x>.0)");
+        let (p, sol) = analyze("(new k) (c<{m, new r}:k>.0 | c(z). case z of {x}:k in d<x>.0)");
         let x = var_named(&p, "x");
         assert!(sol.rho(x).contains(&Prod::Name(chan("m"))));
     }
@@ -851,8 +936,7 @@ mod tests {
     fn structured_keys_need_language_intersection() {
         // Key is the pair (a,b) built at two different sites — membership
         // must be decided by language intersection, not production id.
-        let (p, sol) =
-            analyze("c<{m, new r}:(a, b)>.0 | c(z). case z of {x}:(a, b) in d<x>.0");
+        let (p, sol) = analyze("c<{m, new r}:(a, b)>.0 | c(z). case z of {x}:(a, b) in d<x>.0");
         let x = var_named(&p, "x");
         assert!(
             sol.rho(x).contains(&Prod::Name(chan("m"))),
@@ -862,8 +946,7 @@ mod tests {
 
     #[test]
     fn structured_keys_with_different_languages_stay_locked() {
-        let (p, sol) =
-            analyze("c<{m, new r}:(a, b)>.0 | c(z). case z of {x}:(a, wrong) in d<x>.0");
+        let (p, sol) = analyze("c<{m, new r}:(a, b)>.0 | c(z). case z of {x}:(a, wrong) in d<x>.0");
         let x = var_named(&p, "x");
         assert!(sol.rho(x).is_empty());
     }

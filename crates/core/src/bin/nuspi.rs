@@ -195,8 +195,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 },
                 ..ExecConfig::default()
             };
-            use rand::SeedableRng;
-            let mut rng = rand::rngs::StdRng::seed_from_u64(o.seed);
+            let mut rng = nuspi::semantics::SplitMix64::seed_from_u64(o.seed);
             let trace = nuspi::semantics::run_random(&process, o.steps, &cfg, &mut rng);
             if o.msc {
                 print!("{}", nuspi::semantics::render_msc(&trace));
@@ -247,8 +246,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
         "explain" => {
             let secret: std::collections::HashSet<_> = policy.secrets().collect();
-            let (att, provenance) =
-                nuspi_cfa::analyze_with_attacker_traced(&process, &secret);
+            let (att, provenance) = nuspi_cfa::analyze_with_attacker_traced(&process, &secret);
             let kinds = nuspi::security::AbstractKind::compute(&att.solution, &policy);
             let mut flagged = 0;
             let mut channels = att.solution.channels();
@@ -381,7 +379,15 @@ mod tests {
             ExitCode::SUCCESS
         );
         assert_eq!(
-            run(&s(&["run", f.to_str().unwrap(), "--steps", "4", "--seed", "1"])).unwrap(),
+            run(&s(&[
+                "run",
+                f.to_str().unwrap(),
+                "--steps",
+                "4",
+                "--seed",
+                "1"
+            ]))
+            .unwrap(),
             ExitCode::SUCCESS
         );
     }

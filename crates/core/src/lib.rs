@@ -45,7 +45,10 @@ pub use nuspi_security as security;
 pub use nuspi_semantics as semantics;
 pub use nuspi_syntax as syntax;
 
-pub use nuspi_cfa::{analyze, FlowVar, Solution};
+pub use nuspi_cfa::{
+    analyze, analyze_parallel, solve_parallel, solve_reference, solve_suite, FlowVar, ShardStats,
+    Solution, SolverStats,
+};
 pub use nuspi_security::{
     carefulness, confinement, invariance, message_independent, reveals,
     static_message_independence, Attack, CarefulnessReport, ConfinementReport, IntruderConfig,

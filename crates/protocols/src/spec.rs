@@ -36,8 +36,8 @@ impl ProtocolSpec {
         secret: &str,
         expect_confined: bool,
     ) -> ProtocolSpec {
-        let process = parse_process(source)
-            .unwrap_or_else(|e| panic!("protocol {name} does not parse: {e}"));
+        let process =
+            parse_process(source).unwrap_or_else(|e| panic!("protocol {name} does not parse: {e}"));
         assert!(process.is_closed(), "protocol {name} must be closed");
         ProtocolSpec {
             name,

@@ -97,7 +97,12 @@ mod tests {
 
     #[test]
     fn all_variants_parse_and_close() {
-        for spec in [wmf(), wmf_key_in_clear(), wmf_payload_in_clear(), wmf_public_key()] {
+        for spec in [
+            wmf(),
+            wmf_key_in_clear(),
+            wmf_payload_in_clear(),
+            wmf_public_key(),
+        ] {
             assert!(spec.process.is_closed(), "{}", spec.name);
             assert!(!spec.public_channels.is_empty());
         }

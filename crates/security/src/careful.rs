@@ -65,8 +65,7 @@ pub fn carefulness(p: &Process, policy: &Policy, cfg: &ExecConfig) -> Carefulnes
         state_index += 1;
         for c in commitments {
             for out in &c.outputs {
-                if policy.is_public(out.channel.canonical())
-                    && kind(&out.value, policy) == Kind::S
+                if policy.is_public(out.channel.canonical()) && kind(&out.value, policy) == Kind::S
                 {
                     violations.push(CarefulnessViolation {
                         channel: out.channel.canonical().as_str().to_owned(),
@@ -136,10 +135,7 @@ mod tests {
     #[test]
     fn leak_deep_in_the_execution_is_found() {
         // The secret only escapes after two handshakes.
-        let p = parse_process(
-            "(new m) (a<0>.b<0>.c<m>.0 | a(x).0 | b(y).0 | c(z).0)",
-        )
-        .unwrap();
+        let p = parse_process("(new m) (a<0>.b<0>.c<m>.0 | a(x).0 | b(y).0 | c(z).0)").unwrap();
         let r = carefulness(&p, &pol(&["m"]), &cfg());
         assert!(!r.is_careful());
         assert!(r.violations.iter().any(|v| v.channel == "c"));
@@ -164,10 +160,9 @@ mod tests {
     #[test]
     fn decrypt_and_leak_is_found() {
         // The process decrypts its own traffic and then misbehaves.
-        let p = parse_process(
-            "(new k) (new m) (c<{m, new r}:k>.0 | c(x). case x of {y}:k in d<y>.0)",
-        )
-        .unwrap();
+        let p =
+            parse_process("(new k) (new m) (c<{m, new r}:k>.0 | c(x). case x of {y}:k in d<y>.0)")
+                .unwrap();
         let r = carefulness(&p, &pol(&["k", "m"]), &cfg());
         assert!(!r.is_careful());
         assert!(r.violations.iter().any(|v| v.channel == "d"));

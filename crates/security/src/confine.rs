@@ -48,10 +48,16 @@ impl fmt::Display for ConfinementViolation {
                 write!(f, "estimate not acceptable: {msg}")
             }
             ConfinementViolation::SecretOnPublicChannel { channel } => {
-                write!(f, "secret-kind value may flow on public channel `{channel}`")
+                write!(
+                    f,
+                    "secret-kind value may flow on public channel `{channel}`"
+                )
             }
             ConfinementViolation::SecretDerivableByAttacker => {
-                write!(f, "a secret-kind value may become derivable by the attacker")
+                write!(
+                    f,
+                    "a secret-kind value may become derivable by the attacker"
+                )
             }
         }
     }

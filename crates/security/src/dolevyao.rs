@@ -117,11 +117,7 @@ impl Knowledge {
     }
 
     fn derive_canonical(&self, target: &Rc<Value>) -> bool {
-        if self
-            .values
-            .iter()
-            .any(|v| v.canonicalize() == *target)
-        {
+        if self.values.iter().any(|v| v.canonicalize() == *target) {
             return true;
         }
         match &**target {
@@ -136,10 +132,9 @@ impl Knowledge {
                 confounder,
                 key,
             } => {
-                self.values
-                    .iter()
-                    .any(|v| matches!(&**v, Value::Name(n) if n.canonical() == confounder.canonical()))
-                    && self.derive_canonical(&key.canonicalize())
+                self.values.iter().any(
+                    |v| matches!(&**v, Value::Name(n) if n.canonical() == confounder.canonical()),
+                ) && self.derive_canonical(&key.canonicalize())
                     && payload
                         .iter()
                         .all(|p| self.derive_canonical(&p.canonicalize()))
@@ -303,9 +298,9 @@ fn search(
     let mut queue: BinaryHeap<Prioritised> = BinaryHeap::new();
     let mut ticket = 0u64;
     let push_conf = |queue: &mut BinaryHeap<Prioritised>,
-                         visited: &mut HashSet<(Process, BTreeSet<Rc<Value>>)>,
-                         ticket: &mut u64,
-                         conf: Configuration| {
+                     visited: &mut HashSet<(Process, BTreeSet<Rc<Value>>)>,
+                     ticket: &mut u64,
+                     conf: Configuration| {
         let key = (
             conf.process.clone(),
             conf.knowledge.iter().cloned().collect(),
@@ -423,9 +418,12 @@ fn injection_candidates(k: &Knowledge, cfg: &IntruderConfig) -> Vec<Rc<Value>> {
         .iter()
         .filter(|v| matches!(&***v, Value::Pair(_, _) | Value::Enc { .. }));
     let names = k.iter().filter(|v| matches!(&***v, Value::Name(_)));
-    let rest = k
-        .iter()
-        .filter(|v| !matches!(&***v, Value::Pair(_, _) | Value::Enc { .. } | Value::Name(_)));
+    let rest = k.iter().filter(|v| {
+        !matches!(
+            &***v,
+            Value::Pair(_, _) | Value::Enc { .. } | Value::Name(_)
+        )
+    });
     let mut out: Vec<Rc<Value>> = composites
         .chain(names)
         .chain(rest)
@@ -496,7 +494,10 @@ mod tests {
     #[test]
     fn synthesis_builds_pairs() {
         let k = k0(&["a", "b"]);
-        let w = Value::pair(Value::name("a"), Value::pair(Value::name("b"), Value::zero()));
+        let w = Value::pair(
+            Value::name("a"),
+            Value::pair(Value::name("b"), Value::zero()),
+        );
         assert!(k.can_derive(&w));
     }
 
@@ -513,7 +514,11 @@ mod tests {
     #[test]
     fn nested_decryption_cascades() {
         // {k2}k1 and {m}k2: learning k1 must open both layers.
-        let inner = Value::enc(vec![Value::name("m")], Name::global("r2"), Value::name("k2"));
+        let inner = Value::enc(
+            vec![Value::name("m")],
+            Name::global("r2"),
+            Value::name("k2"),
+        );
         let outer = Value::enc(
             vec![Value::name("k2")],
             Name::global("r1"),
@@ -532,8 +537,11 @@ mod tests {
         let k = k0(&["k", "m", "r"]);
         let with_known_conf =
             Value::enc(vec![Value::name("m")], Name::global("r"), Value::name("k"));
-        let with_unknown_conf =
-            Value::enc(vec![Value::name("m")], Name::global("hidden"), Value::name("k"));
+        let with_unknown_conf = Value::enc(
+            vec![Value::name("m")],
+            Name::global("hidden"),
+            Value::name("k"),
+        );
         assert!(k.can_derive(&with_known_conf));
         assert!(!k.can_derive(&with_unknown_conf));
     }
@@ -598,10 +606,9 @@ mod tests {
         // A decryption oracle: receives a ciphertext under k and returns
         // the payload in clear. Replaying the protocol's own ciphertext
         // extracts the secret.
-        let p = parse_process(
-            "(new k) (new m) (c<{m, new r}:k>.0 | c(x). case x of {y}:k in c<y>.0)",
-        )
-        .unwrap();
+        let p =
+            parse_process("(new k) (new m) (c<{m, new r}:k>.0 | c(x). case x of {y}:k in c<y>.0)")
+                .unwrap();
         let attack = reveals(&p, &k0(&["c"]), Symbol::intern("m"), &cfg());
         assert!(attack.is_some(), "replay ciphertext into the oracle");
     }

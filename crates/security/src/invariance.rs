@@ -249,7 +249,14 @@ mod tests {
     fn comparing_the_message_is_flagged() {
         // P(x) = [x is 0] c<0>.0 — the implicit flow of §5.
         let x = Var::fresh("x");
-        let p = track(&b::guard(b::var(x), b::zero(), b::output(b::name("c"), b::zero(), b::nil())), x);
+        let p = track(
+            &b::guard(
+                b::var(x),
+                b::zero(),
+                b::output(b::name("c"), b::zero(), b::nil()),
+            ),
+            x,
+        );
         let vs = check(&p);
         assert!(vs
             .iter()

@@ -149,14 +149,12 @@ fn prod_facts(p: &Prod, facts: &[SortFacts], tracked: Symbol) -> SortFacts {
         Prod::Pair(a, b) => {
             let (fa, fb) = (get(a), get(b));
             SortFacts {
-                may_exposed: (fa.may_exposed && fb.nonempty())
-                    || (fb.may_exposed && fa.nonempty()),
+                may_exposed: (fa.may_exposed && fb.nonempty()) || (fb.may_exposed && fa.nonempty()),
                 may_independent: fa.may_independent && fb.may_independent,
             }
         }
         Prod::Enc { args, key, .. } => {
-            let inhabited =
-                get(key).nonempty() && args.iter().all(|a| get(a).nonempty());
+            let inhabited = get(key).nonempty() && args.iter().all(|a| get(a).nonempty());
             SortFacts {
                 may_exposed: false,
                 may_independent: inhabited,
@@ -207,7 +205,11 @@ mod tests {
     fn abstract_sort_tracks_flows() {
         // P(x) with x := n*, forwarded in clear on d.
         let x = Var::fresh("x");
-        let open = b::input(b::name("c"), x, b::output(b::name("d"), b::var(x), b::nil()));
+        let open = b::input(
+            b::name("c"),
+            x,
+            b::output(b::name("d"), b::var(x), b::nil()),
+        );
         let p = b::par(
             b::output(b::name("c"), b::name_expr(n_star_name()), b::nil()),
             open,

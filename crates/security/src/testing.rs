@@ -212,7 +212,11 @@ mod tests {
             k,
             b::output(
                 b::name("c"),
-                b::enc(vec![b::var(x)], nuspi_syntax::Name::global("r"), b::name_expr(k)),
+                b::enc(
+                    vec![b::var(x)],
+                    nuspi_syntax::Name::global("r"),
+                    b::name_expr(k),
+                ),
                 b::nil(),
             ),
         );
@@ -229,7 +233,11 @@ mod tests {
         let x = Var::fresh("x");
         // P(x) = [x is 0] c<0>.0 — implicit flow (§5's motivating case).
         (
-            b::guard(b::var(x), b::zero(), b::output(b::name("c"), b::zero(), b::nil())),
+            b::guard(
+                b::var(x),
+                b::zero(),
+                b::output(b::name("c"), b::zero(), b::nil()),
+            ),
             x,
         )
     }
@@ -352,8 +360,8 @@ mod tests {
         );
         let m1 = Value::numeral(0);
         let m2 = Value::numeral(5);
-        let battery = standard_battery(&channels(&["cAS", "cBS", "cAB"]), &[m1.clone(), m2.clone()]);
+        let battery =
+            standard_battery(&channels(&["cAS", "cBS", "cAB"]), &[m1.clone(), m2.clone()]);
         assert!(message_independent(&p_open, x, &m1, &m2, &battery, &cfg()).is_ok());
     }
-
 }

@@ -589,7 +589,9 @@ mod tests {
         assert_eq!(succs.len(), 1);
         // The match [fresh-s is global-s] must fail: no d output reachable.
         let next = commitments(&succs[0], &cfg());
-        assert!(next.iter().all(|c| c.action != Action::Out(Name::global("d"))));
+        assert!(next
+            .iter()
+            .all(|c| c.action != Action::Out(Name::global("d"))));
     }
 
     #[test]

@@ -145,10 +145,7 @@ mod tests {
     fn pairs_evaluate_componentwise() {
         let e = b::pair(b::name("a"), b::numeral(1));
         let r = eval(&e, EvalMode::NuSpi).unwrap();
-        assert_eq!(
-            r.value,
-            Value::pair(Value::name("a"), Value::numeral(1))
-        );
+        assert_eq!(r.value, Value::pair(Value::name("a"), Value::numeral(1)));
     }
 
     #[test]

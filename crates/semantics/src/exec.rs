@@ -11,8 +11,8 @@
 use crate::agent::{Action, Agent, Commitment, OutputEvent};
 use crate::commit::{commitments, CommitConfig};
 use crate::eval::EvalMode;
+use crate::rng::Rng;
 use nuspi_syntax::{alpha_hash, builder, Process, Symbol};
-use rand::Rng;
 
 /// Budgets and mode for bounded exploration.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -261,9 +261,8 @@ pub fn run_random(p: &Process, max_steps: usize, cfg: &ExecConfig, rng: &mut imp
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::SplitMix64;
     use nuspi_syntax::parse_process;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn cfg() -> ExecConfig {
         ExecConfig::default()
@@ -330,8 +329,18 @@ mod tests {
     fn passes_direct_barb_test() {
         let p = parse_process("c<0>.0").unwrap();
         let idle = parse_process("0").unwrap();
-        assert!(passes_test(&p, &idle, Barb::Out(Symbol::intern("c")), &cfg()));
-        assert!(!passes_test(&p, &idle, Barb::Out(Symbol::intern("d")), &cfg()));
+        assert!(passes_test(
+            &p,
+            &idle,
+            Barb::Out(Symbol::intern("c")),
+            &cfg()
+        ));
+        assert!(!passes_test(
+            &p,
+            &idle,
+            Barb::Out(Symbol::intern("d")),
+            &cfg()
+        ));
     }
 
     #[test]
@@ -341,14 +350,19 @@ mod tests {
         let q = parse_process("c<0>.0").unwrap();
         assert!(passes_test(&p, &q, Barb::Out(Symbol::intern("d")), &cfg()));
         let idle = parse_process("0").unwrap();
-        assert!(!passes_test(&p, &idle, Barb::Out(Symbol::intern("d")), &cfg()));
+        assert!(!passes_test(
+            &p,
+            &idle,
+            Barb::Out(Symbol::intern("d")),
+            &cfg()
+        ));
     }
 
     #[test]
     fn random_run_is_reproducible() {
         let p = parse_process("a<0>.0 | a(x).b<x>.0 | b(y).0").unwrap();
-        let mut r1 = StdRng::seed_from_u64(7);
-        let mut r2 = StdRng::seed_from_u64(7);
+        let mut r1 = SplitMix64::seed_from_u64(7);
+        let mut r2 = SplitMix64::seed_from_u64(7);
         let t1 = run_random(&p, 8, &cfg(), &mut r1);
         let t2 = run_random(&p, 8, &cfg(), &mut r2);
         assert_eq!(t1.steps.len(), t2.steps.len());
@@ -357,7 +371,7 @@ mod tests {
     #[test]
     fn random_run_records_outputs() {
         let p = parse_process("a<m>.0 | a(x).0").unwrap();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SplitMix64::seed_from_u64(1);
         let t = run_random(&p, 4, &cfg(), &mut rng);
         assert_eq!(t.steps.len(), 1);
         assert_eq!(t.steps[0].outputs.len(), 1);
@@ -370,7 +384,7 @@ mod tests {
     #[test]
     fn random_run_stops_when_stuck() {
         let p = parse_process("c<0>.0").unwrap();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SplitMix64::seed_from_u64(3);
         let t = run_random(&p, 10, &cfg(), &mut rng);
         assert!(t.steps.is_empty());
         assert_eq!(t.end, Some(p));
@@ -395,10 +409,7 @@ mod tests {
 
     #[test]
     fn all_traces_respects_the_cap() {
-        let p = parse_process(
-            "a<0>.0 | a(x).0 | b<0>.0 | b(y).0 | c<0>.0 | c(z).0",
-        )
-        .unwrap();
+        let p = parse_process("a<0>.0 | a(x).0 | b<0>.0 | b(y).0 | c<0>.0 | c(z).0").unwrap();
         let ts = all_traces(&p, &cfg(), 3);
         assert_eq!(ts.len(), 3);
     }

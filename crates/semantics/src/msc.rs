@@ -89,13 +89,12 @@ pub fn render_msc(trace: &Trace) -> String {
 mod tests {
     use super::*;
     use crate::exec::{run_random, ExecConfig};
+    use crate::rng::SplitMix64;
     use nuspi_syntax::parse_process;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn trace_of(src: &str, steps: usize) -> Trace {
         let p = parse_process(src).unwrap();
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = SplitMix64::seed_from_u64(11);
         run_random(&p, steps, &ExecConfig::default(), &mut rng)
     }
 

@@ -1,0 +1,126 @@
+//! A tiny, dependency-free pseudo-random number generator.
+//!
+//! The reproduction only needs *seeded, reproducible* randomness — for the
+//! random simulator ([`run_random`](crate::run_random)), the process
+//! generators of `nuspi-bench`, and the property-testing harness. A
+//! SplitMix64 stream is more than enough for that and keeps the build
+//! free of external crates (the environment is offline).
+
+/// The interface the executor and the generators program against: a
+/// source of `u64`s plus the few derived draws the codebase uses.
+pub trait Rng {
+    /// The next raw 64-bit draw.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform draw from `[lo, hi)`. Uses Lemire's multiply-shift
+    /// reduction; the slight modulo bias of the plain approach is
+    /// irrelevant here but this is just as cheap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range(&mut self, range: std::ops::Range<usize>) -> usize {
+        let (lo, hi) = (range.start, range.end);
+        assert!(lo < hi, "gen_range: empty range {lo}..{hi}");
+        let span = (hi - lo) as u64;
+        let draw = ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64;
+        lo + draw as usize
+    }
+
+    /// A uniform draw from `lo..=hi`.
+    fn gen_range_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        self.gen_range(lo..hi + 1)
+    }
+
+    /// A Bernoulli draw: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// Sebastiano Vigna's SplitMix64: one multiply-xorshift round per draw,
+/// full 2⁶⁴ period, passes BigCrush. The default generator everywhere.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator reproducibly seeded from `seed`.
+    pub fn seed_from_u64(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SplitMix64::seed_from_u64(7);
+        let mut b = SplitMix64::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::seed_from_u64(1);
+        let mut b = SplitMix64::seed_from_u64(2);
+        assert!((0..10).any(|_| a.next_u64() != b.next_u64()));
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_hits_everything() {
+        let mut rng = SplitMix64::seed_from_u64(42);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = rng.gen_range(2..7);
+            assert!((2..7).contains(&v));
+            seen[v - 2] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets reachable: {seen:?}");
+    }
+
+    #[test]
+    fn gen_range_inclusive_includes_endpoints() {
+        let mut rng = SplitMix64::seed_from_u64(3);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..300 {
+            match rng.gen_range_inclusive(1, 3) {
+                1 => lo_seen = true,
+                3 => hi_seen = true,
+                2 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = SplitMix64::seed_from_u64(11);
+        let heads = (0..1000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((350..=650).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SplitMix64::seed_from_u64(0);
+        rng.gen_range(3..3);
+    }
+}

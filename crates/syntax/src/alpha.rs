@@ -379,10 +379,7 @@ fn eq_process(p: &Process, q: &Process, map: &mut Correspondence) -> bool {
         (Process::Par(a1, b1), Process::Par(a2, b2)) => {
             eq_process(a1, a2, map) && eq_process(b1, b2, map)
         }
-        (
-            Process::Restrict { name: n1, body: b1 },
-            Process::Restrict { name: n2, body: b2 },
-        ) => {
+        (Process::Restrict { name: n1, body: b1 }, Process::Restrict { name: n2, body: b2 }) => {
             if n1.canonical() != n2.canonical() {
                 return false;
             }

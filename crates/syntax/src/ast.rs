@@ -280,13 +280,18 @@ fn rename_in_value(w: &Rc<Value>, from: Name, to: Name) -> Rc<Value> {
         Value::Name(n) => Value::name(if *n == from { to } else { *n }),
         Value::Zero => Value::zero(),
         Value::Suc(v) => Value::suc(rename_in_value(v, from, to)),
-        Value::Pair(a, b) => Value::pair(rename_in_value(a, from, to), rename_in_value(b, from, to)),
+        Value::Pair(a, b) => {
+            Value::pair(rename_in_value(a, from, to), rename_in_value(b, from, to))
+        }
         Value::Enc {
             payload,
             confounder,
             key,
         } => Value::enc(
-            payload.iter().map(|v| rename_in_value(v, from, to)).collect(),
+            payload
+                .iter()
+                .map(|v| rename_in_value(v, from, to))
+                .collect(),
             if *confounder == from { to } else { *confounder },
             rename_in_value(key, from, to),
         ),
@@ -506,9 +511,7 @@ impl Process {
                     Box::new(then.subst(x, w))
                 },
             },
-            Process::Par(p, q) => {
-                Process::Par(Box::new(p.subst(x, w)), Box::new(q.subst(x, w)))
-            }
+            Process::Par(p, q) => Process::Par(Box::new(p.subst(x, w)), Box::new(q.subst(x, w))),
             Process::Restrict { name, body } => Process::Restrict {
                 name: *name,
                 body: Box::new(body.subst(x, w)),
@@ -703,8 +706,7 @@ fn open_restriction(p: &Process, name: Symbol, x: Var) -> Option<Process> {
             if let Some(a2) = open_restriction(a, name, x) {
                 Some(Process::Par(Box::new(a2), b.clone()))
             } else {
-                open_restriction(b, name, x)
-                    .map(|b2| Process::Par(a.clone(), Box::new(b2)))
+                open_restriction(b, name, x).map(|b2| Process::Par(a.clone(), Box::new(b2)))
             }
         }
         Process::Output { chan, msg, then } => {
@@ -787,9 +789,7 @@ fn abstract_bound(p: &Process, n: Name, x: Var) -> Process {
             Term::Name(m) if *m == n => Term::Var(x),
             Term::Name(_) | Term::Var(_) | Term::Zero | Term::Val(_) => e.term.clone(),
             Term::Suc(i) => Term::Suc(Box::new(in_expr(i, n, x))),
-            Term::Pair(a, b) => {
-                Term::Pair(Box::new(in_expr(a, n, x)), Box::new(in_expr(b, n, x)))
-            }
+            Term::Pair(a, b) => Term::Pair(Box::new(in_expr(a, n, x)), Box::new(in_expr(b, n, x))),
             Term::Enc {
                 payload,
                 confounder,
@@ -884,7 +884,10 @@ fn abstract_in_expr(e: &Expr, name: Symbol, x: Var) -> Expr {
             confounder,
             key,
         } => Term::Enc {
-            payload: payload.iter().map(|p| abstract_in_expr(p, name, x)).collect(),
+            payload: payload
+                .iter()
+                .map(|p| abstract_in_expr(p, name, x))
+                .collect(),
             confounder: *confounder,
             key: Box::new(abstract_in_expr(key, name, x)),
         },
@@ -974,7 +977,11 @@ mod tests {
     #[test]
     fn free_vars_of_input_are_bound() {
         let x = Var::fresh("x");
-        let p = b::input(b::name("c"), x, b::output(b::name("c"), b::var(x), b::nil()));
+        let p = b::input(
+            b::name("c"),
+            x,
+            b::output(b::name("c"), b::var(x), b::nil()),
+        );
         assert!(p.is_closed());
     }
 
@@ -1019,7 +1026,11 @@ mod tests {
     fn subst_respects_shadowing() {
         let x = Var::fresh("x");
         // c(x). c<x>.0 — inner x is re-bound, substitution must not cross.
-        let p = b::input(b::name("c"), x, b::output(b::name("c"), b::var(x), b::nil()));
+        let p = b::input(
+            b::name("c"),
+            x,
+            b::output(b::name("c"), b::var(x), b::nil()),
+        );
         let q = p.subst(x, &Value::zero());
         assert_eq!(p, q, "binder for x shields the body");
     }
@@ -1101,7 +1112,10 @@ mod tests {
         // leaves a process whose d-message is still the bound m.
         let closed = open.subst(x, &Value::zero());
         assert!(closed.is_closed());
-        assert!(!closed.free_names().iter().any(|n| n.canonical().as_str() == "m"));
+        assert!(!closed
+            .free_names()
+            .iter()
+            .any(|n| n.canonical().as_str() == "m"));
     }
 
     #[test]

@@ -76,11 +76,7 @@ impl ParseError {
 fn line_col(src: &str, offset: usize) -> (usize, usize) {
     let prefix = &src.as_bytes()[..offset.min(src.len())];
     let line = 1 + prefix.iter().filter(|&&b| b == b'\n').count();
-    let col = 1 + prefix
-        .iter()
-        .rev()
-        .take_while(|&&b| b != b'\n')
-        .count();
+    let col = 1 + prefix.iter().rev().take_while(|&&b| b != b'\n').count();
     (line, col)
 }
 
@@ -213,9 +209,7 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                 };
                 toks.push((tok, start));
             }
-            _ => {
-                return Err(ParseError::new(i, format!("unexpected character `{c}`")))
-            }
+            _ => return Err(ParseError::new(i, format!("unexpected character `{c}`"))),
         }
     }
     Ok(toks)
@@ -842,9 +836,12 @@ mod tests {
 
     #[test]
     fn error_positions_track_lines() {
-        let e = parse_process("c<0>.
+        let e = parse_process(
+            "c<0>.
 0 |
-  ?").unwrap_err();
+  ?",
+        )
+        .unwrap_err();
         assert_eq!((e.line, e.column), (3, 3));
         assert!(e.to_string().contains("line 3"));
     }

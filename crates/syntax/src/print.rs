@@ -171,12 +171,7 @@ mod tests {
     fn prints_replication_and_let() {
         let x = Var::fresh("x");
         let y = Var::fresh("y");
-        let p = b::replicate(b::split(
-            x,
-            y,
-            b::pair(b::zero(), b::zero()),
-            b::nil(),
-        ));
+        let p = b::replicate(b::split(x, y, b::pair(b::zero(), b::zero()), b::nil()));
         assert_eq!(p.to_string(), "!(let (x, y) = (0, 0) in 0)");
     }
 }

@@ -251,10 +251,7 @@ mod tests {
     #[test]
     fn non_numeral_is_none() {
         assert_eq!(Value::name("a").as_numeral(), None);
-        assert_eq!(
-            Value::pair(Value::zero(), Value::zero()).as_numeral(),
-            None
-        );
+        assert_eq!(Value::pair(Value::zero(), Value::zero()).as_numeral(), None);
     }
 
     #[test]

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Offline CI gate for the nuspi workspace: tier-1 build + tests, the
+# differential solver suite, and formatting. No network access needed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (workspace)"
+cargo test -q --workspace
+
+echo "==> differential solver suite"
+cargo test -q --test differential
+cargo test -q --test provenance_stats
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "CI PASS"

@@ -1,0 +1,132 @@
+//! Differential testing of the three solvers.
+//!
+//! The optimised solvers — the sequential worklist ([`solve`]) and the
+//! sharded bulk-synchronous parallel solver ([`solve_parallel`] at 1, 2
+//! and 4 threads) — must compute exactly the same estimate `(ρ, κ, ζ)`
+//! as the deliberately naive round-robin reference ([`solve_reference`])
+//! on every input: the protocol suite plus hundreds of seeded random
+//! processes. On flat processes, leastness is additionally re-checked
+//! against the finite-set saturation oracle and the Moore-family meet
+//! (Theorem 2).
+
+use nuspi::cfa::{
+    solve, solve_parallel, solve_reference, solve_suite, Constraints, FiniteEstimate,
+};
+use nuspi_bench::flatref::{concretize_flat, random_flat_process, saturate_flat};
+use nuspi_bench::genproc::{random_process, GenConfig};
+use nuspi_bench::theorems::check_moore_meet;
+use nuspi_protocols::suite;
+use nuspi_syntax::{Process, Symbol, Value};
+
+/// Solves one labelled process with every solver and checks pairwise
+/// semantic equality of the results.
+fn assert_solvers_agree(p: &Process, ctx: &str) {
+    let seq = solve(Constraints::generate(p));
+    let refr = solve_reference(Constraints::generate(p));
+    seq.estimate_eq(&refr)
+        .unwrap_or_else(|e| panic!("{ctx}: sequential vs reference: {e}"));
+    for threads in [1, 2, 4] {
+        let par = solve_parallel(Constraints::generate(p), threads);
+        seq.estimate_eq(&par)
+            .unwrap_or_else(|e| panic!("{ctx}: sequential vs parallel({threads}): {e}"));
+    }
+}
+
+#[test]
+fn solvers_agree_on_random_processes() {
+    let cfg = GenConfig::default();
+    for seed in 0..200u64 {
+        let p = random_process(seed, &cfg);
+        assert_solvers_agree(&p, &format!("seed {seed}"));
+    }
+}
+
+#[test]
+fn solvers_agree_on_larger_random_processes() {
+    let cfg = GenConfig {
+        components: 6,
+        max_prefixes: 4,
+        channels: 4,
+        keys: 3,
+        restrict_pct: 40,
+    };
+    for seed in 0..40u64 {
+        let p = random_process(seed, &cfg);
+        assert_solvers_agree(&p, &format!("large seed {seed}"));
+    }
+}
+
+#[test]
+fn solvers_agree_on_the_protocol_suite() {
+    for spec in suite() {
+        assert_solvers_agree(&spec.process, spec.name);
+    }
+}
+
+#[test]
+fn suite_batch_api_agrees_with_sequential_solves() {
+    let specs = suite();
+    let batch: Vec<Constraints> = specs
+        .iter()
+        .map(|s| Constraints::generate(&s.process))
+        .collect();
+    let sols = solve_suite(batch, 4);
+    for (spec, sol) in specs.iter().zip(&sols) {
+        let solo = solve(Constraints::generate(&spec.process));
+        solo.estimate_eq(sol)
+            .unwrap_or_else(|e| panic!("{}: batch vs solo: {e}", spec.name));
+    }
+}
+
+#[test]
+fn parallel_solution_is_least_on_flat_processes() {
+    // Flat processes admit finite estimates, so leastness can be checked
+    // exactly: the parallel solution must equal the naive finite
+    // saturation, sit below padded acceptable estimates, and the padded
+    // estimates must satisfy the Moore-family meet property.
+    for seed in 0..60u64 {
+        let p = random_flat_process(seed);
+        let par = solve_parallel(Constraints::generate(&p), 4);
+        let least = concretize_flat(&par);
+        assert!(least.accepts(&p), "seed {seed}: {:?}", least.verify(&p));
+
+        let reference = saturate_flat(&p, &FiniteEstimate::new());
+        assert!(
+            least.leq(&reference) && reference.leq(&least),
+            "seed {seed}: parallel solution ≠ flat saturation"
+        );
+
+        let mut pad1 = FiniteEstimate::new();
+        pad1.add_kappa(Symbol::intern("ch0"), Value::name("junkA"));
+        let mut pad2 = FiniteEstimate::new();
+        pad2.add_kappa(Symbol::intern("ch1"), Value::name("junkB"));
+        let e1 = saturate_flat(&p, &pad1);
+        let e2 = saturate_flat(&p, &pad2);
+        check_moore_meet(&p, &e1, &e2).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert!(
+            least.leq(&e1) && least.leq(&e2),
+            "seed {seed}: least solution must sit below every acceptable estimate"
+        );
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_the_estimate_only_the_sharding() {
+    // Same process, growing shard counts (including more shards than
+    // variables would warrant): always the same estimate, and the shard
+    // partition always covers the variables exactly once.
+    let p = random_process(7, &GenConfig::default());
+    let base = solve_parallel(Constraints::generate(&p), 1);
+    for threads in [2, 3, 5, 8, 16] {
+        let sol = solve_parallel(Constraints::generate(&p), threads);
+        base.estimate_eq(&sol)
+            .unwrap_or_else(|e| panic!("{threads} threads: {e}"));
+        let st = sol.stats();
+        assert_eq!(st.per_shard.len(), threads);
+        assert_eq!(
+            st.per_shard.iter().map(|s| s.owned_vars).sum::<usize>(),
+            st.flow_vars,
+            "{threads} threads: shards must partition the variables"
+        );
+    }
+}

@@ -8,11 +8,13 @@ use nuspi_cfa::accept;
 #[test]
 fn audits_match_expected_verdicts_across_the_suite() {
     for spec in suite() {
-        let analyzer = Analyzer::new().policy(spec.policy.clone()).exec_config(ExecConfig {
-            max_depth: 9,
-            max_states: 500,
-            ..ExecConfig::default()
-        });
+        let analyzer = Analyzer::new()
+            .policy(spec.policy.clone())
+            .exec_config(ExecConfig {
+                max_depth: 9,
+                max_states: 500,
+                ..ExecConfig::default()
+            });
         let audit = analyzer.audit(&spec.process).expect("closed");
         assert_eq!(
             audit.confinement.is_confined(),
@@ -30,8 +32,12 @@ fn audits_match_expected_verdicts_across_the_suite() {
 fn printed_protocols_reparse_with_identical_analysis_shape() {
     for spec in suite() {
         let printed = spec.process.to_string();
-        let reparsed = nuspi::parse_process(&printed)
-            .unwrap_or_else(|e| panic!("{}: printed form does not re-parse: {e}\n{printed}", spec.name));
+        let reparsed = nuspi::parse_process(&printed).unwrap_or_else(|e| {
+            panic!(
+                "{}: printed form does not re-parse: {e}\n{printed}",
+                spec.name
+            )
+        });
         assert_eq!(spec.process.size(), reparsed.size(), "{}", spec.name);
         assert!(reparsed.is_closed(), "{}", spec.name);
         // The re-parsed process (fresh labels, fresh binder ids) gets the
@@ -129,8 +135,7 @@ fn example1_estimate_matches_the_paper_shape() {
         .solution
         .flow_vars()
         .filter(|(id, fv)| {
-            matches!(fv, nuspi::FlowVar::Rho(_))
-                && !report.solution.prods_of_id(*id).is_empty()
+            matches!(fv, nuspi::FlowVar::Rho(_)) && !report.solution.prods_of_id(*id).is_empty()
         })
         .count();
     assert_eq!(rho_count, 6, "x, s, t, y, z, q");

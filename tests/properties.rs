@@ -1,175 +1,253 @@
-//! Property-based tests (proptest) over core invariants of the calculus
-//! and the analysis: evaluation, canonicalisation, the Dolev–Yao closure,
+//! Property-based tests over core invariants of the calculus and the
+//! analysis: evaluation, canonicalisation, the Dolev–Yao closure,
 //! kind/sort operators, and subject reduction on seeded random processes.
+//!
+//! Runs on the in-tree harness (`nuspi_bench::testkit`) — seeded
+//! generators plus greedy shrinking, no external crates.
 
 use nuspi::security::{kind, sort, Kind, Knowledge, Policy, Sort};
-use nuspi::semantics::{commitments, eval, CommitConfig, EvalMode};
-use nuspi::syntax::{builder as b, Expr, Name, Value};
+use nuspi::semantics::{commitments, eval, CommitConfig, EvalMode, Rng};
+use nuspi::syntax::{Name, Value};
 use nuspi_bench::genproc::{random_process, GenConfig};
-use proptest::prelude::*;
+use nuspi_bench::testkit::{
+    check, ensure, ensure_eq, random_expr, random_value, shrink_expr, shrink_value, shrink_vec,
+};
 use std::rc::Rc;
 
-/// A strategy for random concrete values over a small alphabet.
-fn value_strategy() -> impl Strategy<Value = Rc<Value>> {
-    let leaf = prop_oneof![
-        (0u8..4).prop_map(|i| Value::name(format!("n{i}").as_str())),
-        Just(Value::zero()),
-    ];
-    leaf.prop_recursive(3, 24, 3, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(Value::suc),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Value::pair(a, b)),
-            (proptest::collection::vec(inner.clone(), 0..3), inner, 0u8..3).prop_map(
-                |(payload, key, r)| Value::enc(
-                    payload,
-                    Name::global(format!("r{r}").as_str()),
-                    key
-                )
-            ),
-        ]
-    })
+#[test]
+fn canonicalize_is_idempotent() {
+    check(
+        "canonicalize-idempotent",
+        256,
+        |rng| random_value(rng, 3),
+        shrink_value,
+        |w| {
+            let once = w.canonicalize();
+            ensure_eq(once.canonicalize(), once)
+        },
+    );
 }
 
-/// A strategy for random closed expressions.
-fn expr_strategy() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (0u8..4).prop_map(|i| b::name(&format!("n{i}"))),
-        (0u32..4).prop_map(b::numeral),
-    ];
-    leaf.prop_recursive(3, 24, 3, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(b::suc),
-            (inner.clone(), inner.clone()).prop_map(|(a, b_)| b::pair(a, b_)),
-            (inner.clone(), inner).prop_map(|(p, k)| b::enc_auto(vec![p], k)),
-        ]
-    })
+#[test]
+fn canonicalize_preserves_kind_and_sort() {
+    check(
+        "canonicalize-preserves-kind-sort",
+        256,
+        |rng| random_value(rng, 3),
+        shrink_value,
+        |w| {
+            let policy = Policy::with_secrets(["n0", "n1"]);
+            let tracked = nuspi::Symbol::intern("n2");
+            let c = w.canonicalize();
+            ensure_eq(kind(w, &policy), kind(&c, &policy))?;
+            ensure_eq(sort(w, tracked), sort(&c, tracked))
+        },
+    );
 }
 
-proptest! {
-    #[test]
-    fn canonicalize_is_idempotent(w in value_strategy()) {
-        let once = w.canonicalize();
-        prop_assert_eq!(once.canonicalize(), once);
-    }
+#[test]
+fn evaluation_restricts_exactly_the_fresh_confounders() {
+    check(
+        "eval-restricts-fresh-confounders",
+        256,
+        |rng| random_expr(rng, 3),
+        shrink_expr,
+        |e| {
+            let r = eval(e, EvalMode::NuSpi).map_err(|err| err.to_string())?;
+            // Every restricted name occurs in the value, is non-source, and
+            // there are no duplicates (the "w.o. duplicates" side condition).
+            let mut seen = std::collections::HashSet::new();
+            for n in &r.restricted {
+                ensure(!n.is_source(), || format!("{n} is a source name"))?;
+                ensure(r.value.contains_name(*n), || {
+                    format!("{n} restricted but absent from {}", r.value)
+                })?;
+                ensure(seen.insert(*n), || format!("{n} restricted twice"))?;
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn canonicalize_preserves_kind_and_sort(w in value_strategy()) {
-        let policy = Policy::with_secrets(["n0", "n1"]);
-        let tracked = nuspi::Symbol::intern("n2");
-        let c = w.canonicalize();
-        prop_assert_eq!(kind(&w, &policy), kind(&c, &policy));
-        prop_assert_eq!(sort(&w, tracked), sort(&c, tracked));
-    }
+#[test]
+fn evaluation_is_deterministic_up_to_confounders() {
+    check(
+        "eval-deterministic-up-to-confounders",
+        256,
+        |rng| random_expr(rng, 3),
+        shrink_expr,
+        |e| {
+            let a = eval(e, EvalMode::NuSpi).map_err(|err| err.to_string())?;
+            let b_ = eval(e, EvalMode::NuSpi).map_err(|err| err.to_string())?;
+            ensure_eq(a.value.canonicalize(), b_.value.canonicalize())?;
+            ensure_eq(a.restricted.len(), b_.restricted.len())
+        },
+    );
+}
 
-    #[test]
-    fn evaluation_restricts_exactly_the_fresh_confounders(e in expr_strategy()) {
-        let r = eval(&e, EvalMode::NuSpi).unwrap();
-        // Every restricted name occurs in the value, is non-source, and
-        // there are no duplicates (the "w.o. duplicates" side condition).
-        let mut seen = std::collections::HashSet::new();
-        for n in &r.restricted {
-            prop_assert!(!n.is_source());
-            prop_assert!(r.value.contains_name(*n));
-            prop_assert!(seen.insert(*n));
-        }
-    }
+#[test]
+fn classic_mode_evaluation_is_fully_deterministic() {
+    check(
+        "classic-eval-deterministic",
+        256,
+        |rng| random_expr(rng, 3),
+        shrink_expr,
+        |e| {
+            let a = eval(e, EvalMode::ClassicSpi).map_err(|err| err.to_string())?;
+            let b_ = eval(e, EvalMode::ClassicSpi).map_err(|err| err.to_string())?;
+            ensure_eq(a.value, b_.value)?;
+            ensure(a.restricted.is_empty(), || {
+                format!("classic mode restricted {:?}", a.restricted)
+            })
+        },
+    );
+}
 
-    #[test]
-    fn evaluation_is_deterministic_up_to_confounders(e in expr_strategy()) {
-        let a = eval(&e, EvalMode::NuSpi).unwrap();
-        let b_ = eval(&e, EvalMode::NuSpi).unwrap();
-        prop_assert_eq!(a.value.canonicalize(), b_.value.canonicalize());
-        prop_assert_eq!(a.restricted.len(), b_.restricted.len());
-    }
+#[test]
+fn knowledge_closure_is_extensive_and_idempotent() {
+    check(
+        "knowledge-closure-extensive-idempotent",
+        128,
+        |rng| {
+            let n = rng.gen_range(0..6);
+            (0..n).map(|_| random_value(rng, 3)).collect::<Vec<_>>()
+        },
+        |ws| shrink_vec(ws, shrink_value),
+        |ws| {
+            let mut k = Knowledge::from_names(["c"]);
+            for w in ws {
+                k.learn(Rc::clone(w));
+            }
+            // extensive: everything learned is derivable
+            for w in ws {
+                ensure(k.can_derive(w), || format!("learned {w} not derivable"))?;
+            }
+            // idempotent: re-learning changes nothing
+            let before = k.len();
+            for w in ws {
+                k.learn(Rc::clone(w));
+            }
+            ensure_eq(k.len(), before)
+        },
+    );
+}
 
-    #[test]
-    fn classic_mode_evaluation_is_fully_deterministic(e in expr_strategy()) {
-        let a = eval(&e, EvalMode::ClassicSpi).unwrap();
-        let b_ = eval(&e, EvalMode::ClassicSpi).unwrap();
-        prop_assert_eq!(a.value, b_.value);
-        prop_assert!(a.restricted.is_empty());
-    }
+#[test]
+fn derivable_values_stay_derivable_as_knowledge_grows() {
+    check(
+        "knowledge-closure-monotone",
+        128,
+        |rng| {
+            let n = rng.gen_range_inclusive(1, 4);
+            let ws: Vec<_> = (0..n).map(|_| random_value(rng, 3)).collect();
+            let extra = random_value(rng, 3);
+            (ws, extra)
+        },
+        |(ws, extra)| {
+            let mut out: Vec<_> = shrink_vec(ws, shrink_value)
+                .into_iter()
+                .filter(|ws2| !ws2.is_empty())
+                .map(|ws2| (ws2, Rc::clone(extra)))
+                .collect();
+            out.extend(shrink_value(extra).into_iter().map(|e| (ws.clone(), e)));
+            out
+        },
+        |(ws, extra)| {
+            let mut k = Knowledge::from_names(["c"]);
+            for w in ws {
+                k.learn(Rc::clone(w));
+            }
+            let derivable: Vec<Rc<Value>> =
+                ws.iter().filter(|w| k.can_derive(w)).cloned().collect();
+            k.learn(Rc::clone(extra));
+            for w in &derivable {
+                ensure(k.can_derive(w), || {
+                    format!("monotonicity of C(W) broken at {w}")
+                })?;
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn knowledge_closure_is_extensive_and_idempotent(ws in proptest::collection::vec(value_strategy(), 0..6)) {
-        let mut k = Knowledge::from_names(["c"]);
-        for w in &ws {
-            k.learn(Rc::clone(w));
-        }
-        // extensive: everything learned is derivable
-        for w in &ws {
-            prop_assert!(k.can_derive(w));
-        }
-        // idempotent: re-learning changes nothing
-        let before = k.len();
-        for w in &ws {
-            k.learn(Rc::clone(w));
-        }
-        prop_assert_eq!(k.len(), before);
-    }
+#[test]
+fn secret_key_ciphertexts_are_public_kind() {
+    check(
+        "secret-key-ciphertexts-public",
+        256,
+        |rng| random_value(rng, 3),
+        shrink_value,
+        |payload| {
+            let policy = Policy::with_secrets(["sk"]);
+            let ct = Value::enc(
+                vec![Rc::clone(payload)],
+                Name::global("r"),
+                Value::name("sk"),
+            );
+            ensure_eq(kind(&ct, &policy), Kind::P)
+        },
+    );
+}
 
-    #[test]
-    fn derivable_values_stay_derivable_as_knowledge_grows(
-        ws in proptest::collection::vec(value_strategy(), 1..5),
-        extra in value_strategy(),
-    ) {
-        let mut k = Knowledge::from_names(["c"]);
-        for w in &ws {
-            k.learn(Rc::clone(w));
-        }
-        let derivable: Vec<Rc<Value>> = ws.iter().filter(|w| k.can_derive(w)).cloned().collect();
-        k.learn(extra);
-        for w in &derivable {
-            prop_assert!(k.can_derive(w), "monotonicity of C(W)");
-        }
-    }
+#[test]
+fn ciphertext_sort_is_always_independent() {
+    check(
+        "ciphertext-sort-independent",
+        256,
+        |rng| (random_value(rng, 3), random_value(rng, 3)),
+        |(p, k)| {
+            let mut out: Vec<_> = shrink_value(p)
+                .into_iter()
+                .map(|p2| (p2, Rc::clone(k)))
+                .collect();
+            out.extend(shrink_value(k).into_iter().map(|k2| (Rc::clone(p), k2)));
+            out
+        },
+        |(payload, key)| {
+            let tracked = nuspi::Symbol::intern("n0");
+            let ct = Value::enc(vec![Rc::clone(payload)], Name::global("r"), Rc::clone(key));
+            ensure_eq(sort(&ct, tracked), Sort::I)
+        },
+    );
+}
 
-    #[test]
-    fn secret_key_ciphertexts_are_public_kind(payload in value_strategy()) {
-        let policy = Policy::with_secrets(["sk"]);
-        let ct = Value::enc(vec![payload], Name::global("r"), Value::name("sk"));
-        prop_assert_eq!(kind(&ct, &policy), Kind::P);
-    }
-
-    #[test]
-    fn ciphertext_sort_is_always_independent(payload in value_strategy(), key in value_strategy()) {
-        let tracked = nuspi::Symbol::intern("n0");
-        let ct = Value::enc(vec![payload], Name::global("r"), key);
-        prop_assert_eq!(sort(&ct, tracked), Sort::I);
-    }
-
-    #[test]
-    fn commitments_of_closed_processes_have_closed_residuals(seed in 0u64..400) {
+#[test]
+fn commitments_of_closed_processes_have_closed_residuals() {
+    for seed in 0..400u64 {
         let p = random_process(seed, &GenConfig::default());
         for c in commitments(&p, &CommitConfig::default()) {
             match c.agent {
-                nuspi::semantics::Agent::Proc(q) => prop_assert!(q.is_closed()),
-                nuspi::semantics::Agent::Conc(conc) => prop_assert!(conc.body.is_closed()),
+                nuspi::semantics::Agent::Proc(q) => assert!(q.is_closed(), "seed {seed}"),
+                nuspi::semantics::Agent::Conc(conc) => {
+                    assert!(conc.body.is_closed(), "seed {seed}")
+                }
                 nuspi::semantics::Agent::Abs(abs) => {
                     let mut fv = abs.body.free_vars();
                     fv.remove(&abs.var);
-                    prop_assert!(fv.is_empty());
+                    assert!(fv.is_empty(), "seed {seed}");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn analysis_predicts_every_immediate_output(seed in 0u64..300) {
-        // One-step subject reduction, clause (3), on random processes.
+#[test]
+fn analysis_predicts_every_immediate_output() {
+    // One-step subject reduction, clause (3), on random processes.
+    for seed in 0..300u64 {
         let p = random_process(seed, &GenConfig::default());
         let sol = nuspi::analyze(&p);
         for c in commitments(&p, &CommitConfig::default()) {
             if let (nuspi::semantics::Action::Out(m), nuspi::semantics::Agent::Conc(conc)) =
                 (&c.action, &c.agent)
             {
-                prop_assert!(
+                assert!(
                     sol.contains(nuspi::FlowVar::Zeta(conc.label), &conc.value),
                     "seed {seed}: ζ({:?}) misses {}",
                     conc.label,
                     conc.value
                 );
-                prop_assert!(
+                assert!(
                     sol.contains(nuspi::FlowVar::Kappa(m.canonical()), &conc.value),
                     "seed {seed}: κ({}) misses {}",
                     m.canonical(),
@@ -178,14 +256,16 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn parse_print_round_trip_preserves_structure(seed in 0u64..300) {
+#[test]
+fn parse_print_round_trip_preserves_structure() {
+    for seed in 0..300u64 {
         let p = random_process(seed, &GenConfig::default());
         let printed = p.to_string();
         let q = nuspi::parse_process(&printed)
-            .map_err(|e| TestCaseError::fail(format!("{printed}: {e}")))?;
-        prop_assert_eq!(p.size(), q.size());
-        prop_assert_eq!(p.free_names().len(), q.free_names().len());
+            .unwrap_or_else(|e| panic!("seed {seed}: {printed}: {e}"));
+        assert_eq!(p.size(), q.size(), "seed {seed}");
+        assert_eq!(p.free_names().len(), q.free_names().len(), "seed {seed}");
     }
 }

@@ -1,0 +1,133 @@
+//! Coverage for flow provenance and solver instrumentation.
+//!
+//! * Every `(variable, production)` pair of a traced solution must have a
+//!   finite [`Provenance::explain`] chain that terminates in a seed site
+//!   ("introduced at …") — chains cannot cycle because each hop follows
+//!   the first-insertion justification, which strictly decreases in
+//!   insertion time.
+//! * The solver's cache and shard counters must be internally consistent
+//!   (`hits + misses == queries`, shard partitions cover the variables,
+//!   one wall-time sample per round).
+
+use nuspi::cfa::{solve_parallel, solve_traced, Constraints};
+use nuspi_bench::genproc::{random_process, GenConfig};
+use nuspi_protocols::suite;
+
+#[test]
+fn every_flow_in_the_protocol_suite_has_a_seed_rooted_explanation() {
+    for spec in suite() {
+        let (sol, prov) = solve_traced(Constraints::generate(&spec.process));
+        let mut chains = 0;
+        for (id, fv) in sol.flow_vars() {
+            for prod in sol.prods_of_id(id) {
+                let story = prov.explain(&sol, fv, prod);
+                chains += 1;
+                assert!(
+                    !story.is_empty(),
+                    "{}: {fv} has a production without provenance",
+                    spec.name
+                );
+                assert!(
+                    story[0].contains("introduced at"),
+                    "{}: chain for {fv} does not start at a seed site: {story:?}",
+                    spec.name
+                );
+                assert!(
+                    story.iter().all(|hop| !hop.contains("cycle")),
+                    "{}: cyclic provenance for {fv}: {story:?}",
+                    spec.name
+                );
+            }
+        }
+        assert!(chains > 0, "{}: no flows at all", spec.name);
+    }
+}
+
+#[test]
+fn every_flow_in_random_processes_has_a_seed_rooted_explanation() {
+    let cfg = GenConfig::default();
+    for seed in 0..60u64 {
+        let p = random_process(seed, &cfg);
+        let (sol, prov) = solve_traced(Constraints::generate(&p));
+        for (id, fv) in sol.flow_vars() {
+            for prod in sol.prods_of_id(id) {
+                let story = prov.explain(&sol, fv, prod);
+                assert!(
+                    story.first().is_some_and(|h| h.contains("introduced at")),
+                    "seed {seed}: chain for {fv} not seed-rooted: {story:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sequential_cache_counters_are_consistent_across_the_suite() {
+    for spec in suite() {
+        let sol = nuspi::analyze(&spec.process);
+        let st = sol.stats();
+        assert_eq!(
+            st.cache_hits + st.cache_misses,
+            st.intersection_queries,
+            "{}: every query is a hit or a miss",
+            spec.name
+        );
+        assert_eq!(
+            st.round_millis.len(),
+            st.rounds,
+            "{}: one wall-time sample per round",
+            spec.name
+        );
+        assert!(st.per_shard.is_empty(), "sequential solver has no shards");
+    }
+}
+
+#[test]
+fn parallel_counters_are_populated_and_consistent_across_the_suite() {
+    let mut total_queries = 0;
+    let mut total_hits = 0;
+    for spec in suite() {
+        let sol = solve_parallel(Constraints::generate(&spec.process), 4);
+        let st = sol.stats();
+        assert_eq!(st.per_shard.len(), 4, "{}", spec.name);
+        assert_eq!(
+            st.cache_hits + st.cache_misses,
+            st.intersection_queries,
+            "{}",
+            spec.name
+        );
+        for (i, sh) in st.per_shard.iter().enumerate() {
+            assert_eq!(
+                sh.cache_hits + sh.cache_misses,
+                sh.intersection_queries,
+                "{} shard {i}",
+                spec.name
+            );
+        }
+        assert_eq!(
+            st.per_shard.iter().map(|s| s.owned_vars).sum::<usize>(),
+            st.flow_vars,
+            "{}",
+            spec.name
+        );
+        assert_eq!(
+            st.per_shard.iter().map(|s| s.productions).sum::<usize>(),
+            st.productions,
+            "{}",
+            spec.name
+        );
+        assert_eq!(st.round_millis.len(), st.rounds, "{}", spec.name);
+        assert!(
+            st.per_shard.iter().any(|s| s.deltas_sent > 0),
+            "{}: a non-trivial protocol must exchange deltas",
+            spec.name
+        );
+        total_queries += st.intersection_queries;
+        total_hits += st.cache_hits;
+    }
+    // Every protocol in the suite decrypts, so the intersection machinery
+    // must have been exercised, and across the whole suite the memo cache
+    // must have served at least one query.
+    assert!(total_queries > 0, "suite never queried an intersection");
+    assert!(total_hits > 0, "suite never hit the intersection cache");
+}

@@ -85,7 +85,10 @@ fn theorem2_meet_preserves_acceptability() {
     b.add_kappa(Symbol::intern("d"), Value::name("padB"));
     check_moore_meet(&p, &a, &b).unwrap();
     let met = a.meet(&b);
-    assert!(least.leq(&met) && met.leq(&least), "meet recovers the least");
+    assert!(
+        least.leq(&met) && met.leq(&least),
+        "meet recovers the least"
+    );
 }
 
 // ---- Theorem 3: confined ⟹ careful ------------------------------------
@@ -181,8 +184,14 @@ fn theorem5_static_pass_implies_no_distinguisher() {
     for ex in protocols::open_examples() {
         let report = static_message_independence(&ex.process, ex.var, &ex.policy);
         let battery = standard_battery(&ex.public_channels, &[m1.clone(), m2.clone()]);
-        let dynamic =
-            message_independent(&ex.process, ex.var, &m1, &m2, &battery, &ExecConfig::default());
+        let dynamic = message_independent(
+            &ex.process,
+            ex.var,
+            &m1,
+            &m2,
+            &battery,
+            &ExecConfig::default(),
+        );
         if report.implies_independence() {
             assert!(
                 dynamic.is_ok(),
