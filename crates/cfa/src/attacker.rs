@@ -49,7 +49,11 @@ pub fn attacker_confounder() -> Symbol {
 pub fn add_attacker(cs: &mut Constraints, p: &Process, secret: &HashSet<Symbol>) -> VarId {
     let ether = cs.vars.intern(FlowVar::Aux(u32::MAX));
     // Initial knowledge: public free names, the attacker's own name, 0.
-    for n in p.free_names() {
+    // Sorted so the constraint order — and with it the first-cause
+    // provenance chains of traced solves — is independent of hashing.
+    let mut free: Vec<_> = p.free_names().into_iter().collect();
+    free.sort_by_key(|n| n.to_string());
+    for n in free {
         if !secret.contains(&n.canonical()) {
             cs.list.push(Constraint::Prod {
                 prod: Prod::Name(n.canonical()),
@@ -201,6 +205,21 @@ pub fn analyze_with_attacker(p: &Process, secret: &HashSet<Symbol>) -> AttackedS
     let mut cs = Constraints::generate(p);
     let ether = add_attacker(&mut cs, p, secret);
     let solution = solve(cs);
+    AttackedSolution { solution, ether }
+}
+
+/// Like [`analyze_with_attacker`], solving on `threads` shards with
+/// [`solve_parallel`](crate::solve_parallel). The estimate is identical
+/// to the sequential one (differential testing covers this), so callers
+/// can trade solver layout for wall-clock without changing verdicts.
+pub fn analyze_with_attacker_parallel(
+    p: &Process,
+    secret: &HashSet<Symbol>,
+    threads: usize,
+) -> AttackedSolution {
+    let mut cs = Constraints::generate(p);
+    let ether = add_attacker(&mut cs, p, secret);
+    let solution = crate::solve_parallel(cs, threads);
     AttackedSolution { solution, ether }
 }
 

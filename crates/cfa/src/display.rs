@@ -186,6 +186,41 @@ mod tests {
     }
 
     #[test]
+    fn cycle_guard_terminates_without_the_depth_cap() {
+        // The grammar of κ(c) is cyclic: κ(c) → pair → ζ(x) → ρ(x) →
+        // κ(c). A depth budget far larger than the grammar's variable
+        // count means only the visited-set keeps rendering finite.
+        let p = parse_process("c<m>.0 | !c(x).c<(x, 0)>.0").unwrap();
+        let sol = analyze(&p);
+        let shown = sol.render_set(FlowVar::Kappa(Symbol::intern("c")), 10_000);
+        assert!(shown.contains('…'), "cycle must truncate: {shown}");
+        assert!(shown.contains("(") && shown.contains("m"), "{shown}");
+    }
+
+    #[test]
+    fn mutual_recursion_between_channels_truncates() {
+        // Two channels feed each other through suc/pair wrappers —
+        // the cycle spans several nonterminals, not a self-loop.
+        let p = parse_process("a<0>.0 | !a(x).b<suc(x)>.0 | !b(y).a<(y, y)>.0").unwrap();
+        let sol = analyze(&p);
+        for chan in ["a", "b"] {
+            let shown = sol.render_set(FlowVar::Kappa(Symbol::intern(chan)), 500);
+            assert!(shown.contains('…'), "κ({chan}) must truncate: {shown}");
+        }
+    }
+
+    #[test]
+    fn sibling_occurrences_are_not_mistaken_for_cycles() {
+        // The same nonterminal appears twice as a *sibling* (both pair
+        // components); backtracking must clear the visited mark so the
+        // second occurrence still renders.
+        let p = parse_process("c<m>.0 | c(x).d<(x, x)>.0").unwrap();
+        let sol = analyze(&p);
+        let shown = sol.render_set(FlowVar::Kappa(Symbol::intern("d")), 10);
+        assert_eq!(shown, "{ (m, m) }");
+    }
+
+    #[test]
     fn empty_sets_render_as_empty_symbol() {
         let p = parse_process("c(x). x<0>.0").unwrap();
         let sol = analyze(&p);

@@ -45,13 +45,19 @@ mod parallel;
 mod reference;
 mod solver;
 
-pub use attacker::{analyze_with_attacker, analyze_with_attacker_traced, AttackedSolution};
+pub use attacker::{
+    analyze_with_attacker, analyze_with_attacker_parallel, analyze_with_attacker_traced,
+    AttackedSolution,
+};
 pub use constraints::{Constraint, Constraints};
 pub use domain::{FlowVar, Prod, VarId, VarTable};
 pub use finite::{FiniteEstimate, FiniteViolation, ValSet};
 pub use parallel::{solve_parallel, solve_suite};
 pub use reference::solve_reference;
-pub use solver::{solve, solve_traced, EdgeKind, Provenance, ShardStats, Solution, SolverStats};
+pub use solver::{
+    solve, solve_traced, EdgeKind, FlowStep, FlowStepKind, Provenance, ShardStats, Solution,
+    SolverStats,
+};
 
 use nuspi_syntax::Process;
 

@@ -135,9 +135,42 @@ impl std::fmt::Display for EdgeKind {
     }
 }
 
+/// One hop of a reconstructed flow trace: a production's presence in a
+/// flow variable, together with the constraint that put it there.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FlowStep {
+    /// The flow variable the production resides in at this hop.
+    pub at: FlowVar,
+    /// How the production entered `at`.
+    pub kind: FlowStepKind,
+}
+
+/// How a production entered the flow variable of a [`FlowStep`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FlowStepKind {
+    /// Introduced by a generation-time constraint: a constructor
+    /// occurrence of the process, an embedded value, or the attacker
+    /// model of Lemma 1.
+    Introduced,
+    /// Propagated along a subset edge created by the named Table 2
+    /// clause.
+    Propagated {
+        /// The edge's source variable.
+        from: FlowVar,
+        /// The clause that created the edge.
+        via: EdgeKind,
+    },
+    /// The (variable, production) pair is not part of the solution.
+    Absent,
+    /// The provenance chase revisited a variable (defensive; least
+    /// solutions have acyclic first-cause chains).
+    Cycle,
+}
+
 /// Flow provenance: for every (variable, production) pair, how it got
 /// there; for every subset edge, the clause that created it. Built by
-/// [`solve_traced`]; [`Provenance::explain`] reconstructs the chain.
+/// [`solve_traced`]; [`Provenance::explain_steps`] reconstructs the
+/// chain structurally and [`Provenance::explain`] narrates it.
 #[derive(Clone, Debug, Default)]
 pub struct Provenance {
     prod_source: HashMap<(VarId, Prod), ProdSource>,
@@ -145,10 +178,11 @@ pub struct Provenance {
 }
 
 impl Provenance {
-    /// Narrates how `prod` reached `fv`: one line per hop, from the
-    /// introduction site to the destination. Empty if the pair is not in
-    /// the solution.
-    pub fn explain(&self, sol: &Solution, fv: FlowVar, prod: &Prod) -> Vec<String> {
+    /// Reconstructs how `prod` reached `fv` as a structured trace, from
+    /// the introduction site to the destination. Empty if `fv` never
+    /// arose; a single [`FlowStepKind::Absent`] step if the variable
+    /// exists but the production is not in it.
+    pub fn explain_steps(&self, sol: &Solution, fv: FlowVar, prod: &Prod) -> Vec<FlowStep> {
         let Some(mut at) = sol.var_id(fv) else {
             return Vec::new();
         };
@@ -156,36 +190,63 @@ impl Provenance {
         let mut seen = HashSet::new();
         loop {
             if !seen.insert(at) {
-                hops.push("… (cycle)".to_owned());
+                hops.push(FlowStep {
+                    at: sol.describe(at),
+                    kind: FlowStepKind::Cycle,
+                });
                 break;
             }
             match self.prod_source.get(&(at, prod.clone())) {
                 Some(ProdSource::Seed) => {
-                    hops.push(format!("introduced at {}", sol.describe(at)));
+                    hops.push(FlowStep {
+                        at: sol.describe(at),
+                        kind: FlowStepKind::Introduced,
+                    });
                     break;
                 }
                 Some(ProdSource::Edge(from)) => {
-                    let kind = self
+                    let via = self
                         .edge_kind
                         .get(&(*from, at))
-                        .map(|k| k.to_string())
-                        .unwrap_or_else(|| "subset".to_owned());
-                    hops.push(format!(
-                        "reached {} from {} via {}",
-                        sol.describe(at),
-                        sol.describe(*from),
-                        kind
-                    ));
+                        .copied()
+                        .unwrap_or(EdgeKind::Sub);
+                    hops.push(FlowStep {
+                        at: sol.describe(at),
+                        kind: FlowStepKind::Propagated {
+                            from: sol.describe(*from),
+                            via,
+                        },
+                    });
                     at = *from;
                 }
                 None => {
-                    hops.push(format!("not present in {}", sol.describe(at)));
+                    hops.push(FlowStep {
+                        at: sol.describe(at),
+                        kind: FlowStepKind::Absent,
+                    });
                     break;
                 }
             }
         }
         hops.reverse();
         hops
+    }
+
+    /// Narrates how `prod` reached `fv`: one line per hop, from the
+    /// introduction site to the destination. Empty if the pair is not in
+    /// the solution.
+    pub fn explain(&self, sol: &Solution, fv: FlowVar, prod: &Prod) -> Vec<String> {
+        self.explain_steps(sol, fv, prod)
+            .into_iter()
+            .map(|step| match step.kind {
+                FlowStepKind::Introduced => format!("introduced at {}", step.at),
+                FlowStepKind::Propagated { from, via } => {
+                    format!("reached {} from {from} via {via}", step.at)
+                }
+                FlowStepKind::Absent => format!("not present in {}", step.at),
+                FlowStepKind::Cycle => "… (cycle)".to_owned(),
+            })
+            .collect()
     }
 }
 
@@ -603,15 +664,20 @@ impl Solution {
         self.prods.get(id.index()).unwrap_or(&self.empty)
     }
 
-    /// Every canonical channel name with a `κ` entry.
+    /// Every canonical channel name with a `κ` entry, sorted by name so
+    /// callers (and golden files) see the same order regardless of
+    /// interning order or solver layout.
     pub fn channels(&self) -> Vec<Symbol> {
-        self.vars
+        let mut out: Vec<Symbol> = self
+            .vars
             .iter()
             .filter_map(|(_, fv)| match fv {
                 FlowVar::Kappa(n) => Some(n),
                 _ => None,
             })
-            .collect()
+            .collect();
+        out.sort_by_key(|n| n.as_str());
+        out
     }
 
     /// Every flow variable of the solution.
@@ -660,7 +726,11 @@ impl Solution {
     }
 
     /// Enumerates up to `limit` values of `L(fv)` with height at most
-    /// `max_height` (diagnostics; the language may be infinite).
+    /// `max_height` (diagnostics; the language may be infinite). The
+    /// order is deterministic — productions are visited in rendered
+    /// order, which depends only on the grammar's languages, never on
+    /// hashing or on the solver's [`VarId`] layout — so output is
+    /// byte-stable across runs and shard counts.
     pub fn enumerate(&self, fv: FlowVar, max_height: usize, limit: usize) -> Vec<Value> {
         let Some(id) = self.vars.get(fv) else {
             return Vec::new();
@@ -678,7 +748,7 @@ impl Solution {
             return;
         };
         let mut sorted: Vec<&Prod> = set.iter().collect();
-        sorted.sort_by_key(|p| format!("{p:?}"));
+        sorted.sort_by_cached_key(|p| self.render_production(p, 8));
         for p in sorted {
             if out.len() >= limit {
                 return;

@@ -1,0 +1,141 @@
+//! Composition properties of the most powerful attacker (Lemma 1,
+//! Lemma 2, Proposition 1).
+//!
+//! * **Monotonicity**: composing a process in parallel with more public
+//!   context can only grow the attacker's knowledge — every value the
+//!   ether derives for `P` it also derives for `P | Q`.
+//! * **Idempotence**: the hardest-attacker closure is a closure — adding
+//!   the attacker constraints twice yields the same least estimate as
+//!   adding them once (the ether nonterminal is canonical, so the second
+//!   batch of constraints is absorbed).
+//! * **Proposition 1**: a confined process stays confined under
+//!   composition with any attacker `Q` whose names are public — the
+//!   single Lemma 1 estimate already covers `Q`, so the secret stays
+//!   out of the ether.
+
+use nuspi_cfa::attacker::add_attacker;
+use nuspi_cfa::{analyze_with_attacker, solve, AttackedSolution, Constraints};
+use nuspi_syntax::{builder, parse_process, Process, Symbol, Value};
+use std::collections::HashSet;
+
+fn secrets(names: &[&str]) -> HashSet<Symbol> {
+    names.iter().map(|s| Symbol::intern(s)).collect()
+}
+
+fn ether_values(att: &AttackedSolution, max_height: usize, limit: usize) -> Vec<Value> {
+    let fv = att.solution.describe(att.ether);
+    att.solution.enumerate(fv, max_height, limit)
+}
+
+fn ether_contains(att: &AttackedSolution, w: &Value) -> bool {
+    let fv = att.solution.describe(att.ether);
+    att.solution.contains(fv, w)
+}
+
+/// Public contexts to compose with: forwarders, replayers, decrypting
+/// relays — all with public free names only.
+fn public_contexts() -> Vec<Process> {
+    [
+        "c(x). d<x>.0",
+        "!spy(x). spy<x>.0",
+        "c(x). case x of {y}:pub in d<y>.0",
+        "d<(0, suc(0))>.0 | c(x). c<x>.0",
+    ]
+    .iter()
+    .map(|src| parse_process(src).unwrap())
+    .collect()
+}
+
+#[test]
+fn attacker_knowledge_is_monotone_under_parallel_composition() {
+    let base = parse_process("(new m) (new k) (c<{m, new r}:k>.0 | c(z). d<z>.0)").unwrap();
+    let s = secrets(&["m", "k"]);
+    let alone = analyze_with_attacker(&base, &s);
+    for q in public_contexts() {
+        let composed = analyze_with_attacker(&builder::par(base.clone(), q.clone()), &s);
+        for w in ether_values(&alone, 3, 64) {
+            assert!(
+                ether_contains(&composed, &w),
+                "ether lost {w} after composing with {q}"
+            );
+        }
+    }
+}
+
+#[test]
+fn hardest_attacker_closure_is_idempotent() {
+    for src in [
+        "(new m) c<m>.0",
+        "(new m) (new k) (c<{m, new r}:k>.0 | c(z). case z of {y}:k in d<y>.0)",
+        "c(x). x<0>.0",
+    ] {
+        let p = parse_process(src).unwrap();
+        let s = secrets(&["m", "k"]);
+
+        let mut once = Constraints::generate(&p);
+        let ether_once = add_attacker(&mut once, &p, &s);
+        let sol_once = solve(once);
+
+        let mut twice = Constraints::generate(&p);
+        let ether_twice = add_attacker(&mut twice, &p, &s);
+        assert_eq!(
+            ether_twice,
+            add_attacker(&mut twice, &p, &s),
+            "the ether nonterminal must be canonical across additions"
+        );
+        let sol_twice = solve(twice);
+
+        assert_eq!(ether_once, ether_twice);
+        sol_once
+            .estimate_eq(&sol_twice)
+            .unwrap_or_else(|diff| panic!("{src}: closing twice changed the estimate: {diff}"));
+    }
+}
+
+#[test]
+fn confinement_is_preserved_under_attacker_composition() {
+    // Proposition 1: the secret stays out of the ether no matter which
+    // public attacker runs alongside.
+    let wmf = parse_process(
+        "
+        (new m) (new kAS) (new kBS) (
+          ((new kAB) cAS<{kAB, new r1}:kAS>. cAB<{m, new r2}:kAB>.0
+           | cBS(t). case t of {y}:kBS in cAB(z). case z of {q}:y in 0)
+          | cAS(x). case x of {s}:kAS in cBS<{s, new r3}:kBS>.0
+        )",
+    )
+    .unwrap();
+    let s = secrets(&["m", "kAS", "kBS", "kAB"]);
+    let alone = analyze_with_attacker(&wmf, &s);
+    assert!(!ether_contains(&alone, &Value::name("m")));
+    for q in public_contexts() {
+        let composed = analyze_with_attacker(&builder::par(wmf.clone(), q.clone()), &s);
+        assert!(
+            !ether_contains(&composed, &Value::name("m")),
+            "secret m became derivable after composing with {q}"
+        );
+        assert!(
+            !ether_contains(&composed, &Value::name("kAB")),
+            "session key kAB became derivable after composing with {q}"
+        );
+    }
+}
+
+#[test]
+fn a_leaky_context_does_widen_the_ether() {
+    // Sanity for monotonicity: the inclusion can be strict. A context
+    // that re-publishes the restricted channel's traffic hands the
+    // attacker a value it could not previously derive.
+    let base = parse_process("(new d) (new m) (d<m>.0 | d(x).0)").unwrap();
+    let s = secrets(&["m"]);
+    let alone = analyze_with_attacker(&base, &s);
+    assert!(!ether_contains(&alone, &Value::name("m")));
+    // The context extrudes d on the public channel c.
+    let leak = parse_process("c(y).0").unwrap();
+    let widened = builder::par(
+        parse_process("(new d) (new m) (c<d>.0 | d<m>.0 | d(x).0)").unwrap(),
+        leak,
+    );
+    let composed = analyze_with_attacker(&widened, &s);
+    assert!(ether_contains(&composed, &Value::name("m")));
+}

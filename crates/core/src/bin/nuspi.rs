@@ -9,6 +9,8 @@
 //! nuspi explore <file> [--max-depth N] [--max-states N]
 //!                                                bounded state-space statistics
 //! nuspi explain <file> [--secret NAME]...        narrate how secrets reach public channels
+//! nuspi lint    <file> [--secret NAME]... [--json] [--shards N]
+//!                                                multi-pass diagnostics with witness traces
 //! ```
 //!
 //! `<file>` may be `-` for stdin. Exit status: 0 on success/secure, 1 on
@@ -35,7 +37,8 @@ const USAGE: &str = "usage:
   nuspi analyze <file> [--secret NAME]... [--attacker] [--depth N] [--summary]
   nuspi run     <file> [--steps N] [--seed N] [--classic] [--msc]
   nuspi explore <file> [--max-depth N] [--max-states N]
-  nuspi explain <file> [--secret NAME]...";
+  nuspi explain <file> [--secret NAME]...
+  nuspi lint    <file> [--secret NAME]... [--json] [--shards N]";
 
 struct Opts {
     file: Option<String>,
@@ -44,6 +47,8 @@ struct Opts {
     classic: bool,
     msc: bool,
     summary: bool,
+    json: bool,
+    shards: usize,
     depth: usize,
     steps: usize,
     seed: u64,
@@ -59,6 +64,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         classic: false,
         msc: false,
         summary: false,
+        json: false,
+        shards: 1,
         depth: 3,
         steps: 64,
         seed: 0,
@@ -81,6 +88,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--classic" => o.classic = true,
             "--msc" => o.msc = true,
             "--summary" => o.summary = true,
+            "--json" => o.json = true,
+            "--shards" => o.shards = (num("--shards")? as usize).max(1),
             "--depth" => o.depth = num("--depth")? as usize,
             "--steps" => o.steps = num("--steps")? as usize,
             "--seed" => o.seed = num("--seed")?,
@@ -291,6 +300,25 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 Ok(ExitCode::FAILURE)
             }
         }
+        "lint" => {
+            let cfg = nuspi::LintConfig {
+                shards: o.shards,
+                ..nuspi::LintConfig::default()
+            };
+            let diags = nuspi::lint_with(&process, &policy, cfg);
+            if o.json {
+                print!("{}", nuspi::diagnostics::to_json(&diags));
+            } else {
+                print!("{}", nuspi::diagnostics::render_report(&diags));
+            }
+            Ok(
+                if diags.iter().any(|d| d.severity == nuspi::Severity::Error) {
+                    ExitCode::FAILURE
+                } else {
+                    ExitCode::SUCCESS
+                },
+            )
+        }
         other => Err(format!("unknown command {other}")),
     }
 }
@@ -409,6 +437,31 @@ mod tests {
             "sec",
             "--secret",
             "k",
+        ]))
+        .unwrap();
+        assert_eq!(code, ExitCode::SUCCESS);
+    }
+
+    #[test]
+    fn lint_command_reports_and_sets_exit_code() {
+        let dir = std::env::temp_dir().join("nuspi-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("lint-bad.nuspi");
+        std::fs::write(&bad, "(new m) c<m>.0").unwrap();
+        for extra in [&[][..], &["--json"][..], &["--shards", "4"][..]] {
+            let mut args = s(&["lint", bad.to_str().unwrap(), "--secret", "m"]);
+            args.extend(s(extra));
+            assert_eq!(run(&args).unwrap(), ExitCode::FAILURE);
+        }
+        let good = dir.join("lint-good.nuspi");
+        std::fs::write(&good, "(new k) (new m) c<{m, new r}:k>.0").unwrap();
+        let code = run(&s(&[
+            "lint",
+            good.to_str().unwrap(),
+            "--secret",
+            "k",
+            "--secret",
+            "m",
         ]))
         .unwrap();
         assert_eq!(code, ExitCode::SUCCESS);

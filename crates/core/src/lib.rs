@@ -12,7 +12,10 @@
 //!   Theorems 3–4) and **message independence** (confinement + invariance
 //!   ⟹ testing equivalence; Theorem 5) — [`security`];
 //! * a **protocol suite** (WMF, Needham–Schroeder, Otway–Rees, Yahalom,
-//!   Andrew RPC, and flawed variants) — [`protocols`].
+//!   Andrew RPC, and flawed variants) — [`protocols`];
+//! * a **lint engine** turning the analyses into structured diagnostics
+//!   with witness traces, plus syntactic passes and stable JSON output —
+//!   [`diagnostics`] (the `nuspi lint` subcommand).
 //!
 //! The [`Analyzer`] type packages the common workflows.
 //!
@@ -40,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub use nuspi_cfa as cfa;
+pub use nuspi_diagnostics as diagnostics;
 pub use nuspi_protocols as protocols;
 pub use nuspi_security as security;
 pub use nuspi_semantics as semantics;
@@ -49,6 +53,7 @@ pub use nuspi_cfa::{
     analyze, analyze_parallel, solve_parallel, solve_reference, solve_suite, FlowVar, ShardStats,
     Solution, SolverStats,
 };
+pub use nuspi_diagnostics::{lint, lint_with, Diagnostic, LintConfig, Severity};
 pub use nuspi_security::{
     carefulness, confinement, invariance, message_independent, reveals,
     static_message_independence, Attack, CarefulnessReport, ConfinementReport, IntruderConfig,

@@ -1,0 +1,233 @@
+//! The diagnostic data model: severity, span, witness steps.
+//!
+//! Diagnostics are *data*, not prose: the span names a program point (a
+//! label ordinal, a channel, a name) and the witness is a list of steps
+//! each naming the concrete Table 2 constraint or Dolev–Yao closure rule
+//! that justifies the next hop of the flow. Rendering to text or JSON is
+//! the job of [`render`](crate::render) and [`json`](crate::json).
+//!
+//! Spans refer to labels by *ordinal* — the position of the label in the
+//! pre-order traversal of the process ([`Process::labels`]) — never by
+//! raw [`Label`](nuspi_syntax::Label) value, because raw labels are
+//! minted from a global counter and are not stable across runs.
+//!
+//! [`Process::labels`]: nuspi_syntax::Process::labels
+
+use nuspi_syntax::Symbol;
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Severity {
+    /// A security property is (or may be) violated.
+    Error,
+    /// Suspicious but not a property violation.
+    Warning,
+    /// Informational (e.g. a bounded check was truncated).
+    Note,
+}
+
+impl Severity {
+    /// Stable lowercase name, used by both render backends.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        }
+    }
+
+    /// Sort rank: errors first.
+    pub(crate) fn rank(self) -> u8 {
+        match self {
+            Severity::Error => 0,
+            Severity::Warning => 1,
+            Severity::Note => 2,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Where a diagnostic points.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Span {
+    /// A labelled program point, identified by the ordinal of its label
+    /// in the process' pre-order label traversal (stable across runs,
+    /// unlike raw label values).
+    Point {
+        /// Zero-based position in [`Process::labels`].
+        ///
+        /// [`Process::labels`]: nuspi_syntax::Process::labels
+        ordinal: usize,
+    },
+    /// A channel (its `κ` component).
+    Channel(Symbol),
+    /// A canonical name (a binder or policy entry).
+    Name(Symbol),
+    /// The process as a whole.
+    Process,
+}
+
+impl Span {
+    /// Stable, layout-independent sort key.
+    pub(crate) fn sort_key(&self) -> (u8, usize, &str) {
+        match self {
+            Span::Point { ordinal } => (0, *ordinal, ""),
+            Span::Channel(n) => (1, 0, n.as_str()),
+            Span::Name(n) => (2, 0, n.as_str()),
+            Span::Process => (3, 0, ""),
+        }
+    }
+
+    /// The stable string form used by the JSON backend.
+    pub fn value(&self) -> String {
+        match self {
+            Span::Point { ordinal } => format!("ℓ#{ordinal}"),
+            Span::Channel(n) | Span::Name(n) => n.as_str().to_owned(),
+            Span::Process => "process".to_owned(),
+        }
+    }
+
+    /// The span kind's stable name.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Span::Point { .. } => "point",
+            Span::Channel(_) => "channel",
+            Span::Name(_) => "name",
+            Span::Process => "process",
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Span::Point { ordinal } => write!(f, "ℓ#{ordinal}"),
+            Span::Channel(n) => write!(f, "channel {n}"),
+            Span::Name(n) => write!(f, "name {n}"),
+            Span::Process => write!(f, "process"),
+        }
+    }
+}
+
+/// One step of a witness trace. Every step names the concrete constraint
+/// or closure rule that justifies it (`rule`) and instantiates it for
+/// this flow (`detail`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WitnessStep {
+    /// The Table 2 clause, closure rule, or definition applied.
+    pub rule: &'static str,
+    /// The instantiation: which value moved where.
+    pub detail: String,
+}
+
+/// A single finding of a lint pass.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// Stable machine-readable code (`E...` semantic, `W...` syntactic,
+    /// `N...` informational).
+    pub code: &'static str,
+    /// The pass that produced the diagnostic.
+    pub pass: &'static str,
+    /// Severity.
+    pub severity: Severity,
+    /// The program point or entity the diagnostic is about.
+    pub span: Span,
+    /// Human-readable one-line message.
+    pub message: String,
+    /// The seed-rooted flow trace justifying the finding. Non-empty for
+    /// every semantic diagnostic.
+    pub witness: Vec<WitnessStep>,
+}
+
+/// Sorts diagnostics into the stable report order: severity, then code,
+/// then span, then message. Nothing in the key depends on hashing,
+/// solver layout, or label minting order.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.severity.rank(), a.code, a.span.sort_key(), &a.message).cmp(&(
+            b.severity.rank(),
+            b.code,
+            b.span.sort_key(),
+            &b.message,
+        ))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_errors_first() {
+        let mut d = vec![
+            Diagnostic {
+                code: "N001",
+                pass: "p",
+                severity: Severity::Note,
+                span: Span::Process,
+                message: "n".into(),
+                witness: vec![],
+            },
+            Diagnostic {
+                code: "E001",
+                pass: "p",
+                severity: Severity::Error,
+                span: Span::Channel(Symbol::intern("c")),
+                message: "e".into(),
+                witness: vec![],
+            },
+            Diagnostic {
+                code: "W101",
+                pass: "p",
+                severity: Severity::Warning,
+                span: Span::Name(Symbol::intern("k")),
+                message: "w".into(),
+                witness: vec![],
+            },
+        ];
+        sort_diagnostics(&mut d);
+        assert_eq!(
+            d.iter().map(|d| d.code).collect::<Vec<_>>(),
+            ["E001", "W101", "N001"]
+        );
+    }
+
+    #[test]
+    fn span_sorts_points_by_ordinal_then_named_spans() {
+        let mut d: Vec<Diagnostic> = [
+            Span::Name(Symbol::intern("a")),
+            Span::Point { ordinal: 2 },
+            Span::Channel(Symbol::intern("z")),
+            Span::Point { ordinal: 0 },
+        ]
+        .into_iter()
+        .map(|span| Diagnostic {
+            code: "E001",
+            pass: "p",
+            severity: Severity::Error,
+            span,
+            message: "m".into(),
+            witness: vec![],
+        })
+        .collect();
+        sort_diagnostics(&mut d);
+        assert_eq!(d[0].span, Span::Point { ordinal: 0 });
+        assert_eq!(d[1].span, Span::Point { ordinal: 2 });
+        assert_eq!(d[2].span, Span::Channel(Symbol::intern("z")));
+        assert_eq!(d[3].span, Span::Name(Symbol::intern("a")));
+    }
+
+    #[test]
+    fn span_display_and_json_value() {
+        assert_eq!(Span::Point { ordinal: 7 }.to_string(), "ℓ#7");
+        assert_eq!(Span::Point { ordinal: 7 }.value(), "ℓ#7");
+        assert_eq!(Span::Channel(Symbol::intern("c")).kind(), "channel");
+        assert_eq!(Span::Process.value(), "process");
+    }
+}

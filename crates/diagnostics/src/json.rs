@@ -1,0 +1,147 @@
+//! The machine-facing serializer: a stable, hand-rolled JSON document
+//! (std-only; the workspace takes no serde dependency).
+//!
+//! The output is the golden-file format of `tests/lint_golden.rs` and
+//! the `nuspi lint --json` payload, so its byte layout is part of the
+//! contract: fixed key order, two-space indentation, `\n` separators,
+//! and nothing derived from hashing, label minting, or solver layout.
+//! Two runs over the same process and policy produce identical bytes,
+//! as do the 1-shard and 4-shard solver configurations.
+
+use crate::diag::{Diagnostic, Severity};
+use std::fmt::Write as _;
+
+/// Escapes a string for a JSON string literal (control characters,
+/// quotes, backslashes; non-ASCII passes through as UTF-8).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialises a lint report as a pretty-printed JSON document with a
+/// stable byte layout.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Warning)
+        .count();
+    let notes = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Note)
+        .count();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"version\": 1,\n");
+    out.push_str("  \"tool\": \"nuspi-lint\",\n");
+    let _ = writeln!(
+        out,
+        "  \"summary\": {{ \"errors\": {errors}, \"warnings\": {warnings}, \"notes\": {notes} }},"
+    );
+    if diags.is_empty() {
+        out.push_str("  \"diagnostics\": []\n");
+    } else {
+        out.push_str("  \"diagnostics\": [\n");
+        for (i, d) in diags.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"code\": \"{}\",", escape(d.code));
+            let _ = writeln!(out, "      \"pass\": \"{}\",", escape(d.pass));
+            let _ = writeln!(out, "      \"severity\": \"{}\",", d.severity);
+            let _ = writeln!(
+                out,
+                "      \"span\": {{ \"kind\": \"{}\", \"value\": \"{}\" }},",
+                d.span.kind(),
+                escape(&d.span.value())
+            );
+            let _ = writeln!(out, "      \"message\": \"{}\",", escape(&d.message));
+            if d.witness.is_empty() {
+                out.push_str("      \"witness\": []\n");
+            } else {
+                out.push_str("      \"witness\": [\n");
+                for (j, step) in d.witness.iter().enumerate() {
+                    let _ = write!(
+                        out,
+                        "        {{ \"rule\": \"{}\", \"detail\": \"{}\" }}",
+                        escape(step.rule),
+                        escape(&step.detail)
+                    );
+                    out.push_str(if j + 1 < d.witness.len() { ",\n" } else { "\n" });
+                }
+                out.push_str("      ]\n");
+            }
+            out.push_str(if i + 1 < diags.len() {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
+        out.push_str("  ]\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Span, WitnessStep};
+    use nuspi_syntax::Symbol;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![Diagnostic {
+            code: "E001",
+            pass: "confinement",
+            severity: Severity::Error,
+            span: Span::Channel(Symbol::intern("c")),
+            message: "secret \"m\" leaks".into(),
+            witness: vec![WitnessStep {
+                rule: "kind classification (Definition 2)",
+                detail: "kind(m) = S".into(),
+            }],
+        }]
+    }
+
+    #[test]
+    fn escapes_quotes_and_control_characters() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("ζ(ℓ#3)"), "ζ(ℓ#3)");
+    }
+
+    #[test]
+    fn document_has_fixed_shape() {
+        let doc = to_json(&sample());
+        assert!(doc.starts_with("{\n  \"version\": 1,\n  \"tool\": \"nuspi-lint\","));
+        assert!(doc.contains("\"summary\": { \"errors\": 1, \"warnings\": 0, \"notes\": 0 }"));
+        assert!(doc.contains("\"span\": { \"kind\": \"channel\", \"value\": \"c\" }"));
+        assert!(doc.contains("\"message\": \"secret \\\"m\\\" leaks\""));
+        assert!(doc.ends_with("}\n"));
+    }
+
+    #[test]
+    fn empty_report_serialises_cleanly() {
+        let doc = to_json(&[]);
+        assert!(doc.contains("\"diagnostics\": []"));
+    }
+
+    #[test]
+    fn serialisation_is_deterministic() {
+        assert_eq!(to_json(&sample()), to_json(&sample()));
+    }
+}

@@ -1,0 +1,91 @@
+//! The human-facing pretty printer (rustc-style).
+//!
+//! ```text
+//! error[E001]: secret-kind value may flow on public channel `cBS`
+//!   --> channel cBS (pass: confinement)
+//!    1. kind classification (Definition 2): kind(kAB) = S …
+//!    2. Table 2 production (constructor occurrence): kAB is produced at …
+//! ```
+
+use crate::diag::{Diagnostic, Severity};
+use std::fmt::Write as _;
+
+/// Renders one diagnostic in the rustc-inspired layout.
+pub fn render_diagnostic(d: &Diagnostic) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}[{}]: {}", d.severity, d.code, d.message);
+    let _ = writeln!(out, "  --> {} (pass: {})", d.span, d.pass);
+    for (i, step) in d.witness.iter().enumerate() {
+        let _ = writeln!(out, "   {}. {}: {}", i + 1, step.rule, step.detail);
+    }
+    out
+}
+
+/// Renders a full report: every diagnostic followed by a summary line.
+pub fn render_report(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&render_diagnostic(d));
+        out.push('\n');
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Warning)
+        .count();
+    let notes = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Note)
+        .count();
+    let _ = writeln!(
+        out,
+        "lint finished: {errors} error(s), {warnings} warning(s), {notes} note(s)"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Span, WitnessStep};
+    use nuspi_syntax::Symbol;
+
+    fn sample() -> Diagnostic {
+        Diagnostic {
+            code: "E001",
+            pass: "confinement",
+            severity: Severity::Error,
+            span: Span::Channel(Symbol::intern("c")),
+            message: "secret-kind value may flow on public channel `c`".into(),
+            witness: vec![WitnessStep {
+                rule: "kind classification (Definition 2)",
+                detail: "kind(m) = S under the declared policy".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn renders_header_span_and_numbered_witness() {
+        let text = render_diagnostic(&sample());
+        assert!(text.starts_with("error[E001]: secret-kind"));
+        assert!(text.contains("--> channel c (pass: confinement)"));
+        assert!(text.contains("   1. kind classification"));
+    }
+
+    #[test]
+    fn report_ends_with_a_summary() {
+        let text = render_report(&[sample()]);
+        assert!(text
+            .trim_end()
+            .ends_with("1 error(s), 0 warning(s), 0 note(s)"));
+    }
+
+    #[test]
+    fn empty_report_still_summarises() {
+        let text = render_report(&[]);
+        assert_eq!(text, "lint finished: 0 error(s), 0 warning(s), 0 note(s)\n");
+    }
+}

@@ -1,0 +1,451 @@
+//! Semantic lint passes: confinement, carefulness, and invariance
+//! re-derived as structured diagnostics with witness traces.
+//!
+//! | code | finding | source |
+//! |------|---------|--------|
+//! | E001 | secret-kind value may flow on a public channel | Definition 4 |
+//! | E002 | secret-kind value derivable by the attacker | Theorem 4 |
+//! | E003 | a free name of the process is declared secret | Definition 4 |
+//! | E004 | the estimate fails Table 2 re-validation | Table 2 |
+//! | E005 | a reachable state sends a secret in clear | Definition 3 |
+//! | E006 | an encryption/decryption key may expose `n*` | Definition 7 |
+//! | E007 | `n*` may reach a control position | Definition 7 |
+//! | E008 | a comparison may depend on `n*` | Definition 7 |
+//! | N005 | the carefulness exploration was truncated | — |
+//!
+//! Verdicts are read off the decision solution of the shared
+//! [`SemanticCtx`](crate::context::SemanticCtx); witnesses always come
+//! from the traced sequential solve. Both have the same production
+//! sets, so the emitted diagnostics do not depend on the solver layout.
+
+use crate::context::LintContext;
+use crate::diag::{Diagnostic, Severity, Span, WitnessStep};
+use crate::registry::{Pass, PassKind};
+use nuspi_cfa::{accept, attacker::attacker_confounder, attacker::attacker_name, FlowVar, Prod};
+use nuspi_security::{carefulness, invariance, n_star, AbstractSort, InvarianceViolation};
+use nuspi_syntax::Symbol;
+
+/// Every built-in semantic pass.
+pub fn passes() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(Confinement),
+        Box::new(Carefulness),
+        Box::new(Invariance),
+    ]
+}
+
+/// Picks the production of `κ(chan)` (in the traced solution) that best
+/// witnesses a secret-kind flow: prefer plain names and honest
+/// ciphertexts over attacker-synthesised noise, tie-break on the
+/// rendered form so the choice is stable across runs and layouts.
+fn secret_witness_prod(ctx: &LintContext, fv: FlowVar) -> Option<Prod> {
+    let sem = ctx.semantic();
+    let sol = sem.traced_solution();
+    let policy = ctx.policy();
+    let mut candidates: Vec<&Prod> = sol
+        .prods_of(fv)
+        .iter()
+        .filter(|p| sem.traced_kinds.facts_of_prod(p, policy).may_secret)
+        .collect();
+    candidates.sort_by_cached_key(|p| {
+        let interesting = match p {
+            Prod::Name(_) => true,
+            Prod::Enc { confounder, .. } => *confounder != attacker_confounder(),
+            _ => false,
+        };
+        (!interesting, sol.render_production(p, 4))
+    });
+    candidates.first().map(|p| (*p).clone())
+}
+
+/// E001–E004 — the static secrecy check of Definition 4.
+struct Confinement;
+
+impl Pass for Confinement {
+    fn name(&self) -> &'static str {
+        "confinement"
+    }
+    fn description(&self) -> &'static str {
+        "static secrecy: no secret-kind value on public channels (Definition 4)"
+    }
+    fn kind(&self) -> PassKind {
+        PassKind::Semantic
+    }
+    fn run(&self, ctx: &LintContext) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let policy = ctx.policy();
+
+        // E003: free secret names (well-formedness, checked before any
+        // κ reading because it invalidates the policy's premise).
+        let mut free = policy.free_secret_names(ctx.process());
+        free.sort_by_key(|n| n.to_string());
+        for n in free {
+            out.push(Diagnostic {
+                code: "E003",
+                pass: self.name(),
+                severity: Severity::Error,
+                span: Span::Name(n.canonical()),
+                message: format!("free name `{n}` is declared secret"),
+                witness: vec![WitnessStep {
+                    rule: "well-formedness requirement fn(P) ⊆ P (Definition 4)",
+                    detail: format!(
+                        "`{n}` occurs free, so the environment already holds it; \
+                         secrets must be restricted"
+                    ),
+                }],
+            });
+        }
+
+        let sem = ctx.semantic();
+        let sol = sem.decision_solution();
+
+        // E004: acceptability re-validation (Table 2, symbolically).
+        for v in accept::verify(sol, ctx.process()) {
+            out.push(Diagnostic {
+                code: "E004",
+                pass: self.name(),
+                severity: Severity::Error,
+                span: Span::Process,
+                message: format!("estimate not acceptable: {v}"),
+                witness: vec![WitnessStep {
+                    rule: "Table 2 re-validation",
+                    detail: v.to_string(),
+                }],
+            });
+        }
+
+        // E001/E002: a secret-kind production in the κ of a public
+        // channel (or the attacker's knowledge).
+        for chan in sol.channels() {
+            if !policy.is_public(chan) {
+                continue; // κ of a secret channel is unconstrained
+            }
+            let Some(id) = sol.var_id(FlowVar::Kappa(chan)) else {
+                continue;
+            };
+            if !sem.decision_kinds.facts(id).may_secret {
+                continue;
+            }
+            let fv = FlowVar::Kappa(chan);
+            let mut witness = Vec::new();
+            if let Some(prod) = secret_witness_prod(ctx, fv) {
+                let rendered = sem.traced_solution().render_production(&prod, 4);
+                witness.push(WitnessStep {
+                    rule: "kind classification (Definition 2)",
+                    detail: format!("kind({rendered}) = S under the declared policy"),
+                });
+                witness.extend(ctx.witness_from_flow(fv, &prod));
+            }
+            if chan == attacker_name() {
+                out.push(Diagnostic {
+                    code: "E002",
+                    pass: self.name(),
+                    severity: Severity::Error,
+                    span: Span::Channel(chan),
+                    message: "a secret-kind value may become derivable by the attacker".to_owned(),
+                    witness,
+                });
+            } else {
+                out.push(Diagnostic {
+                    code: "E001",
+                    pass: self.name(),
+                    severity: Severity::Error,
+                    span: Span::Channel(chan),
+                    message: format!("secret-kind value may flow on public channel `{chan}`"),
+                    witness,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// E005/N005 — the dynamic carefulness monitor of Definition 3.
+struct Carefulness;
+
+impl Pass for Carefulness {
+    fn name(&self) -> &'static str {
+        "carefulness"
+    }
+    fn description(&self) -> &'static str {
+        "dynamic secrecy: no reachable state sends a secret in clear (Definition 3)"
+    }
+    fn kind(&self) -> PassKind {
+        PassKind::Semantic
+    }
+    fn run(&self, ctx: &LintContext) -> Vec<Diagnostic> {
+        let report = carefulness(ctx.process(), ctx.policy(), &ctx.config().exec);
+        // Deduplicate on (channel, canonical value): the same leak often
+        // recurs in many interleavings, and canonicalisation strips the
+        // run-varying freshness indices of generated names.
+        let mut seen: Vec<(Symbol, String)> = report
+            .violations
+            .iter()
+            .map(|v| (v.channel, v.value.canonicalize().to_string()))
+            .collect();
+        seen.sort_by(|a, b| (a.0.as_str(), &a.1).cmp(&(b.0.as_str(), &b.1)));
+        seen.dedup();
+        let mut out: Vec<Diagnostic> = seen
+            .into_iter()
+            .map(|(chan, value)| Diagnostic {
+                code: "E005",
+                pass: self.name(),
+                severity: Severity::Error,
+                span: Span::Channel(chan),
+                message: format!(
+                    "a reachable state sends secret value {value} in clear on \
+                     public channel `{chan}`"
+                ),
+                witness: vec![
+                    WitnessStep {
+                        rule: "commitment output premise (Definition 3)",
+                        detail: format!(
+                            "some τ-reachable derivative commits to the output of \
+                             {value} on `{chan}`"
+                        ),
+                    },
+                    WitnessStep {
+                        rule: "kind classification (Definition 2)",
+                        detail: format!("kind({value}) = S under the declared policy"),
+                    },
+                ],
+            })
+            .collect();
+        if report.stats.truncated {
+            out.push(Diagnostic {
+                code: "N005",
+                pass: self.name(),
+                severity: Severity::Note,
+                span: Span::Process,
+                message: format!(
+                    "carefulness exploration truncated after {} states; the \
+                     verdict covers only the explored prefix",
+                    report.stats.states
+                ),
+                witness: vec![],
+            });
+        }
+        out
+    }
+}
+
+/// E006–E008 — the static non-interference check of Definition 7,
+/// active only when the process tracks `n*` (i.e. came through the
+/// [`sort`](nuspi_security::sort) substitution of §5).
+struct Invariance;
+
+impl Pass for Invariance {
+    fn name(&self) -> &'static str {
+        "invariance"
+    }
+    fn description(&self) -> &'static str {
+        "non-interference: the tracked message never steers control (Definition 7)"
+    }
+    fn kind(&self) -> PassKind {
+        PassKind::Semantic
+    }
+    fn run(&self, ctx: &LintContext) -> Vec<Diagnostic> {
+        let mut mentioned = std::collections::HashSet::new();
+        crate::syntactic::collect_symbols(ctx.process(), &mut mentioned);
+        if !mentioned.contains(&n_star()) {
+            return Vec::new(); // nothing is being tracked
+        }
+        let sem = ctx.semantic();
+        let decision_sorts = AbstractSort::compute(sem.decision_solution(), n_star());
+        let traced_sorts = if sem.decision.is_some() {
+            AbstractSort::compute(sem.traced_solution(), n_star())
+        } else {
+            decision_sorts.clone()
+        };
+        let violations = invariance(ctx.process(), sem.decision_solution(), &decision_sorts);
+        violations
+            .into_iter()
+            .map(|v| self.diagnose(ctx, &traced_sorts, v))
+            .collect()
+    }
+}
+
+impl Invariance {
+    fn diagnose(
+        &self,
+        ctx: &LintContext,
+        traced_sorts: &AbstractSort,
+        v: InvarianceViolation,
+    ) -> Diagnostic {
+        let sem = ctx.semantic();
+        let sol = sem.traced_solution();
+        // A witness production at a ζ entry that may be E-sorted,
+        // chosen stably by rendered form.
+        let exposed_prod = |l| {
+            let fv = FlowVar::Zeta(l);
+            let mut ps: Vec<&Prod> = sol
+                .prods_of(fv)
+                .iter()
+                .filter(|p| traced_sorts.facts_of_prod(p).may_exposed)
+                .collect();
+            ps.sort_by_cached_key(|p| sol.render_production(p, 4));
+            ps.first().map(|p| (*p).clone())
+        };
+        match v {
+            InvarianceViolation::ExposedKey { label } => {
+                let span = ctx.span_of(label);
+                let mut witness = vec![WitnessStep {
+                    rule: "abstract sort fixpoint (Definition 6)",
+                    detail: format!(
+                        "{} may contain an E-sorted value (one exposing n*)",
+                        ctx.display_flow_var(FlowVar::Zeta(label))
+                    ),
+                }];
+                if let Some(p) = exposed_prod(label) {
+                    witness.extend(ctx.witness_from_flow(FlowVar::Zeta(label), &p));
+                }
+                let message = format!(
+                    "encryption/decryption key at {span} may expose the tracked message n*"
+                );
+                Diagnostic {
+                    code: "E006",
+                    pass: self.name(),
+                    severity: Severity::Error,
+                    span,
+                    message,
+                    witness,
+                }
+            }
+            InvarianceViolation::TrackedAtControlPosition { label, role } => {
+                let span = ctx.span_of(label);
+                let mut witness = vec![WitnessStep {
+                    rule: "sensitive-position check (Definition 7)",
+                    detail: format!(
+                        "n* ∈ {}: the tracked name itself reaches {role}",
+                        ctx.display_flow_var(FlowVar::Zeta(label))
+                    ),
+                }];
+                witness.extend(ctx.witness_from_flow(FlowVar::Zeta(label), &Prod::Name(n_star())));
+                let message = format!("tracked name n* may reach {role} at {span}");
+                Diagnostic {
+                    code: "E007",
+                    pass: self.name(),
+                    severity: Severity::Error,
+                    span,
+                    message,
+                    witness,
+                }
+            }
+            InvarianceViolation::ExposedComparison { label } => {
+                let span = ctx.span_of(label);
+                let mut witness = vec![WitnessStep {
+                    rule: "abstract sort fixpoint (Definition 6)",
+                    detail: format!(
+                        "{} may contain an E-sorted value (one exposing n*)",
+                        ctx.display_flow_var(FlowVar::Zeta(label))
+                    ),
+                }];
+                if let Some(p) = exposed_prod(label) {
+                    witness.extend(ctx.witness_from_flow(FlowVar::Zeta(label), &p));
+                }
+                let message = format!("comparison at {span} may depend on the tracked message n*");
+                Diagnostic {
+                    code: "E008",
+                    pass: self.name(),
+                    severity: Severity::Error,
+                    span,
+                    message,
+                    witness,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{LintConfig, LintContext};
+    use crate::registry::PassRegistry;
+    use nuspi_security::Policy;
+    use nuspi_syntax::parse_process;
+
+    fn lint_all(src: &str, secrets: &[&str]) -> Vec<Diagnostic> {
+        let p = parse_process(src).unwrap();
+        let policy = Policy::with_secrets(secrets.iter().copied());
+        let ctx = LintContext::new(&p, &policy);
+        PassRegistry::with_defaults().run(&ctx)
+    }
+
+    fn codes(d: &[Diagnostic]) -> Vec<&'static str> {
+        d.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn cleartext_secret_yields_e001_e002_e005() {
+        let d = lint_all("(new m) c<m>.0", &["m"]);
+        for code in ["E001", "E002", "E005"] {
+            assert!(codes(&d).contains(&code), "missing {code}: {d:?}");
+        }
+    }
+
+    #[test]
+    fn every_error_diagnostic_has_a_nonempty_witness() {
+        let d = lint_all("(new m) c<m>.0", &["m"]);
+        for diag in d.iter().filter(|d| d.code.starts_with('E')) {
+            assert!(!diag.witness.is_empty(), "{diag:?}");
+            for step in &diag.witness {
+                assert!(!step.rule.is_empty() && !step.detail.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn confined_protocol_is_clean_of_errors() {
+        let src = "
+            (new m) (new kAS) (new kBS) (
+              ((new kAB) cAS<{kAB, new r1}:kAS>. cAB<{m, new r2}:kAB>.0
+               | cBS(t). case t of {y}:kBS in cAB(z). case z of {q}:y in 0)
+              | cAS(x). case x of {s}:kAS in cBS<{s, new r3}:kBS>.0
+            )";
+        let d = lint_all(src, &["kAS", "kBS", "kAB", "m"]);
+        assert!(!d.iter().any(|d| d.severity == Severity::Error), "{d:?}");
+    }
+
+    #[test]
+    fn free_secret_name_yields_e003() {
+        let d = lint_all("c<m>.0", &["m"]);
+        assert!(codes(&d).contains(&"E003"), "{d:?}");
+    }
+
+    #[test]
+    fn tracked_control_position_yields_e007() {
+        // P(x) with x := n*: the tracked message is used as a channel.
+        let d = lint_all("c<n*>.0 | c(x). x<0>.0", &["n*"]);
+        assert!(codes(&d).contains(&"E007"), "{d:?}");
+    }
+
+    #[test]
+    fn tracked_comparison_yields_e008() {
+        let d = lint_all("c<n*>.0 | c(x). [x is 0] d<0>.0", &["n*"]);
+        assert!(codes(&d).contains(&"E008"), "{d:?}");
+    }
+
+    #[test]
+    fn invariance_pass_is_inert_without_n_star() {
+        let d = lint_all("(new m) c<m>.0", &["m"]);
+        assert!(!d.iter().any(|d| matches!(d.code, "E006" | "E007" | "E008")));
+    }
+
+    #[test]
+    fn diagnostics_agree_across_solver_layouts() {
+        let p = parse_process("(new m) (c<m>.0 | c(x). d<x>.0)").unwrap();
+        let policy = Policy::with_secrets(["m"]);
+        let seq = LintContext::new(&p, &policy);
+        let par = LintContext::with_config(
+            &p,
+            &policy,
+            LintConfig {
+                shards: 4,
+                ..LintConfig::default()
+            },
+        );
+        let r = PassRegistry::with_defaults();
+        assert_eq!(r.run(&seq), r.run(&par));
+    }
+}

@@ -13,7 +13,7 @@
 use crate::kind::{kind, Kind};
 use crate::policy::Policy;
 use nuspi_semantics::{explore_tau, ExecConfig, ExploreStats};
-use nuspi_syntax::{Process, Value};
+use nuspi_syntax::{Process, Symbol, Value};
 use std::fmt;
 use std::rc::Rc;
 
@@ -21,8 +21,8 @@ use std::rc::Rc;
 /// public channel in some reachable state.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct CarefulnessViolation {
-    /// The public channel (canonical name as written).
-    pub channel: String,
+    /// The public channel (canonical).
+    pub channel: Symbol,
     /// The secret-kind value that was sent.
     pub value: Rc<Value>,
     /// `τ`-depth bookkeeping: how many states had been visited when the
@@ -68,7 +68,7 @@ pub fn carefulness(p: &Process, policy: &Policy, cfg: &ExecConfig) -> Carefulnes
                 if policy.is_public(out.channel.canonical()) && kind(&out.value, policy) == Kind::S
                 {
                     violations.push(CarefulnessViolation {
-                        channel: out.channel.canonical().as_str().to_owned(),
+                        channel: out.channel.canonical(),
                         value: Rc::clone(&out.value),
                         state_index,
                     });
@@ -106,7 +106,7 @@ mod tests {
         let p = parse_process("(new m) c<m>.0").unwrap();
         let r = carefulness(&p, &pol(&["m"]), &cfg());
         assert!(!r.is_careful());
-        assert_eq!(r.violations[0].channel, "c");
+        assert_eq!(r.violations[0].channel.as_str(), "c");
     }
 
     #[test]
@@ -138,7 +138,7 @@ mod tests {
         let p = parse_process("(new m) (a<0>.b<0>.c<m>.0 | a(x).0 | b(y).0 | c(z).0)").unwrap();
         let r = carefulness(&p, &pol(&["m"]), &cfg());
         assert!(!r.is_careful());
-        assert!(r.violations.iter().any(|v| v.channel == "c"));
+        assert!(r.violations.iter().any(|v| v.channel.as_str() == "c"));
     }
 
     #[test]
@@ -165,7 +165,7 @@ mod tests {
                 .unwrap();
         let r = carefulness(&p, &pol(&["k", "m"]), &cfg());
         assert!(!r.is_careful());
-        assert!(r.violations.iter().any(|v| v.channel == "d"));
+        assert!(r.violations.iter().any(|v| v.channel.as_str() == "d"));
     }
 
     #[test]

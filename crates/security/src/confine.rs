@@ -17,21 +17,24 @@
 use crate::kind::AbstractKind;
 use crate::policy::Policy;
 use nuspi_cfa::{accept, analyze_with_attacker, FlowVar, Solution};
-use nuspi_syntax::Process;
+use nuspi_syntax::{Name, Process, Symbol};
 use std::fmt;
 
-/// Why a process failed the confinement check.
+/// Why a process failed the confinement check. Variants carry the
+/// offending names, channels, and Table 2 clauses as structured data so
+/// downstream tooling (the `nuspi-diagnostics` lint passes) can attach
+/// spans and witness traces without re-parsing prose.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum ConfinementViolation {
     /// A free name of the process is secret (the paper demands
     /// `fn(P) ⊆ P`).
-    FreeSecretName(String),
+    FreeSecretName(Name),
     /// The estimate is not acceptable for the process (Table 2 violation).
-    NotAcceptable(String),
+    NotAcceptable(accept::Violation),
     /// A secret-kind value may flow on a public channel.
     SecretOnPublicChannel {
         /// The offending public channel (canonical).
-        channel: String,
+        channel: Symbol,
     },
     /// The most powerful attacker's knowledge may contain a secret-kind
     /// value (the revelation Theorem 4 rules out for confined processes).
@@ -100,10 +103,10 @@ pub fn confinement(p: &Process, policy: &Policy) -> ConfinementReport {
 pub fn confinement_with(p: &Process, policy: &Policy, solution: Solution) -> ConfinementReport {
     let mut violations = Vec::new();
     for n in policy.free_secret_names(p) {
-        violations.push(ConfinementViolation::FreeSecretName(n.to_string()));
+        violations.push(ConfinementViolation::FreeSecretName(n));
     }
     for v in accept::verify(&solution, p) {
-        violations.push(ConfinementViolation::NotAcceptable(v.to_string()));
+        violations.push(ConfinementViolation::NotAcceptable(v));
     }
     let kinds = AbstractKind::compute(&solution, policy);
     for chan in solution.channels() {
@@ -115,9 +118,7 @@ pub fn confinement_with(p: &Process, policy: &Policy, solution: Solution) -> Con
                 if chan == nuspi_cfa::attacker::attacker_name() {
                     violations.push(ConfinementViolation::SecretDerivableByAttacker);
                 } else {
-                    violations.push(ConfinementViolation::SecretOnPublicChannel {
-                        channel: chan.as_str().to_owned(),
-                    });
+                    violations.push(ConfinementViolation::SecretOnPublicChannel { channel: chan });
                 }
             }
         }
@@ -166,10 +167,10 @@ mod tests {
         let p = parse_process("(new m) c<m>.0").unwrap();
         let report = confinement(&p, &pol(&["m"]));
         assert!(!report.is_confined());
-        assert!(matches!(
-            report.violations[0],
-            ConfinementViolation::SecretOnPublicChannel { .. }
-        ));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, ConfinementViolation::SecretOnPublicChannel { .. })));
     }
 
     #[test]
@@ -211,7 +212,7 @@ mod tests {
         assert!(!report.is_confined());
         assert!(report.violations.iter().any(|v| matches!(
             v,
-            ConfinementViolation::SecretOnPublicChannel { channel } if channel == "cBS"
+            ConfinementViolation::SecretOnPublicChannel { channel } if channel.as_str() == "cBS"
         )));
     }
 

@@ -123,6 +123,13 @@ impl AbstractSort {
     pub fn tracked(&self) -> Symbol {
         self.tracked
     }
+
+    /// The facts of a single production, evaluated against the computed
+    /// fixpoint — lets callers single out *which* production of a
+    /// flagged program point can be `E`-sorted.
+    pub fn facts_of_prod(&self, p: &Prod) -> SortFacts {
+        prod_facts(p, &self.facts, self.tracked)
+    }
 }
 
 fn prod_facts(p: &Prod, facts: &[SortFacts], tracked: Symbol) -> SortFacts {

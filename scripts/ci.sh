@@ -14,6 +14,12 @@ echo "==> differential solver suite"
 cargo test -q --test differential
 cargo test -q --test provenance_stats
 
+echo "==> lint golden files"
+cargo test -q --test lint_golden
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
