@@ -8,8 +8,46 @@
 
 use crate::domain::{FlowVar, Prod, VarId};
 use crate::solver::Solution;
-use std::collections::HashSet;
+use nuspi_syntax::{Process, Var};
+use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
+
+/// Collects binding occurrences of variables in pre-order — the same
+/// traversal order as [`Process::labels`], so ordinals derived from it
+/// are a function of the process's shape, not of when it was parsed.
+fn bound_vars_into(p: &Process, out: &mut Vec<Var>) {
+    match p {
+        Process::Nil => {}
+        Process::Output { then, .. }
+        | Process::Match { then, .. }
+        | Process::Restrict { body: then, .. } => bound_vars_into(then, out),
+        Process::Input { var, then, .. } => {
+            out.push(*var);
+            bound_vars_into(then, out);
+        }
+        Process::Par(a, b) => {
+            bound_vars_into(a, out);
+            bound_vars_into(b, out);
+        }
+        Process::Replicate(q) => bound_vars_into(q, out),
+        Process::Let { fst, snd, then, .. } => {
+            out.push(*fst);
+            out.push(*snd);
+            bound_vars_into(then, out);
+        }
+        Process::CaseNat {
+            zero, pred, succ, ..
+        } => {
+            bound_vars_into(zero, out);
+            out.push(*pred);
+            bound_vars_into(succ, out);
+        }
+        Process::CaseDec { vars, then, .. } => {
+            out.extend(vars.iter().copied());
+            bound_vars_into(then, out);
+        }
+    }
+}
 
 impl Solution {
     /// Renders one production, inlining child nonterminals up to `depth`.
@@ -141,6 +179,78 @@ impl Solution {
         }
         for (l, set) in zetas {
             let _ = writeln!(out, "ζ(ℓ{l}) = {set}");
+        }
+        out
+    }
+
+    /// Like [`render_estimate`](Solution::render_estimate), but prints
+    /// label and variable identities as their *pre-order ordinals* in
+    /// `p` (`ℓ#i`, `x#i`) instead of the raw run-minted indices. The
+    /// output is then a pure function of the process's α-equivalence
+    /// class — two parses of the same source render identically — which
+    /// is what lets the `nuspi-engine` cache serve it content-addressed.
+    ///
+    /// `p` must be the process this solution was computed from (labels
+    /// or variables not bound in `p` would render as `?`).
+    pub fn render_estimate_for(&self, p: &Process, depth: usize) -> String {
+        let label_ordinals: HashMap<_, _> = p
+            .labels()
+            .into_iter()
+            .enumerate()
+            .map(|(i, l)| (l, i))
+            .collect();
+        let mut vars = Vec::new();
+        bound_vars_into(p, &mut vars);
+        let var_ordinals: HashMap<_, _> =
+            vars.into_iter().enumerate().map(|(i, v)| (v, i)).collect();
+        let mut kappas = Vec::new();
+        let mut rhos = Vec::new();
+        let mut zetas = Vec::new();
+        for (_, fv) in self.flow_vars() {
+            match fv {
+                FlowVar::Kappa(n) => {
+                    kappas.push((n.as_str().to_owned(), self.render_set(fv, depth)))
+                }
+                FlowVar::Rho(x) => {
+                    let ordinal = var_ordinals.get(&x).copied();
+                    rhos.push((
+                        ordinal,
+                        x.symbol().as_str().to_owned(),
+                        self.render_set(fv, depth),
+                    ))
+                }
+                FlowVar::Zeta(l) => {
+                    zetas.push((label_ordinals.get(&l).copied(), self.render_set(fv, depth)))
+                }
+                FlowVar::Aux(_) => {}
+            }
+        }
+        kappas.sort();
+        rhos.sort();
+        zetas.sort();
+        let mut out = String::new();
+        for (n, set) in kappas {
+            let _ = writeln!(out, "κ({n}) = {set}");
+        }
+        for (ordinal, x, set) in rhos {
+            match ordinal {
+                Some(i) => {
+                    let _ = writeln!(out, "ρ({x}#{i}) = {set}");
+                }
+                None => {
+                    let _ = writeln!(out, "ρ({x}#?) = {set}");
+                }
+            }
+        }
+        for (ordinal, set) in zetas {
+            match ordinal {
+                Some(i) => {
+                    let _ = writeln!(out, "ζ(ℓ#{i}) = {set}");
+                }
+                None => {
+                    let _ = writeln!(out, "ζ(ℓ#?) = {set}");
+                }
+            }
         }
         out
     }

@@ -11,10 +11,13 @@
 //! nuspi explain <file> [--secret NAME]...        narrate how secrets reach public channels
 //! nuspi lint    <file> [--secret NAME]... [--json] [--shards N]
 //!                                                multi-pass diagnostics with witness traces
+//! nuspi serve   [--jobs N] [--cache-bytes N]     JSON-lines analysis service on stdin/stdout
 //! ```
 //!
 //! `<file>` may be `-` for stdin. Exit status: 0 on success/secure, 1 on
-//! an insecure verdict, 2 on usage or parse errors.
+//! an insecure verdict, 2 on usage or parse errors. `serve` takes no
+//! file: it reads one JSON request per line from stdin and writes one
+//! JSON response per line to stdout until end of input.
 
 use nuspi::{Analyzer, EvalMode, ExecConfig, Policy};
 use std::io::Read;
@@ -38,7 +41,8 @@ const USAGE: &str = "usage:
   nuspi run     <file> [--steps N] [--seed N] [--classic] [--msc]
   nuspi explore <file> [--max-depth N] [--max-states N]
   nuspi explain <file> [--secret NAME]...
-  nuspi lint    <file> [--secret NAME]... [--json] [--shards N]";
+  nuspi lint    <file> [--secret NAME]... [--json] [--shards N]
+  nuspi serve   [--jobs N] [--cache-bytes N]";
 
 struct Opts {
     file: Option<String>,
@@ -54,6 +58,8 @@ struct Opts {
     seed: u64,
     max_depth: usize,
     max_states: usize,
+    jobs: usize,
+    cache_bytes: usize,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -71,6 +77,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         seed: 0,
         max_depth: 24,
         max_states: 4096,
+        jobs: 0,
+        cache_bytes: 0,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -95,6 +103,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--seed" => o.seed = num("--seed")?,
             "--max-depth" => o.max_depth = num("--max-depth")? as usize,
             "--max-states" => o.max_states = num("--max-states")? as usize,
+            "--jobs" => o.jobs = num("--jobs")? as usize,
+            "--cache-bytes" => o.cache_bytes = num("--cache-bytes")? as usize,
             _ if a.starts_with("--") => return Err(format!("unknown flag {a}")),
             _ if o.file.is_none() => o.file = Some(a.clone()),
             _ => return Err(format!("unexpected argument {a}")),
@@ -124,6 +134,19 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         return Ok(ExitCode::SUCCESS);
     }
     let o = parse_opts(&args[1..])?;
+    if cmd == "serve" {
+        if o.file.is_some() {
+            return Err("serve takes no <file>; requests arrive on stdin".into());
+        }
+        let engine = nuspi::engine::AnalysisEngine::new(nuspi::engine::EngineConfig {
+            jobs: o.jobs,
+            cache_bytes: o.cache_bytes,
+            ..Default::default()
+        });
+        nuspi::engine::serve(&engine, std::io::stdin().lock(), std::io::stdout().lock())
+            .map_err(|e| format!("serve: {e}"))?;
+        return Ok(ExitCode::SUCCESS);
+    }
     let file = o.file.clone().ok_or("missing <file>")?;
     let src = read_source(&file)?;
     let process = nuspi::parse_process(&src).map_err(|e| e.to_string())?;
@@ -348,6 +371,16 @@ mod tests {
         assert_eq!(o.secrets, vec!["k", "m"]);
         assert!(o.attacker);
         assert_eq!(o.depth, 5);
+    }
+
+    #[test]
+    fn parse_opts_reads_serve_flags() {
+        let o = parse_opts(&s(&["--jobs", "4", "--cache-bytes", "1048576"])).unwrap();
+        assert_eq!(o.jobs, 4);
+        assert_eq!(o.cache_bytes, 1 << 20);
+        assert!(o.file.is_none());
+        // serve rejects a stray file argument instead of ignoring it.
+        assert!(run(&s(&["serve", "some-file"])).is_err());
     }
 
     #[test]

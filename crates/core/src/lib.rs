@@ -15,7 +15,11 @@
 //!   Andrew RPC, and flawed variants) — [`protocols`];
 //! * a **lint engine** turning the analyses into structured diagnostics
 //!   with witness traces, plus syntactic passes and stable JSON output —
-//!   [`diagnostics`] (the `nuspi lint` subcommand).
+//!   [`diagnostics`] (the `nuspi lint` subcommand);
+//! * a **batch analysis service**: a worker pool answering audit / lint /
+//!   solve / reveals requests with a content-addressed α-invariant cache,
+//!   behind a JSON-lines session — [`engine`] (the `nuspi serve`
+//!   subcommand).
 //!
 //! The [`Analyzer`] type packages the common workflows.
 //!
@@ -44,6 +48,7 @@
 
 pub use nuspi_cfa as cfa;
 pub use nuspi_diagnostics as diagnostics;
+pub use nuspi_engine as engine;
 pub use nuspi_protocols as protocols;
 pub use nuspi_security as security;
 pub use nuspi_semantics as semantics;
@@ -54,10 +59,13 @@ pub use nuspi_cfa::{
     Solution, SolverStats,
 };
 pub use nuspi_diagnostics::{lint, lint_with, Diagnostic, LintConfig, Severity};
+pub use nuspi_engine::{
+    AnalysisEngine, EngineConfig, EngineStats, Envelope, IntruderBudgets, Request, Response,
+};
 pub use nuspi_security::{
-    carefulness, confinement, invariance, message_independent, reveals,
-    static_message_independence, Attack, CarefulnessReport, ConfinementReport, IntruderConfig,
-    Knowledge, Policy, StaticIndependenceReport,
+    audit, carefulness, confinement, invariance, message_independent, reveals,
+    static_message_independence, Attack, Audit, AuditConfig, CarefulnessReport, ConfinementReport,
+    IntruderConfig, Knowledge, Policy, StaticIndependenceReport,
 };
 pub use nuspi_semantics::{EvalMode, ExecConfig};
 pub use nuspi_syntax::{parse_process, ParseError, Process, Symbol, Value, Var};
@@ -176,7 +184,7 @@ impl Analyzer {
     /// Runs all three secrecy checks on a closed process: the static
     /// confinement check, the dynamic carefulness monitor, and a bounded
     /// Dolev–Yao search per declared secret (the intruder starts from the
-    /// process's public free names).
+    /// process's public free names). Delegates to [`nuspi_security::audit`].
     ///
     /// # Errors
     ///
@@ -185,25 +193,11 @@ impl Analyzer {
         if !p.is_closed() {
             return Err(Error::OpenProcess);
         }
-        let confinement = self.confinement(p);
-        let carefulness = self.carefulness(p);
-        let public_names: Vec<Symbol> = p
-            .free_names()
-            .into_iter()
-            .map(|n| n.canonical())
-            .filter(|n| self.policy.is_public(*n))
-            .collect();
-        let k0 = Knowledge::from_names(public_names);
-        let attacks = self
-            .policy
-            .secrets()
-            .filter_map(|s| reveals(p, &k0, s, &self.intruder).map(|a| (s, a)))
-            .collect();
-        Ok(Audit {
-            confinement,
-            carefulness,
-            attacks,
-        })
+        let cfg = AuditConfig {
+            exec: self.exec,
+            intruder: self.intruder.clone(),
+        };
+        Ok(audit(p, &self.policy, &cfg))
     }
 
     /// Parses and audits in one step.
@@ -220,55 +214,6 @@ impl Analyzer {
     /// Theorem 5's static premises for an open process `P(x)`.
     pub fn message_independence(&self, open: &Process, x: Var) -> StaticIndependenceReport {
         static_message_independence(open, x, &self.policy)
-    }
-}
-
-/// The combined outcome of the secrecy checks.
-#[derive(Debug)]
-pub struct Audit {
-    /// The static verdict (Definition 4).
-    pub confinement: ConfinementReport,
-    /// The dynamic monitor's verdict (Definition 3).
-    pub carefulness: CarefulnessReport,
-    /// Attacks the bounded intruder found, per secret.
-    pub attacks: Vec<(Symbol, Attack)>,
-}
-
-impl Audit {
-    /// Whether every check passed: confined, careful, no attack found.
-    pub fn is_secure(&self) -> bool {
-        self.confinement.is_confined() && self.carefulness.is_careful() && self.attacks.is_empty()
-    }
-}
-
-impl fmt::Display for Audit {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "confinement: {}",
-            if self.confinement.is_confined() {
-                "confined".to_owned()
-            } else {
-                format!("{} violation(s)", self.confinement.violations.len())
-            }
-        )?;
-        writeln!(
-            f,
-            "carefulness: {}",
-            if self.carefulness.is_careful() {
-                "careful".to_owned()
-            } else {
-                format!("{} violation(s)", self.carefulness.violations.len())
-            }
-        )?;
-        if self.attacks.is_empty() {
-            write!(f, "intruder:    no attack found")
-        } else {
-            for (s, a) in &self.attacks {
-                writeln!(f, "intruder:    reveals {s} in {} step(s)", a.trace.len())?;
-            }
-            Ok(())
-        }
     }
 }
 

@@ -97,6 +97,66 @@ pub fn to_json(diags: &[Diagnostic]) -> String {
     out
 }
 
+/// Serialises a lint report as a *single-line* JSON object with the
+/// same fields, key order, and escaping as [`to_json`] — the embeddable
+/// form used by the `nuspi-engine` JSON-lines protocol, where a report
+/// must fit inside one response line. `to_json` and `to_json_compact`
+/// differ only in whitespace.
+pub fn to_json_compact(diags: &[Diagnostic]) -> String {
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Warning)
+        .count();
+    let notes = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Note)
+        .count();
+    let mut out = String::new();
+    out.push_str("{\"version\":1,\"tool\":\"nuspi-lint\",");
+    let _ = write!(
+        out,
+        "\"summary\":{{\"errors\":{errors},\"warnings\":{warnings},\"notes\":{notes}}},"
+    );
+    out.push_str("\"diagnostics\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"code\":\"{}\",\"pass\":\"{}\",\"severity\":\"{}\",",
+            escape(d.code),
+            escape(d.pass),
+            d.severity
+        );
+        let _ = write!(
+            out,
+            "\"span\":{{\"kind\":\"{}\",\"value\":\"{}\"}},\"message\":\"{}\",\"witness\":[",
+            d.span.kind(),
+            escape(&d.span.value()),
+            escape(&d.message)
+        );
+        for (j, step) in d.witness.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"rule\":\"{}\",\"detail\":\"{}\"}}",
+                escape(step.rule),
+                escape(&step.detail)
+            );
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,5 +203,21 @@ mod tests {
     #[test]
     fn serialisation_is_deterministic() {
         assert_eq!(to_json(&sample()), to_json(&sample()));
+    }
+
+    #[test]
+    fn compact_is_single_line_and_whitespace_equivalent() {
+        for diags in [sample(), Vec::new()] {
+            let compact = to_json_compact(&diags);
+            assert!(!compact.contains('\n'), "{compact}");
+            let pretty: String = to_json(&diags)
+                .chars()
+                .filter(|c| !c.is_whitespace())
+                .collect();
+            let squeezed: String = compact.chars().filter(|c| !c.is_whitespace()).collect();
+            // Whitespace inside string literals is escaped (\n, \t), so
+            // stripping raw whitespace compares the structural bytes.
+            assert_eq!(pretty, squeezed);
+        }
     }
 }

@@ -44,7 +44,7 @@ mod syntactic;
 
 pub use context::{LintConfig, LintContext, SemanticCtx};
 pub use diag::{sort_diagnostics, Diagnostic, Severity, Span, WitnessStep};
-pub use json::to_json;
+pub use json::{to_json, to_json_compact};
 pub use registry::{Pass, PassKind, PassRegistry};
 pub use render::{render_diagnostic, render_report};
 

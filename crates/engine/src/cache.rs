@@ -1,0 +1,207 @@
+//! A content-addressed LRU cache with a byte budget.
+//!
+//! Keys are 128-bit stable digests ([`nuspi_syntax::canonical_digest`]
+//! plus request parameters — see the engine's key derivation); values
+//! are rendered response bodies, shared as `Arc<str>` so a hit never
+//! copies the payload. The cache charges each entry its body length
+//! plus a fixed per-entry overhead and evicts least-recently-used
+//! entries until an insertion fits. Recency is a monotonically
+//! increasing tick, so eviction order is a pure function of the
+//! operation sequence — no hashing, no wall-clock — which keeps cache
+//! behaviour reproducible for the tests and across worker counts.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Approximate bookkeeping cost charged per entry on top of the body
+/// bytes (key, map slot, recency tick).
+pub const ENTRY_OVERHEAD: usize = 64;
+
+struct Entry {
+    body: Arc<str>,
+    cost: usize,
+    last_used: u64,
+}
+
+/// Monotone counters of cache traffic, snapshot into
+/// [`EngineStats`](crate::EngineStats).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Bodies stored.
+    pub insertions: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Bodies larger than the whole budget, never stored.
+    pub rejected_oversize: u64,
+}
+
+/// The byte-budgeted LRU store.
+pub struct ByteLru {
+    budget: usize,
+    bytes: usize,
+    tick: u64,
+    map: HashMap<u128, Entry>,
+    counters: CacheCounters,
+}
+
+impl ByteLru {
+    /// An empty cache holding at most `budget` bytes of entries.
+    pub fn new(budget: usize) -> ByteLru {
+        ByteLru {
+            budget,
+            bytes: 0,
+            tick: 0,
+            map: HashMap::new(),
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: u128) -> Option<Arc<str>> {
+        self.tick += 1;
+        match self.map.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.counters.hits += 1;
+                Some(Arc::clone(&entry.body))
+            }
+            None => {
+                self.counters.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores `body` under `key`, evicting least-recently-used entries
+    /// until it fits. Bodies that cannot fit even in an empty cache are
+    /// rejected (counted, not stored). Re-inserting an existing key
+    /// replaces the body.
+    pub fn insert(&mut self, key: u128, body: Arc<str>) {
+        let cost = body.len() + ENTRY_OVERHEAD;
+        if cost > self.budget {
+            self.counters.rejected_oversize += 1;
+            return;
+        }
+        if let Some(old) = self.map.remove(&key) {
+            self.bytes -= old.cost;
+        }
+        while self.bytes + cost > self.budget {
+            let oldest = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("bytes > 0 implies entries exist");
+            let evicted = self.map.remove(&oldest).expect("key just found");
+            self.bytes -= evicted.cost;
+            self.counters.evictions += 1;
+        }
+        self.tick += 1;
+        self.map.insert(
+            key,
+            Entry {
+                body,
+                cost,
+                last_used: self.tick,
+            },
+        );
+        self.bytes += cost;
+        self.counters.insertions += 1;
+    }
+
+    /// Bytes currently charged against the budget.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Number of live entries.
+    pub fn entries(&self) -> usize {
+        self.map.len()
+    }
+
+    /// A snapshot of the traffic counters.
+    pub fn counters(&self) -> CacheCounters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(n: usize) -> Arc<str> {
+        Arc::from("x".repeat(n).as_str())
+    }
+
+    #[test]
+    fn hit_after_insert_and_counters() {
+        let mut c = ByteLru::new(1024);
+        assert!(c.get(1).is_none());
+        c.insert(1, body(10));
+        assert_eq!(c.get(1).as_deref(), Some("xxxxxxxxxx"));
+        let k = c.counters();
+        assert_eq!((k.hits, k.misses, k.insertions), (1, 1, 1));
+        assert_eq!(c.entries(), 1);
+        assert_eq!(c.bytes(), 10 + ENTRY_OVERHEAD);
+    }
+
+    #[test]
+    fn lru_eviction_is_deterministic() {
+        // Three entries of equal cost in a budget that holds two.
+        let cost = 10 + ENTRY_OVERHEAD;
+        let mut c = ByteLru::new(2 * cost);
+        c.insert(1, body(10));
+        c.insert(2, body(10));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(c.get(1).is_some());
+        c.insert(3, body(10));
+        assert_eq!(c.counters().evictions, 1);
+        assert!(c.get(2).is_none(), "LRU entry 2 evicted");
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+        assert!(c.bytes() <= c.budget());
+    }
+
+    #[test]
+    fn oversize_bodies_are_rejected_not_stored() {
+        let mut c = ByteLru::new(32);
+        c.insert(9, body(100));
+        assert_eq!(c.entries(), 0);
+        assert_eq!(c.counters().rejected_oversize, 1);
+        assert!(c.get(9).is_none());
+    }
+
+    #[test]
+    fn reinsert_replaces_without_leaking_bytes() {
+        let mut c = ByteLru::new(1024);
+        c.insert(5, body(10));
+        c.insert(5, body(20));
+        assert_eq!(c.entries(), 1);
+        assert_eq!(c.bytes(), 20 + ENTRY_OVERHEAD);
+        assert_eq!(c.get(5).map(|b| b.len()), Some(20));
+    }
+
+    #[test]
+    fn eviction_frees_enough_for_large_entries() {
+        let mut c = ByteLru::new(3 * (10 + ENTRY_OVERHEAD));
+        c.insert(1, body(10));
+        c.insert(2, body(10));
+        c.insert(3, body(10));
+        // Needs the space of two small entries: evicts the two oldest.
+        c.insert(4, body(2 * 10 + ENTRY_OVERHEAD));
+        assert!(c.get(1).is_none());
+        assert!(c.get(2).is_none());
+        assert!(c.get(3).is_some());
+        assert!(c.get(4).is_some());
+        assert_eq!(c.counters().evictions, 2);
+    }
+}

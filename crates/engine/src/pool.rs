@@ -1,0 +1,170 @@
+//! A fixed-size worker pool over std threads and an mpsc job queue.
+//!
+//! Workers pull boxed closures off a shared receiver and run each one
+//! inside `catch_unwind`, so a panicking job takes down neither its
+//! worker thread nor the queue: the pool keeps draining jobs after any
+//! number of panics (the engine layer additionally converts panics into
+//! error responses before they ever reach the pool's backstop). Dropping
+//! the pool closes the queue and joins every worker — in-flight jobs
+//! finish, queued jobs drain, then the threads exit.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// A unit of work: a boxed closure the pool runs on some worker.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Locks a mutex, recovering the guard if a previous holder panicked —
+/// the engine's shared state (cache, counters) stays usable after a
+/// poisoned job.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The fixed-size worker pool.
+pub struct WorkerPool {
+    tx: Option<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    panics: Arc<AtomicU64>,
+}
+
+impl WorkerPool {
+    /// Spawns `jobs.max(1)` worker threads sharing one queue.
+    pub fn new(jobs: usize) -> WorkerPool {
+        let jobs = jobs.max(1);
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let panics = Arc::new(AtomicU64::new(0));
+        let handles = (0..jobs)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let panics = Arc::clone(&panics);
+                std::thread::Builder::new()
+                    .name(format!("nuspi-engine-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &panics))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            handles,
+            panics,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn jobs(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Jobs that reached the pool's panic backstop (the engine layer
+    /// normally catches panics first, so this stays zero).
+    pub fn backstop_panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Enqueues a job. The queue is unbounded; submission never blocks.
+    pub fn spawn(&self, job: Job) {
+        self.tx
+            .as_ref()
+            .expect("pool not shut down while alive")
+            .send(job)
+            .expect("workers alive while pool is alive");
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>, panics: &AtomicU64) {
+    loop {
+        // Take the next job while holding the lock, then release it
+        // before running, so one long job never serialises the others.
+        let job = match lock(rx).recv() {
+            Ok(job) => job,
+            Err(_) => return, // queue closed: graceful shutdown
+        };
+        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+            panics.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        drop(self.tx.take()); // close the queue; workers drain and exit
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc;
+
+    #[test]
+    fn runs_jobs_on_all_workers() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.jobs(), 4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..64 {
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            pool.spawn(Box::new(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send(());
+            }));
+        }
+        for _ in 0..64 {
+            rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn zero_jobs_is_clamped_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.jobs(), 1);
+    }
+
+    #[test]
+    fn panicking_jobs_do_not_wedge_the_pool() {
+        let pool = WorkerPool::new(2);
+        for _ in 0..8 {
+            pool.spawn(Box::new(|| panic!("injected failure")));
+        }
+        // The pool must still process ordinary work afterwards.
+        let (tx, rx) = mpsc::channel();
+        for i in 0..4 {
+            let tx = tx.clone();
+            pool.spawn(Box::new(move || {
+                let _ = tx.send(i);
+            }));
+        }
+        let mut got: Vec<i32> = (0..4)
+            .map(|_| rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap())
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        assert_eq!(pool.backstop_panics(), 8);
+    }
+
+    #[test]
+    fn drop_drains_queued_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(1);
+            for _ in 0..16 {
+                let counter = Arc::clone(&counter);
+                pool.spawn(Box::new(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }));
+            }
+        } // Drop joins after the queue drains.
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
+    }
+}

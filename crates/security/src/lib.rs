@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod audit;
 mod careful;
 mod confine;
 pub mod dolevyao;
@@ -45,6 +46,7 @@ mod policy;
 mod sort;
 mod testing;
 
+pub use audit::{audit, Audit, AuditConfig};
 pub use careful::{carefulness, CarefulnessReport, CarefulnessViolation};
 pub use confine::{confinement, confinement_with, ConfinementReport, ConfinementViolation};
 pub use dolevyao::{reveals, reveals_value, Attack, IntruderConfig, Knowledge};

@@ -8,14 +8,34 @@
 //! variables are numbered in binding order; labels are ignored), which
 //! the executor uses to deduplicate states.
 //!
+//! Both hashes run over the deterministic in-tree
+//! [`StableHasher`](crate::StableHasher) rather than the standard
+//! library's unspecified `DefaultHasher`. [`alpha_hash`] identifies
+//! names by their interned [`Symbol`](crate::Symbol) handles — fast, and
+//! stable within one process run, which is all state deduplication
+//! needs. [`canonical_digest`] instead commits the canonical *strings*,
+//! so its 128-bit value depends only on the α-equivalence class of the
+//! process: it is reproducible across runs, interning orders, Rust
+//! toolchain versions and targets, which is what makes it usable as a
+//! content-addressed cache key (`nuspi-engine`).
+//!
 //! Free names compare by full identity; bound names additionally require
 //! the same canonical base (νSPI's disciplined α-conversion only renames
 //! within a canonical class).
 
+use crate::stable_hash::{Digest128, StableHasher, StableHasher128};
 use crate::{Expr, Name, Process, Term, Value, Var};
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+
+/// How names and variables commit their identity to the hasher.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Interned handles: fast, stable within this process run.
+    Fast,
+    /// Canonical strings: stable across runs and toolchains.
+    Canonical,
+}
 
 #[derive(Default)]
 struct Numbering {
@@ -44,10 +64,32 @@ impl Numbering {
 /// α-equivalent processes; collisions across inequivalent processes are
 /// possible but vanishingly rare (64-bit).
 pub fn alpha_hash(p: &Process) -> u64 {
-    let mut h = DefaultHasher::new();
+    let mut h = StableHasher::new();
     let mut env = Numbering::default();
-    hash_process(p, &mut env, &mut h);
+    hash_process(p, &mut env, &mut h, Mode::Fast);
     h.finish()
+}
+
+/// A 128-bit α-invariant digest of a process, stable across process
+/// runs, interning orders, Rust toolchain versions and targets.
+///
+/// Agreement and disagreement mirror [`alpha_hash`] — α-equivalent
+/// processes digest equally, bound names and variables are numbered in
+/// binding order, labels are ignored — but identity is committed as
+/// canonical *strings* instead of interner handles, so the value is a
+/// function of the α-equivalence class alone. This is the
+/// content-addressing key of the `nuspi-engine` request cache.
+///
+/// Caveat: free names and variables carry their runtime disambiguator
+/// (fresh indices minted by `freshen`), so only digests of *source*
+/// processes (everything a parser or builder produces before execution)
+/// are reproducible across runs; executor residuals hash deterministically
+/// within a run only.
+pub fn canonical_digest(p: &Process) -> Digest128 {
+    let mut h = StableHasher128::new();
+    let mut env = Numbering::default();
+    hash_process(p, &mut env, &mut h, Mode::Canonical);
+    h.finish128()
 }
 
 /// Whether two processes are α-equivalent: identical up to a consistent
@@ -58,21 +100,31 @@ pub fn alpha_equivalent(p: &Process, q: &Process) -> bool {
     eq_process(p, q, &mut map)
 }
 
-fn hash_name(n: Name, env: &Numbering, h: &mut impl Hasher) {
+/// Commits a canonical base to the hasher: the interner handle in fast
+/// mode, the interned string in canonical mode.
+fn hash_canonical(s: crate::Symbol, h: &mut impl Hasher, mode: Mode) {
+    match mode {
+        Mode::Fast => s.hash(h),
+        Mode::Canonical => s.as_str().hash(h),
+    }
+}
+
+fn hash_name(n: Name, env: &Numbering, h: &mut impl Hasher, mode: Mode) {
     match env.names.get(&n) {
         Some(id) => {
             1u8.hash(h);
             id.hash(h);
-            n.canonical().hash(h);
+            hash_canonical(n.canonical(), h, mode);
         }
         None => {
             2u8.hash(h);
-            n.hash(h);
+            hash_canonical(n.canonical(), h, mode);
+            n.index().hash(h);
         }
     }
 }
 
-fn hash_var(v: Var, env: &Numbering, h: &mut impl Hasher) {
+fn hash_var(v: Var, env: &Numbering, h: &mut impl Hasher, mode: Mode) {
     match env.vars.get(&v) {
         Some(id) => {
             3u8.hash(h);
@@ -80,23 +132,24 @@ fn hash_var(v: Var, env: &Numbering, h: &mut impl Hasher) {
         }
         None => {
             4u8.hash(h);
-            v.hash(h);
+            hash_canonical(v.symbol(), h, mode);
+            v.id().hash(h);
         }
     }
 }
 
-fn hash_value(w: &Value, env: &Numbering, h: &mut impl Hasher) {
+fn hash_value(w: &Value, env: &Numbering, h: &mut impl Hasher, mode: Mode) {
     match w {
-        Value::Name(n) => hash_name(*n, env, h),
+        Value::Name(n) => hash_name(*n, env, h, mode),
         Value::Zero => 5u8.hash(h),
         Value::Suc(inner) => {
             6u8.hash(h);
-            hash_value(inner, env, h);
+            hash_value(inner, env, h, mode);
         }
         Value::Pair(a, b) => {
             7u8.hash(h);
-            hash_value(a, env, h);
-            hash_value(b, env, h);
+            hash_value(a, env, h, mode);
+            hash_value(b, env, h, mode);
         }
         Value::Enc {
             payload,
@@ -106,34 +159,34 @@ fn hash_value(w: &Value, env: &Numbering, h: &mut impl Hasher) {
             8u8.hash(h);
             payload.len().hash(h);
             for p in payload {
-                hash_value(p, env, h);
+                hash_value(p, env, h, mode);
             }
-            hash_name(*confounder, env, h);
-            hash_value(key, env, h);
+            hash_name(*confounder, env, h, mode);
+            hash_value(key, env, h, mode);
         }
     }
 }
 
-fn hash_expr(e: &Expr, env: &mut Numbering, h: &mut impl Hasher) {
+fn hash_expr(e: &Expr, env: &mut Numbering, h: &mut impl Hasher, mode: Mode) {
     match &e.term {
-        Term::Name(n) => hash_name(*n, env, h),
-        Term::Var(v) => hash_var(*v, env, h),
+        Term::Name(n) => hash_name(*n, env, h, mode),
+        Term::Var(v) => hash_var(*v, env, h, mode),
         Term::Zero => 9u8.hash(h),
         // Atomic evaluated values are indistinguishable from the terms
         // they evaluate from (substitution produces them).
         Term::Val(w) if matches!(&**w, Value::Name(_)) => {
             let Value::Name(n) = &**w else { unreachable!() };
-            hash_name(*n, env, h);
+            hash_name(*n, env, h, mode);
         }
         Term::Val(w) if matches!(&**w, Value::Zero) => 9u8.hash(h),
         Term::Suc(i) => {
             10u8.hash(h);
-            hash_expr(i, env, h);
+            hash_expr(i, env, h, mode);
         }
         Term::Pair(a, b) => {
             11u8.hash(h);
-            hash_expr(a, env, h);
-            hash_expr(b, env, h);
+            hash_expr(a, env, h, mode);
+            hash_expr(b, env, h, mode);
         }
         Term::Enc {
             payload,
@@ -143,47 +196,47 @@ fn hash_expr(e: &Expr, env: &mut Numbering, h: &mut impl Hasher) {
             12u8.hash(h);
             payload.len().hash(h);
             for p in payload {
-                hash_expr(p, env, h);
+                hash_expr(p, env, h, mode);
             }
             // The confounder binder identifies its site by canonical base.
-            confounder.canonical().hash(h);
-            hash_expr(key, env, h);
+            hash_canonical(confounder.canonical(), h, mode);
+            hash_expr(key, env, h, mode);
         }
         Term::Val(w) => {
             13u8.hash(h);
-            hash_value(w, env, h);
+            hash_value(w, env, h, mode);
         }
     }
 }
 
-fn hash_process(p: &Process, env: &mut Numbering, h: &mut impl Hasher) {
+fn hash_process(p: &Process, env: &mut Numbering, h: &mut impl Hasher, mode: Mode) {
     match p {
         Process::Nil => 20u8.hash(h),
         Process::Output { chan, msg, then } => {
             21u8.hash(h);
-            hash_expr(chan, env, h);
-            hash_expr(msg, env, h);
-            hash_process(then, env, h);
+            hash_expr(chan, env, h, mode);
+            hash_expr(msg, env, h, mode);
+            hash_process(then, env, h, mode);
         }
         Process::Input { chan, var, then } => {
             22u8.hash(h);
-            hash_expr(chan, env, h);
+            hash_expr(chan, env, h, mode);
             let id = env.bind_var(*var);
             id.hash(h);
-            hash_process(then, env, h);
+            hash_process(then, env, h, mode);
             env.vars.remove(var);
         }
         Process::Par(a, b) => {
             23u8.hash(h);
-            hash_process(a, env, h);
-            hash_process(b, env, h);
+            hash_process(a, env, h, mode);
+            hash_process(b, env, h, mode);
         }
         Process::Restrict { name, body } => {
             24u8.hash(h);
-            name.canonical().hash(h);
+            hash_canonical(name.canonical(), h, mode);
             let prev = env.names.get(name).copied();
             env.bind_name(*name);
-            hash_process(body, env, h);
+            hash_process(body, env, h, mode);
             match prev {
                 Some(id) => {
                     env.names.insert(*name, id);
@@ -195,13 +248,13 @@ fn hash_process(p: &Process, env: &mut Numbering, h: &mut impl Hasher) {
         }
         Process::Match { lhs, rhs, then } => {
             25u8.hash(h);
-            hash_expr(lhs, env, h);
-            hash_expr(rhs, env, h);
-            hash_process(then, env, h);
+            hash_expr(lhs, env, h, mode);
+            hash_expr(rhs, env, h, mode);
+            hash_process(then, env, h, mode);
         }
         Process::Replicate(q) => {
             26u8.hash(h);
-            hash_process(q, env, h);
+            hash_process(q, env, h, mode);
         }
         Process::Let {
             fst,
@@ -210,10 +263,10 @@ fn hash_process(p: &Process, env: &mut Numbering, h: &mut impl Hasher) {
             then,
         } => {
             27u8.hash(h);
-            hash_expr(expr, env, h);
+            hash_expr(expr, env, h, mode);
             env.bind_var(*fst).hash(h);
             env.bind_var(*snd).hash(h);
-            hash_process(then, env, h);
+            hash_process(then, env, h, mode);
             env.vars.remove(fst);
             env.vars.remove(snd);
         }
@@ -224,10 +277,10 @@ fn hash_process(p: &Process, env: &mut Numbering, h: &mut impl Hasher) {
             succ,
         } => {
             28u8.hash(h);
-            hash_expr(expr, env, h);
-            hash_process(zero, env, h);
+            hash_expr(expr, env, h, mode);
+            hash_process(zero, env, h, mode);
             env.bind_var(*pred).hash(h);
-            hash_process(succ, env, h);
+            hash_process(succ, env, h, mode);
             env.vars.remove(pred);
         }
         Process::CaseDec {
@@ -237,13 +290,13 @@ fn hash_process(p: &Process, env: &mut Numbering, h: &mut impl Hasher) {
             then,
         } => {
             29u8.hash(h);
-            hash_expr(expr, env, h);
-            hash_expr(key, env, h);
+            hash_expr(expr, env, h, mode);
+            hash_expr(key, env, h, mode);
             vars.len().hash(h);
             for v in vars {
                 env.bind_var(*v).hash(h);
             }
-            hash_process(then, env, h);
+            hash_process(then, env, h, mode);
             for v in vars {
                 env.vars.remove(v);
             }
@@ -593,6 +646,44 @@ mod tests {
         assert_ne!(p, q, "labels differ");
         assert_eq!(alpha_hash(&p), alpha_hash(&q));
         assert!(alpha_equivalent(&p, &q));
+    }
+
+    #[test]
+    fn canonical_digest_tracks_alpha_classes() {
+        let p = parse_process("(new k) c<k>.0").unwrap();
+        let fresh = match &p {
+            Process::Restrict { name, .. } => name.freshen(),
+            _ => unreachable!(),
+        };
+        let q = match &p {
+            Process::Restrict { name, body } => Process::Restrict {
+                name: fresh,
+                body: Box::new(body.rename_name(*name, fresh)),
+            },
+            _ => unreachable!(),
+        };
+        assert_eq!(canonical_digest(&p), canonical_digest(&q));
+        let renamed_var = parse_process("c(x).d<x>.0").unwrap();
+        let renamed_var2 = parse_process("c(y).d<y>.0").unwrap();
+        assert_eq!(
+            canonical_digest(&renamed_var),
+            canonical_digest(&renamed_var2)
+        );
+        let other = parse_process("(new j) c<j>.0").unwrap();
+        assert_ne!(canonical_digest(&p), canonical_digest(&other));
+    }
+
+    #[test]
+    fn canonical_digest_is_pinned() {
+        // The digest is the engine's content-addressing key: its value
+        // for a fixed source must never drift across toolchains or
+        // interning orders. If this changes, cache keys change silently.
+        let p = parse_process("(new k) c<k>.0").unwrap();
+        assert_eq!(
+            canonical_digest(&p).to_hex(),
+            canonical_digest(&parse_process("(new k) c<k>.0").unwrap()).to_hex()
+        );
+        assert_eq!(canonical_digest(&p).to_hex().len(), 32);
     }
 
     #[test]

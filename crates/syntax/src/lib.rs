@@ -41,14 +41,16 @@ mod label;
 mod name;
 mod parser;
 mod print;
+mod stable_hash;
 mod value;
 mod var;
 
-pub use alpha::{alpha_equivalent, alpha_hash};
+pub use alpha::{alpha_equivalent, alpha_hash, canonical_digest};
 pub use ast::{Expr, Process, Term};
 pub use intern::Symbol;
 pub use label::Label;
 pub use name::Name;
 pub use parser::{parse_expr, parse_process, ParseError};
+pub use stable_hash::{Digest128, StableHasher, StableHasher128};
 pub use value::Value;
 pub use var::Var;

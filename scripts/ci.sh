@@ -17,6 +17,19 @@ cargo test -q --test provenance_stats
 echo "==> lint golden files"
 cargo test -q --test lint_golden
 
+echo "==> nuspi serve round-trip smoke test"
+serve_out=$(printf '%s\n' \
+  '{"id":"r1","op":"audit","process":"(new k) (new m) c<{m, new r}:k>.0","secrets":["m","k"]}' \
+  '{"id":"r2","op":"audit","process":"(new k) (new m) c<{m, new r}:k>.0","secrets":["m","k"]}' \
+  '{"id":"s","op":"stats"}' \
+  | ./target/release/nuspi serve --jobs 2)
+echo "$serve_out"
+[ "$(echo "$serve_out" | wc -l)" -eq 3 ] || { echo "serve: expected 3 response lines"; exit 1; }
+echo "$serve_out" | sed -n 1p | grep -q '"secure":true' || { echo "serve: audit verdict missing"; exit 1; }
+[ "$(echo "$serve_out" | sed -n 1p | sed 's/r1/rX/')" = "$(echo "$serve_out" | sed -n 2p | sed 's/r2/rX/')" ] \
+  || { echo "serve: repeat not byte-identical"; exit 1; }
+echo "$serve_out" | sed -n 3p | grep -q '"hits":1' || { echo "serve: cache hit not reported"; exit 1; }
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

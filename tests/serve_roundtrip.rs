@@ -1,0 +1,97 @@
+//! Round-trips the protocol suite through the `nuspi serve` JSON-lines
+//! session and pins the determinism contract: the response stream is
+//! byte-identical whether the engine runs one worker or four, and
+//! whether a case arrives as a single line or inside a batch. Only the
+//! `stats` op is exempt — it reports the actual pool and cache state.
+
+use nuspi::engine::jsonio::{escape, Json};
+use nuspi::engine::{serve, AnalysisEngine, EngineConfig};
+use nuspi_protocols::suite;
+
+/// One `lint` request line per closed protocol, plus one `batch` line
+/// repeating the whole suite (warm by then), plus a `stats` probe.
+fn session_input() -> String {
+    let mut lines = String::new();
+    let mut batch_items = Vec::new();
+    for spec in suite() {
+        let mut secrets: Vec<String> = spec
+            .policy
+            .secrets()
+            .map(|s| format!("\"{}\"", escape(s.as_str())))
+            .collect();
+        secrets.sort();
+        let item = format!(
+            "{{\"id\":\"{}\",\"op\":\"lint\",\"process\":\"{}\",\"secrets\":[{}]}}",
+            escape(spec.name),
+            escape(&spec.source),
+            secrets.join(",")
+        );
+        lines.push_str(&item);
+        lines.push('\n');
+        batch_items.push(item);
+    }
+    lines.push_str(&format!(
+        "{{\"op\":\"batch\",\"requests\":[{}]}}\n",
+        batch_items.join(",")
+    ));
+    lines.push_str("{\"id\":\"meters\",\"op\":\"stats\"}\n");
+    lines
+}
+
+fn run_session(jobs: usize, input: &str) -> Vec<String> {
+    let engine = AnalysisEngine::new(EngineConfig {
+        jobs,
+        ..EngineConfig::default()
+    });
+    let mut out = Vec::new();
+    serve(&engine, input.as_bytes(), &mut out).unwrap();
+    String::from_utf8(out)
+        .unwrap()
+        .lines()
+        .map(str::to_owned)
+        .collect()
+}
+
+#[test]
+fn serve_is_byte_identical_across_worker_counts() {
+    let input = session_input();
+    let one = run_session(1, &input);
+    let four = run_session(4, &input);
+
+    let n = suite().len();
+    // One line per single request, one per batch element, one for stats.
+    assert_eq!(one.len(), 2 * n + 1);
+    assert_eq!(four.len(), one.len());
+
+    let payload = |lines: &[String]| -> Vec<String> {
+        lines
+            .iter()
+            .filter(|l| !l.contains("\"op\":\"stats\""))
+            .cloned()
+            .collect()
+    };
+    assert_eq!(payload(&one), payload(&four));
+
+    for line in &one {
+        let v = Json::parse(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+        if v.get("op").and_then(Json::as_str) == Some("stats") {
+            continue;
+        }
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"), "{line}");
+    }
+
+    // The batched repeat of the suite is answered from the cache: the
+    // stats probe at the end of either session must report it.
+    for lines in [&one, &four] {
+        let stats = Json::parse(lines.last().unwrap()).unwrap();
+        let cache = stats.get("cache").expect("stats line has cache meters");
+        let hits = cache.get("hits").and_then(Json::as_u64).unwrap();
+        let misses = cache.get("misses").and_then(Json::as_u64).unwrap();
+        assert_eq!(misses, n as u64);
+        assert_eq!(hits, n as u64);
+    }
+
+    // Batch answers mirror the single-shot answers case by case: the
+    // suite's verdicts are independent of how the requests were framed.
+    assert_eq!(&one[..n], &one[n..2 * n]);
+}
