@@ -1,95 +1,20 @@
-//! Bench B1c (plain-binary edition) — ablations for the design choices
-//! DESIGN.md calls out:
-//!
-//! * attacker closure on/off: the cost of Definition 4's `⊇` direction
-//!   (the most powerful attacker) over the plain least solution;
-//! * replication budget: commitment-enumeration cost as `!P` unfolding
-//!   deepens;
-//! * νSPI vs classic-spi evaluation: the price of confounder freshening.
+//! Thin front end for the `ablation` bench suite (see
+//! `nuspi_bench::suites`): prints the human tables and writes the
+//! machine-readable `BENCH_ablation.json` report for `bench_gate`.
 //!
 //! Run with: `cargo run --release -p nuspi-bench --bin bench_ablation`
+//! (`--smoke` shrinks the per-measurement time budget).
 
-use nuspi_bench::report::{timed_stable, Table};
-use nuspi_bench::workloads;
-use nuspi_cfa::{analyze, analyze_with_attacker};
-use nuspi_semantics::{commitments, eval, CommitConfig, EvalMode};
-use nuspi_syntax::{builder as b, parse_process, Name};
-use std::collections::HashSet;
-use std::time::Duration;
-
-const BUDGET: Duration = Duration::from_millis(150);
+use nuspi_bench::report::bench_dir;
+use nuspi_bench::suites;
 
 fn main() {
-    println!("bench_ablation: design-choice ablations\n");
-    let mut table = Table::new(["benchmark", "mean time"]);
-
-    for n in [2usize, 4, 8] {
-        let p = workloads::wmf_sessions(n);
-        let secrets: HashSet<_> = (0..n)
-            .flat_map(|i| {
-                [
-                    format!("m{i}"),
-                    format!("kAS{i}"),
-                    format!("kBS{i}"),
-                    format!("kAB{i}"),
-                ]
-            })
-            .map(|s| nuspi_syntax::Symbol::intern(&s))
-            .collect();
-        let t = timed_stable(BUDGET, || {
-            let _ = analyze(&p);
-        });
-        table.row([
-            format!("attacker-closure/plain-{n}"),
-            format!("{:.3}ms", t.as_secs_f64() * 1e3),
-        ]);
-        let t = timed_stable(BUDGET, || {
-            let _ = analyze_with_attacker(&p, &secrets);
-        });
-        table.row([
-            format!("attacker-closure/closed-{n}"),
-            format!("{:.3}ms", t.as_secs_f64() * 1e3),
-        ]);
-    }
-
-    let p = parse_process("!(ping<0>.0 | ping(x).pong<x>.0)").unwrap();
-    for budget in [1u32, 2, 3] {
-        let cfg = CommitConfig {
-            mode: EvalMode::NuSpi,
-            rep_budget: budget,
-        };
-        let t = timed_stable(BUDGET, || {
-            let _ = commitments(&p, &cfg);
-        });
-        table.row([
-            format!("rep-budget/{budget}"),
-            format!("{:.3}ms", t.as_secs_f64() * 1e3),
-        ]);
-    }
-
-    let mut e = b::zero();
-    for i in 0..16 {
-        e = b::enc(
-            vec![e],
-            Name::global(format!("r{i}").as_str()),
-            b::name("k"),
-        );
-    }
-    let t = timed_stable(BUDGET, || {
-        eval(&e, EvalMode::NuSpi).unwrap();
-    });
-    table.row([
-        "eval-mode/nuspi-fresh-confounders".to_owned(),
-        format!("{:.4}ms", t.as_secs_f64() * 1e3),
-    ]);
-    let t = timed_stable(BUDGET, || {
-        eval(&e, EvalMode::ClassicSpi).unwrap();
-    });
-    table.row([
-        "eval-mode/classic-spi".to_owned(),
-        format!("{:.4}ms", t.as_secs_f64() * 1e3),
-    ]);
-
-    println!("{}", table.render());
-    println!("bench_ablation done.");
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let run = suites::run("ablation", smoke).expect("known suite");
+    print!("{}", run.human);
+    let path = run
+        .report
+        .write_to(&bench_dir())
+        .expect("write bench report");
+    eprintln!("report: {}", path.display());
 }

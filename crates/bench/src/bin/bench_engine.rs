@@ -1,128 +1,20 @@
-//! Bench: engine throughput over the protocol suite, cold vs warm cache.
-//!
-//! Submits the 21-case suite (17 closed protocols + the 4 tracked open
-//! examples) as one batch to a fresh [`AnalysisEngine`], then resubmits
-//! the same batch repeatedly: the first round pays for every solve, the
-//! repeats are answered from the content-addressed cache. The gap
-//! between the two is the cache's whole value proposition, so the run
-//! fails loudly if warm is not faster than cold.
-//!
-//! Writes a machine-readable summary to `BENCH_engine.json` alongside
-//! the human table.
+//! Thin front end for the `engine` bench suite (see
+//! `nuspi_bench::suites`): prints the human tables and writes the
+//! machine-readable `BENCH_engine.json` report for `bench_gate`.
 //!
 //! Run with: `cargo run --release -p nuspi-bench --bin bench_engine`
+//! (`--smoke` shrinks the per-measurement time budget).
 
-use nuspi_bench::report::{timed, Table};
-use nuspi_engine::{AnalysisEngine, ProcessInput, Request, Response};
-use nuspi_protocols::{open_examples, suite};
-use nuspi_security::{n_star, n_star_name};
-use nuspi_syntax::{builder, Value};
-use std::time::Duration;
-
-const WARM_ROUNDS: u32 = 5;
-
-/// The 21-case batch the round-trip suite also uses: one lint per case.
-fn suite_requests() -> Vec<Request> {
-    let mut out = Vec::new();
-    for spec in suite() {
-        let mut secrets: Vec<String> = spec
-            .policy
-            .secrets()
-            .map(|s| s.as_str().to_owned())
-            .collect();
-        secrets.sort();
-        out.push(Request::Lint {
-            process: ProcessInput::Source(spec.source.clone()),
-            secrets,
-            shards: 1,
-        });
-    }
-    for ex in open_examples() {
-        let tracked = builder::restrict(
-            n_star_name(),
-            ex.process.subst(ex.var, &Value::name(n_star_name())),
-        );
-        let mut policy = ex.policy.clone();
-        policy.add_secret(n_star());
-        let mut secrets: Vec<String> = policy.secrets().map(|s| s.as_str().to_owned()).collect();
-        secrets.sort();
-        out.push(Request::Lint {
-            process: ProcessInput::Parsed(tracked),
-            secrets,
-            shards: 1,
-        });
-    }
-    out
-}
-
-fn ms(d: Duration) -> f64 {
-    d.as_secs_f64() * 1e3
-}
+use nuspi_bench::report::bench_dir;
+use nuspi_bench::suites;
 
 fn main() {
-    let requests = suite_requests();
-    let cases = requests.len();
-    let engine = AnalysisEngine::with_jobs(0); // one worker per core
-    println!(
-        "bench_engine: {cases}-case suite, {} worker(s), cold batch then {WARM_ROUNDS} warm rounds\n",
-        engine.jobs()
-    );
-
-    let (cold_responses, cold) = timed(|| engine.submit_requests(requests.clone()));
-    assert!(
-        cold_responses.iter().all(Response::is_ok),
-        "cold batch must succeed"
-    );
-
-    let mut warm_total = Duration::ZERO;
-    for round in 0..WARM_ROUNDS {
-        let (responses, took) = timed(|| engine.submit_requests(requests.clone()));
-        assert!(
-            responses.iter().all(|r| r.cached),
-            "warm round {round} must be served from the cache"
-        );
-        warm_total += took;
-    }
-    let warm = warm_total / WARM_ROUNDS;
-    let stats = engine.stats();
-    let speedup = cold.as_secs_f64() / warm.as_secs_f64().max(1e-9);
-
-    let mut table = Table::new(["phase", "batch time", "per case", "throughput"]);
-    for (phase, took) in [("cold", cold), ("warm (mean)", warm)] {
-        table.row([
-            phase.to_owned(),
-            format!("{:.3}ms", ms(took)),
-            format!("{:.3}ms", ms(took) / cases as f64),
-            format!("{:.0} case/s", cases as f64 / took.as_secs_f64()),
-        ]);
-    }
-    println!("{}", table.render());
-    println!(
-        "speedup: {speedup:.1}x   hit rate: {:.3}   cache: {} entries, {} bytes",
-        stats.hit_rate(),
-        stats.cache_entries,
-        stats.cache_bytes
-    );
-    assert!(
-        warm < cold,
-        "warm-cache batch ({warm:?}) must beat the cold batch ({cold:?})"
-    );
-
-    let json = format!(
-        "{{\n  \"bench\": \"engine\",\n  \"cases\": {cases},\n  \"jobs\": {},\n  \
-         \"warm_rounds\": {WARM_ROUNDS},\n  \"cold_ms\": {:.3},\n  \"warm_ms\": {:.3},\n  \
-         \"speedup\": {:.2},\n  \"hit_rate\": {:.3},\n  \"cache_hits\": {},\n  \
-         \"cache_misses\": {},\n  \"cache_entries\": {},\n  \"cache_bytes\": {}\n}}\n",
-        engine.jobs(),
-        ms(cold),
-        ms(warm),
-        speedup,
-        stats.hit_rate(),
-        stats.cache.hits,
-        stats.cache.misses,
-        stats.cache_entries,
-        stats.cache_bytes
-    );
-    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
-    println!("wrote BENCH_engine.json");
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let run = suites::run("engine", smoke).expect("known suite");
+    print!("{}", run.human);
+    let path = run
+        .report
+        .write_to(&bench_dir())
+        .expect("write bench report");
+    eprintln!("report: {}", path.display());
 }

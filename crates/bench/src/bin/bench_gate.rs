@@ -1,0 +1,72 @@
+//! The perf-regression gate: re-runs the bench suites and compares
+//! their reports against the committed `artifacts/bench/BENCH_*.json`
+//! baselines (see `nuspi_bench::gate` for the comparison rules).
+//!
+//! ```text
+//! bench_gate [--smoke] [--tolerance F] [--bless] [--dir D] [--suite NAME]...
+//! ```
+//!
+//! * `--smoke`      reduced time budgets (CI mode); exact counts still
+//!   compare against the full baselines.
+//! * `--tolerance F` headroom fraction for time metrics (default 1.0
+//!   full / 4.0 smoke; 1.0 means "fail beyond 2x baseline").
+//! * `--bless`      rewrite the baselines from this run.
+//! * `--dir D`      baseline directory (default `$NUSPI_BENCH_DIR` or
+//!   `artifacts/bench`).
+//! * `--suite NAME` gate only the named suite(s); repeatable.
+//!
+//! Exits nonzero when any suite regresses.
+
+use nuspi_bench::gate::{run, GateConfig};
+use std::process::ExitCode;
+
+fn parse_args() -> Result<GateConfig, String> {
+    let mut config = GateConfig::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => config.smoke = true,
+            "--bless" => config.bless = true,
+            "--tolerance" => {
+                let v = it.next().ok_or("--tolerance needs a number")?;
+                let f: f64 = v.parse().map_err(|_| format!("bad tolerance: {v}"))?;
+                if !f.is_finite() || f < 0.0 {
+                    return Err(format!(
+                        "tolerance must be a finite non-negative number, got {v}"
+                    ));
+                }
+                config.tolerance = Some(f);
+            }
+            "--dir" => {
+                config.dir = Some(it.next().ok_or("--dir needs a path")?.into());
+            }
+            "--suite" => {
+                config.suites.push(it.next().ok_or("--suite needs a name")?);
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let config = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&config) {
+        Ok(transcript) => {
+            print!("{transcript}");
+            println!("bench_gate: OK");
+            ExitCode::SUCCESS
+        }
+        Err(transcript) => {
+            print!("{transcript}");
+            eprintln!("bench_gate: FAILED");
+            ExitCode::FAILURE
+        }
+    }
+}

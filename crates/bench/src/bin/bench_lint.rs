@@ -1,50 +1,20 @@
-//! Bench: lint overhead over a bare attacked solve.
-//!
-//! The lint driver re-uses one semantic context for all passes, so its
-//! cost should be the solve itself plus a modest margin (provenance
-//! tracing, kind/sort fixpoints, the bounded carefulness monitor). This
-//! bench puts a number on that margin across the protocol suite, and
-//! shows that the syntactic passes alone are solver-free (their column
-//! should be microseconds regardless of protocol size).
+//! Thin front end for the `lint` bench suite (see
+//! `nuspi_bench::suites`): prints the human tables and writes the
+//! machine-readable `BENCH_lint.json` report for `bench_gate`.
 //!
 //! Run with: `cargo run --release -p nuspi-bench --bin bench_lint`
+//! (`--smoke` shrinks the per-measurement time budget).
 
-use nuspi_bench::report::{timed_stable, Table};
-use nuspi_cfa::analyze_with_attacker;
-use nuspi_diagnostics::{lint, LintContext, PassRegistry};
-use nuspi_protocols::suite;
-use std::time::Duration;
-
-const BUDGET: Duration = Duration::from_millis(150);
+use nuspi_bench::report::bench_dir;
+use nuspi_bench::suites;
 
 fn main() {
-    println!("bench_lint: full lint vs bare solve vs syntactic-only\n");
-    let mut table = Table::new([
-        "protocol",
-        "bare solve",
-        "full lint",
-        "syntactic only",
-        "lint/solve",
-    ]);
-    for spec in suite() {
-        let secret = spec.policy.secrets().collect();
-        let t_solve = timed_stable(BUDGET, || {
-            let _ = analyze_with_attacker(&spec.process, &secret);
-        });
-        let t_lint = timed_stable(BUDGET, || {
-            let _ = lint(&spec.process, &spec.policy);
-        });
-        let t_syn = timed_stable(BUDGET, || {
-            let ctx = LintContext::new(&spec.process, &spec.policy);
-            let _ = PassRegistry::syntactic_only().run(&ctx);
-        });
-        table.row([
-            spec.name.to_owned(),
-            format!("{:.3}ms", t_solve.as_secs_f64() * 1e3),
-            format!("{:.3}ms", t_lint.as_secs_f64() * 1e3),
-            format!("{:.4}ms", t_syn.as_secs_f64() * 1e3),
-            format!("{:.2}x", t_lint.as_secs_f64() / t_solve.as_secs_f64()),
-        ]);
-    }
-    println!("{}", table.render());
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let run = suites::run("lint", smoke).expect("known suite");
+    print!("{}", run.human);
+    let path = run
+        .report
+        .write_to(&bench_dir())
+        .expect("write bench report");
+    eprintln!("report: {}", path.display());
 }

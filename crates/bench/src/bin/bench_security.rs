@@ -1,75 +1,20 @@
-//! Bench B1b (plain-binary edition): the security layer — confinement,
-//! the carefulness monitor, the Dolev–Yao closure, and the bounded
-//! intruder on a known-broken protocol.
+//! Thin front end for the `security` bench suite (see
+//! `nuspi_bench::suites`): prints the human tables and writes the
+//! machine-readable `BENCH_security.json` report for `bench_gate`.
 //!
 //! Run with: `cargo run --release -p nuspi-bench --bin bench_security`
+//! (`--smoke` shrinks the per-measurement time budget).
 
-use nuspi_bench::report::{timed_stable, Table};
-use nuspi_protocols::{suite, wmf};
-use nuspi_security::{carefulness, confinement, reveals, IntruderConfig, Knowledge};
-use nuspi_semantics::ExecConfig;
-use nuspi_syntax::{Name, Symbol, Value};
-use std::time::Duration;
-
-const BUDGET: Duration = Duration::from_millis(150);
+use nuspi_bench::report::bench_dir;
+use nuspi_bench::suites;
 
 fn main() {
-    println!("bench_security: confinement, carefulness, Dolev-Yao\n");
-    let mut table = Table::new(["benchmark", "mean time"]);
-
-    for spec in suite() {
-        let t = timed_stable(BUDGET, || {
-            let _ = confinement(&spec.process, &spec.policy);
-        });
-        table.row([
-            format!("confinement/{}", spec.name),
-            format!("{:.3}ms", t.as_secs_f64() * 1e3),
-        ]);
-    }
-
-    let spec = wmf::wmf();
-    let cfg = ExecConfig::default();
-    let t = timed_stable(BUDGET, || {
-        let _ = carefulness(&spec.process, &spec.policy, &cfg);
-    });
-    table.row([
-        "carefulness/wmf".to_owned(),
-        format!("{:.3}ms", t.as_secs_f64() * 1e3),
-    ]);
-
-    for n in [8usize, 32, 128] {
-        let t = timed_stable(BUDGET, || {
-            let mut k = Knowledge::from_names(["c"]);
-            // A chain of ciphertexts, each key released by the next.
-            for i in (0..n).rev() {
-                let key = format!("k{i}");
-                let next = format!("k{}", i + 1);
-                k.learn(Value::enc(
-                    vec![Value::name(next.as_str())],
-                    Name::global("r"),
-                    Value::name(key.as_str()),
-                ));
-            }
-            k.learn(Value::name("k0"));
-            assert!(k.can_derive(&Value::name(format!("k{n}").as_str())));
-        });
-        table.row([
-            format!("dolev-yao/closure-{n}"),
-            format!("{:.3}ms", t.as_secs_f64() * 1e3),
-        ]);
-    }
-
-    let spec = wmf::wmf_key_in_clear();
-    let k0 = Knowledge::from_names(spec.public_channels.iter().copied());
-    let icfg = IntruderConfig::default();
-    let t = timed_stable(BUDGET, || {
-        reveals(&spec.process, &k0, Symbol::intern("m"), &icfg).expect("attack must be found");
-    });
-    table.row([
-        "dolev-yao/attack-wmf-key-in-clear".to_owned(),
-        format!("{:.3}ms", t.as_secs_f64() * 1e3),
-    ]);
-
-    println!("{}", table.render());
-    println!("bench_security done.");
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let run = suites::run("security", smoke).expect("known suite");
+    print!("{}", run.human);
+    let path = run
+        .report
+        .write_to(&bench_dir())
+        .expect("write bench report");
+    eprintln!("report: {}", path.display());
 }

@@ -1,72 +1,20 @@
-//! Bench B1a (plain-binary edition): the operational-semantics engine —
-//! evaluation, commitment enumeration, and bounded exploration.
+//! Thin front end for the `semantics` bench suite (see
+//! `nuspi_bench::suites`): prints the human tables and writes the
+//! machine-readable `BENCH_semantics.json` report for `bench_gate`.
 //!
 //! Run with: `cargo run --release -p nuspi-bench --bin bench_semantics`
+//! (`--smoke` shrinks the per-measurement time budget).
 
-use nuspi_bench::report::{timed_stable, Table};
-use nuspi_bench::workloads;
-use nuspi_protocols::wmf;
-use nuspi_semantics::{commitments, eval, explore_tau, CommitConfig, EvalMode, ExecConfig};
-use nuspi_syntax::{builder as b, Name};
-use std::time::Duration;
-
-const BUDGET: Duration = Duration::from_millis(150);
+use nuspi_bench::report::bench_dir;
+use nuspi_bench::suites;
 
 fn main() {
-    println!("bench_semantics: evaluation, commitments, exploration\n");
-    let mut table = Table::new(["benchmark", "mean time"]);
-
-    for depth in [2usize, 8, 32] {
-        let mut e = b::zero();
-        for i in 0..depth {
-            e = b::enc(
-                vec![e],
-                Name::global(format!("r{i}").as_str()),
-                b::name("k"),
-            );
-        }
-        let t = timed_stable(BUDGET, || {
-            eval(&e, EvalMode::NuSpi).unwrap();
-        });
-        table.row([
-            format!("eval/nested-encryption-{depth}"),
-            format!("{:.4}ms", t.as_secs_f64() * 1e3),
-        ]);
-    }
-
-    let wmf = wmf::wmf().process;
-    let t = timed_stable(BUDGET, || {
-        let _ = commitments(&wmf, &CommitConfig::default());
-    });
-    table.row([
-        "commitments/wmf-initial".to_owned(),
-        format!("{:.4}ms", t.as_secs_f64() * 1e3),
-    ]);
-    let broadcast = workloads::star_broadcast(16);
-    let t = timed_stable(BUDGET, || {
-        let _ = commitments(&broadcast, &CommitConfig::default());
-    });
-    table.row([
-        "commitments/star-broadcast-16".to_owned(),
-        format!("{:.4}ms", t.as_secs_f64() * 1e3),
-    ]);
-
-    let t = timed_stable(BUDGET, || {
-        let _ = explore_tau(&wmf, &ExecConfig::default(), |_, _| true);
-    });
-    table.row([
-        "explore/wmf-exhaustive".to_owned(),
-        format!("{:.4}ms", t.as_secs_f64() * 1e3),
-    ]);
-    let chain = workloads::relay_chain(8);
-    let t = timed_stable(BUDGET, || {
-        let _ = explore_tau(&chain, &ExecConfig::default(), |_, _| true);
-    });
-    table.row([
-        "explore/relay-chain-8".to_owned(),
-        format!("{:.4}ms", t.as_secs_f64() * 1e3),
-    ]);
-
-    println!("{}", table.render());
-    println!("bench_semantics done.");
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let run = suites::run("semantics", smoke).expect("known suite");
+    print!("{}", run.human);
+    let path = run
+        .report
+        .write_to(&bench_dir())
+        .expect("write bench report");
+    eprintln!("report: {}", path.display());
 }

@@ -1,107 +1,20 @@
-//! Bench F1 (plain-binary edition): solver throughput over the
-//! parametric workload families — the measured counterpart of the
-//! paper's cubic-time claim — plus a phase split (generation vs solving)
-//! and a sequential-vs-sharded comparison at the largest sizes.
+//! Thin front end for the `solver` bench suite (see
+//! `nuspi_bench::suites`): prints the human tables and writes the
+//! machine-readable `BENCH_solver.json` report for `bench_gate`.
 //!
 //! Run with: `cargo run --release -p nuspi-bench --bin bench_solver`
+//! (`--smoke` shrinks the per-measurement time budget).
 
-use nuspi_bench::report::{timed_stable, Table};
-use nuspi_bench::workloads;
-use nuspi_cfa::{solve, solve_parallel, Constraints};
-use nuspi_syntax::Process;
-use std::time::Duration;
-
-const BUDGET: Duration = Duration::from_millis(150);
-
-fn family(name: &str, make: impl Fn(usize) -> Process, sizes: &[usize], table: &mut Table) {
-    for &n in sizes {
-        let p = make(n);
-        let t = timed_stable(BUDGET, || {
-            let _ = solve(Constraints::generate(&p));
-        });
-        table.row([
-            format!("solver/{name}"),
-            n.to_string(),
-            format!("{:.3}ms", t.as_secs_f64() * 1e3),
-        ]);
-    }
-}
+use nuspi_bench::report::bench_dir;
+use nuspi_bench::suites;
 
 fn main() {
-    println!("bench_solver: sequential worklist solver\n");
-    let mut table = Table::new(["benchmark", "n", "mean time"]);
-    family(
-        "relay-chain",
-        workloads::relay_chain,
-        &[8, 16, 32, 64],
-        &mut table,
-    );
-    family(
-        "crypto-chain",
-        workloads::crypto_chain,
-        &[8, 16, 32, 64],
-        &mut table,
-    );
-    family(
-        "star-broadcast",
-        workloads::star_broadcast,
-        &[8, 16, 32, 64],
-        &mut table,
-    );
-    family(
-        "wmf-sessions",
-        workloads::wmf_sessions,
-        &[2, 4, 8, 16],
-        &mut table,
-    );
-    family("mixer", workloads::mixer, &[4, 8, 16, 32], &mut table);
-    println!("{}", table.render());
-
-    // Phase split: constraint generation is linear, solving dominates.
-    let mut phases = Table::new(["benchmark", "mean time"]);
-    let p = workloads::crypto_chain(32);
-    let t = timed_stable(BUDGET, || {
-        let _ = Constraints::generate(&p);
-    });
-    phases.row([
-        "phases/generate-32".to_owned(),
-        format!("{:.3}ms", t.as_secs_f64() * 1e3),
-    ]);
-    let t = timed_stable(BUDGET, || {
-        let _ = solve(Constraints::generate(&p));
-    });
-    phases.row([
-        "phases/solve-32".to_owned(),
-        format!("{:.3}ms", t.as_secs_f64() * 1e3),
-    ]);
-    let wmf = workloads::wmf_sessions(4);
-    let t = timed_stable(BUDGET, || {
-        let _ = solve(Constraints::generate(&wmf));
-    });
-    phases.row([
-        "phases/wmf4-end-to-end".to_owned(),
-        format!("{:.3}ms", t.as_secs_f64() * 1e3),
-    ]);
-    println!("{}", phases.render());
-
-    // Sequential vs sharded on the largest instances (see exp_f1_scaling
-    // for the full sweep with cache and shard statistics).
-    let mut par = Table::new(["benchmark", "threads", "mean time"]);
-    for (name, p) in [
-        ("wmf-sessions-16", workloads::wmf_sessions(16)),
-        ("mixer-32", workloads::mixer(32)),
-    ] {
-        for threads in [1usize, 2, 4] {
-            let t = timed_stable(BUDGET, || {
-                let _ = solve_parallel(Constraints::generate(&p), threads);
-            });
-            par.row([
-                format!("parallel/{name}"),
-                threads.to_string(),
-                format!("{:.3}ms", t.as_secs_f64() * 1e3),
-            ]);
-        }
-    }
-    println!("{}", par.render());
-    println!("bench_solver done.");
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let run = suites::run("solver", smoke).expect("known suite");
+    print!("{}", run.human);
+    let path = run
+        .report
+        .write_to(&bench_dir())
+        .expect("write bench report");
+    eprintln!("report: {}", path.display());
 }

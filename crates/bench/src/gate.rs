@@ -1,0 +1,307 @@
+//! The perf-regression gate: re-runs a bench suite and compares its
+//! [`BenchReport`] against the committed baseline in
+//! `artifacts/bench/BENCH_<suite>.json`.
+//!
+//! The *baseline's* gate tag governs each comparison:
+//!
+//! * [`Gate::Time`] — the current value may exceed the baseline by at
+//!   most `baseline * (1 + tolerance)`; improvements always pass.
+//! * [`Gate::Exact`] — the values must be equal. These are
+//!   deterministic counts (productions, cache hits), so any drift is an
+//!   analysis change that must be re-blessed deliberately.
+//! * [`Gate::Info`] — reported, never gated.
+//!
+//! A metric present in the baseline but missing from the current run —
+//! or vice versa — is a schema drift and fails the gate, so renames
+//! can't silently drop coverage. `--bless` rewrites the baseline from
+//! the current run instead of comparing.
+
+use crate::report::{bench_dir, BenchReport, Gate};
+use crate::suites;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Default headroom for [`Gate::Time`] metrics: a full run fails at 2x
+/// the baseline; smoke runs use much shorter budgets on shared CI
+/// hardware, so they get 5x.
+pub fn default_tolerance(smoke: bool) -> f64 {
+    if smoke {
+        4.0
+    } else {
+        1.0
+    }
+}
+
+/// What a gate invocation should do.
+#[derive(Clone, Debug, Default)]
+pub struct GateConfig {
+    /// Run the suites with the reduced smoke budget.
+    pub smoke: bool,
+    /// Headroom for time metrics; `None` picks [`default_tolerance`].
+    pub tolerance: Option<f64>,
+    /// Rewrite the baselines from this run instead of comparing.
+    pub bless: bool,
+    /// Baseline directory; `None` picks [`bench_dir`].
+    pub dir: Option<PathBuf>,
+    /// Suites to gate; empty means all of [`suites::SUITES`].
+    pub suites: Vec<String>,
+}
+
+/// One metric-level gate failure.
+#[derive(Clone, Debug)]
+pub struct GateFailure {
+    /// The suite the metric belongs to.
+    pub suite: String,
+    /// The metric name.
+    pub metric: String,
+    /// What went wrong.
+    pub reason: String,
+}
+
+/// The outcome of gating one suite.
+#[derive(Clone, Debug)]
+pub struct SuiteOutcome {
+    /// The suite name.
+    pub suite: String,
+    /// Failures; empty means the suite passed.
+    pub failures: Vec<GateFailure>,
+    /// Time metrics compared.
+    pub timed: usize,
+    /// Exact metrics compared.
+    pub exact: usize,
+}
+
+/// Compares a current report against its baseline.
+pub fn compare(baseline: &BenchReport, current: &BenchReport, tolerance: f64) -> SuiteOutcome {
+    let mut out = SuiteOutcome {
+        suite: baseline.bench.clone(),
+        failures: Vec::new(),
+        timed: 0,
+        exact: 0,
+    };
+    let mut fail = |metric: &str, reason: String| {
+        out.failures.push(GateFailure {
+            suite: baseline.bench.clone(),
+            metric: metric.to_owned(),
+            reason,
+        });
+    };
+    for base in &baseline.metrics {
+        let Some(cur) = current.get(&base.name) else {
+            fail(
+                &base.name,
+                "present in the baseline, missing from this run".to_owned(),
+            );
+            continue;
+        };
+        match base.gate {
+            Gate::Time => {
+                out.timed += 1;
+                let limit = base.value * (1.0 + tolerance);
+                if cur.value > limit {
+                    fail(
+                        &base.name,
+                        format!(
+                            "{:.3}{} exceeds the baseline {:.3}{} by more than {:.0}% (limit {:.3}{})",
+                            cur.value,
+                            cur.unit,
+                            base.value,
+                            base.unit,
+                            tolerance * 100.0,
+                            limit,
+                            base.unit
+                        ),
+                    );
+                }
+            }
+            Gate::Exact => {
+                out.exact += 1;
+                if cur.value != base.value {
+                    fail(
+                        &base.name,
+                        format!(
+                            "deterministic count changed: baseline {}, current {} — \
+                             re-bless if the analysis change is intentional",
+                            base.value, cur.value
+                        ),
+                    );
+                }
+            }
+            Gate::Info => {}
+        }
+    }
+    for cur in &current.metrics {
+        if baseline.get(&cur.name).is_none() {
+            fail(
+                &cur.name,
+                "new metric not in the baseline — re-bless to adopt it".to_owned(),
+            );
+        }
+    }
+    out
+}
+
+/// Runs the gate. Returns `Ok(report)` when every suite passes (or was
+/// blessed) and `Err(report)` when any comparison fails; the report is
+/// the human-readable transcript either way.
+///
+/// # Errors
+///
+/// The rendered transcript, when at least one suite fails the gate.
+pub fn run(config: &GateConfig) -> Result<String, String> {
+    let dir = config.dir.clone().unwrap_or_else(bench_dir);
+    let tolerance = config
+        .tolerance
+        .unwrap_or_else(|| default_tolerance(config.smoke));
+    let names: Vec<&str> = if config.suites.is_empty() {
+        suites::SUITES.to_vec()
+    } else {
+        config.suites.iter().map(String::as_str).collect()
+    };
+
+    let mut transcript = String::new();
+    let mut failed = false;
+    for name in names {
+        let Some(run) = suites::run(name, config.smoke) else {
+            failed = true;
+            let _ = writeln!(
+                transcript,
+                "FAIL {name}: unknown suite (known: {})",
+                suites::SUITES.join(", ")
+            );
+            continue;
+        };
+        if config.bless {
+            match run.report.write_to(&dir) {
+                Ok(path) => {
+                    let _ = writeln!(transcript, "BLESS {name}: wrote {}", path.display());
+                }
+                Err(e) => {
+                    failed = true;
+                    let _ = writeln!(transcript, "FAIL {name}: cannot write baseline: {e}");
+                }
+            }
+            continue;
+        }
+        let path = dir.join(format!("BENCH_{name}.json"));
+        let baseline = match std::fs::read_to_string(&path) {
+            Ok(src) => match BenchReport::parse(&src) {
+                Ok(b) => b,
+                Err(e) => {
+                    failed = true;
+                    let _ = writeln!(
+                        transcript,
+                        "FAIL {name}: bad baseline {}: {e}",
+                        path.display()
+                    );
+                    continue;
+                }
+            },
+            Err(e) => {
+                failed = true;
+                let _ = writeln!(
+                    transcript,
+                    "FAIL {name}: no baseline at {} ({e}); run with --bless to create it",
+                    path.display()
+                );
+                continue;
+            }
+        };
+        let outcome = compare(&baseline, &run.report, tolerance);
+        if outcome.failures.is_empty() {
+            let _ = writeln!(
+                transcript,
+                "PASS {name}: {} time metric(s) within {:.0}% of baseline, {} exact metric(s) unchanged",
+                outcome.timed,
+                tolerance * 100.0,
+                outcome.exact
+            );
+        } else {
+            failed = true;
+            let _ = writeln!(transcript, "FAIL {name}:");
+            for f in &outcome.failures {
+                let _ = writeln!(transcript, "  {}: {}", f.metric, f.reason);
+            }
+        }
+    }
+    if failed {
+        Err(transcript)
+    } else {
+        Ok(transcript)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn sample() -> BenchReport {
+        let mut r = BenchReport::new("sample", false);
+        r.time("fast", Duration::from_millis(10));
+        r.exact("count", 42);
+        r.info("ratio", 1.5, "x");
+        r
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let out = compare(&sample(), &sample(), 1.0);
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        assert_eq!((out.timed, out.exact), (1, 1));
+    }
+
+    #[test]
+    fn time_regression_beyond_tolerance_fails() {
+        let mut cur = sample();
+        cur.metrics[0].value = 25.0; // baseline 10ms, limit 20ms at 100%
+        let out = compare(&sample(), &cur, 1.0);
+        assert_eq!(out.failures.len(), 1);
+        assert_eq!(out.failures[0].metric, "fast");
+    }
+
+    #[test]
+    fn time_improvement_passes() {
+        let mut cur = sample();
+        cur.metrics[0].value = 1.0;
+        assert!(compare(&sample(), &cur, 1.0).failures.is_empty());
+    }
+
+    #[test]
+    fn exact_drift_fails_regardless_of_tolerance() {
+        let mut cur = sample();
+        cur.metrics[1].value = 43.0;
+        let out = compare(&sample(), &cur, 100.0);
+        assert_eq!(out.failures.len(), 1);
+        assert!(out.failures[0].reason.contains("re-bless"));
+    }
+
+    #[test]
+    fn info_drift_is_ignored() {
+        let mut cur = sample();
+        cur.metrics[2].value = 99.0;
+        assert!(compare(&sample(), &cur, 1.0).failures.is_empty());
+    }
+
+    #[test]
+    fn missing_and_new_metrics_fail() {
+        let mut cur = sample();
+        cur.metrics.remove(0);
+        cur.exact("brand-new", 1);
+        let out = compare(&sample(), &cur, 1.0);
+        let reasons: Vec<&str> = out.failures.iter().map(|f| f.metric.as_str()).collect();
+        assert_eq!(reasons, ["fast", "brand-new"]);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = sample();
+        let parsed = BenchReport::parse(&r.to_json()).unwrap();
+        assert_eq!(parsed.bench, "sample");
+        assert!(!parsed.smoke);
+        assert_eq!(parsed.metrics.len(), 3);
+        assert_eq!(parsed.metrics[1].value, 42.0);
+        assert_eq!(parsed.metrics[1].gate, Gate::Exact);
+        assert_eq!(parsed.to_json(), r.to_json(), "stable re-serialisation");
+    }
+}

@@ -20,8 +20,10 @@
 #![warn(missing_docs)]
 
 pub mod flatref;
+pub mod gate;
 pub mod genproc;
 pub mod report;
+pub mod suites;
 pub mod testkit;
 pub mod theorems;
 pub mod workloads;

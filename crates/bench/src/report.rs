@@ -1,6 +1,12 @@
-//! Small helpers for the experiment binaries: aligned-table printing and
-//! a log–log slope fit for the scaling figure.
+//! Small helpers for the experiment binaries: aligned-table printing, a
+//! log–log slope fit for the scaling figure, and the shared
+//! [`BenchReport`] schema every `bench_*` binary writes to
+//! `artifacts/bench/BENCH_<name>.json` for the regression gate
+//! (`bench_gate`) to consume.
 
+use nuspi_engine::jsonio::{escape, Json};
+use std::io;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// A plain-text table with aligned columns.
@@ -52,6 +58,222 @@ impl Table {
             out.push('\n');
         }
         out
+    }
+}
+
+/// How the regression gate treats a metric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Gate {
+    /// A wall-clock measurement: fails the gate when it exceeds the
+    /// baseline by more than the configured tolerance.
+    Time,
+    /// A deterministic count (productions, cache hits, …): must match
+    /// the baseline exactly.
+    Exact,
+    /// Reported for trend-watching, never gated.
+    Info,
+}
+
+impl Gate {
+    /// The schema tag (`"time"` / `"exact"` / `"info"`).
+    pub fn tag(self) -> &'static str {
+        match self {
+            Gate::Time => "time",
+            Gate::Exact => "exact",
+            Gate::Info => "info",
+        }
+    }
+
+    /// Parses a schema tag.
+    pub fn from_tag(tag: &str) -> Option<Gate> {
+        match tag {
+            "time" => Some(Gate::Time),
+            "exact" => Some(Gate::Exact),
+            "info" => Some(Gate::Info),
+            _ => None,
+        }
+    }
+}
+
+/// One measured number in a [`BenchReport`].
+#[derive(Clone, Debug)]
+pub struct Metric {
+    /// Stable metric name, `family/case[/aspect]`.
+    pub name: String,
+    /// The measured value.
+    pub value: f64,
+    /// Unit label (`"ms"`, `"count"`, `"x"`, …).
+    pub unit: String,
+    /// How the gate treats this metric.
+    pub gate: Gate,
+}
+
+/// A bench binary's machine-readable output: the shared schema behind
+/// the committed `artifacts/bench/BENCH_*.json` baselines.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    /// The bench name (`solver`, `engine`, `lint`, …).
+    pub bench: String,
+    /// Whether this run used the reduced smoke budget.
+    pub smoke: bool,
+    /// The metrics, in emission order.
+    pub metrics: Vec<Metric>,
+}
+
+impl BenchReport {
+    /// An empty report for the named bench.
+    pub fn new(bench: &str, smoke: bool) -> BenchReport {
+        BenchReport {
+            bench: bench.to_owned(),
+            smoke,
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Records a wall-clock measurement in milliseconds ([`Gate::Time`]).
+    pub fn time(&mut self, name: &str, d: Duration) {
+        self.metrics.push(Metric {
+            name: name.to_owned(),
+            value: d.as_secs_f64() * 1e3,
+            unit: "ms".to_owned(),
+            gate: Gate::Time,
+        });
+    }
+
+    /// Records a deterministic count ([`Gate::Exact`]).
+    pub fn exact(&mut self, name: &str, value: u64) {
+        self.metrics.push(Metric {
+            name: name.to_owned(),
+            value: value as f64,
+            unit: "count".to_owned(),
+            gate: Gate::Exact,
+        });
+    }
+
+    /// Records an ungated trend metric ([`Gate::Info`]).
+    pub fn info(&mut self, name: &str, value: f64, unit: &str) {
+        self.metrics.push(Metric {
+            name: name.to_owned(),
+            value,
+            unit: unit.to_owned(),
+            gate: Gate::Info,
+        });
+    }
+
+    /// Looks a metric up by name.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+
+    /// The file this report is stored under: `BENCH_<bench>.json`.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.bench)
+    }
+
+    /// Renders the report (one metric per line, stable key order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": 1,\n");
+        out.push_str(&format!("  \"bench\": \"{}\",\n", escape(&self.bench)));
+        out.push_str(&format!("  \"smoke\": {},\n", self.smoke));
+        out.push_str("  \"metrics\": [\n");
+        for (i, m) in self.metrics.iter().enumerate() {
+            let sep = if i + 1 == self.metrics.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"name\":\"{}\",\"value\":{},\"unit\":\"{}\",\"gate\":\"{}\"}}{sep}\n",
+                escape(&m.name),
+                format_value(m.value),
+                escape(&m.unit),
+                m.gate.tag()
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a report previously written by [`BenchReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed field.
+    pub fn parse(src: &str) -> Result<BenchReport, String> {
+        let v = Json::parse(src)?;
+        let bench = v
+            .get("bench")
+            .and_then(Json::as_str)
+            .ok_or("missing `bench`")?
+            .to_owned();
+        let smoke = v.get("smoke").and_then(Json::as_bool).unwrap_or(false);
+        let mut metrics = Vec::new();
+        for m in v
+            .get("metrics")
+            .and_then(Json::as_arr)
+            .ok_or("missing `metrics` array")?
+        {
+            let name = m
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("metric missing `name`")?
+                .to_owned();
+            let value = m
+                .get("value")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("metric `{name}` missing `value`"))?;
+            let unit = m
+                .get("unit")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_owned();
+            let gate = m
+                .get("gate")
+                .and_then(Json::as_str)
+                .and_then(Gate::from_tag)
+                .ok_or_else(|| format!("metric `{name}` has a bad `gate` tag"))?;
+            metrics.push(Metric {
+                name,
+                value,
+                unit,
+                gate,
+            });
+        }
+        Ok(BenchReport {
+            bench,
+            smoke,
+            metrics,
+        })
+    }
+
+    /// Writes the report to `dir/BENCH_<bench>.json`, creating `dir` if
+    /// needed, and returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// Formats a metric value: integers without a fraction, times with
+/// enough digits to survive a JSON round-trip.
+fn format_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+/// The directory bench reports live in: `$NUSPI_BENCH_DIR` when set,
+/// else `artifacts/bench` relative to the current directory.
+pub fn bench_dir() -> PathBuf {
+    match std::env::var_os("NUSPI_BENCH_DIR") {
+        Some(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => PathBuf::from("artifacts/bench"),
     }
 }
 

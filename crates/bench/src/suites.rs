@@ -1,0 +1,492 @@
+//! The measurement logic behind the six `bench_*` binaries, factored
+//! out so the regression gate (`bench_gate`) can re-run any suite and
+//! compare it against the committed `artifacts/bench/BENCH_*.json`
+//! baselines.
+//!
+//! Each suite returns a [`SuiteRun`]: the human-readable tables the
+//! binary prints, plus a [`BenchReport`] with one [`Metric`] per
+//! measurement. Metric *names and counts are identical* in smoke and
+//! full mode — smoke only shrinks the per-measurement time budget (and
+//! so the iteration count), which is what lets `bench_gate --smoke`
+//! compare a cheap CI run against the committed full baselines.
+//!
+//! [`Metric`]: crate::report::Metric
+
+use crate::report::{timed, timed_stable, BenchReport, Table};
+use crate::workloads;
+use nuspi_cfa::{analyze, analyze_with_attacker, solve, solve_parallel, Constraints};
+use nuspi_diagnostics::{lint, LintContext, PassRegistry};
+use nuspi_engine::{AnalysisEngine, ProcessInput, Request, Response};
+use nuspi_protocols::{open_examples, suite, wmf};
+use nuspi_security::{
+    carefulness, confinement, n_star, n_star_name, reveals, IntruderConfig, Knowledge,
+};
+use nuspi_semantics::{commitments, eval, explore_tau, CommitConfig, EvalMode, ExecConfig};
+use nuspi_syntax::{builder, parse_process, Name, Process, Symbol, Value};
+use std::collections::HashSet;
+use std::time::Duration;
+
+/// One suite execution: the rendered human tables and the machine
+/// report.
+pub struct SuiteRun {
+    /// What the bench binary prints.
+    pub human: String,
+    /// What it writes to `artifacts/bench/`.
+    pub report: BenchReport,
+}
+
+/// Every suite the gate knows about, in gate order.
+pub const SUITES: &[&str] = &[
+    "solver",
+    "engine",
+    "lint",
+    "semantics",
+    "security",
+    "ablation",
+];
+
+/// Runs the named suite; `None` for an unknown name.
+pub fn run(name: &str, smoke: bool) -> Option<SuiteRun> {
+    match name {
+        "solver" => Some(solver(smoke)),
+        "engine" => Some(engine(smoke)),
+        "lint" => Some(lint_suite(smoke)),
+        "semantics" => Some(semantics(smoke)),
+        "security" => Some(security(smoke)),
+        "ablation" => Some(ablation(smoke)),
+        _ => None,
+    }
+}
+
+/// The per-measurement stabilisation budget: smoke mode keeps every
+/// workload and metric but spends ~15x less wall-clock per number.
+fn budget(smoke: bool) -> Duration {
+    Duration::from_millis(if smoke { 10 } else { 150 })
+}
+
+fn fmt_ms(d: Duration) -> String {
+    format!("{:.3}ms", d.as_secs_f64() * 1e3)
+}
+
+/// Solver throughput over the parametric workload families, the
+/// generation/solve phase split, and sequential-vs-sharded at the
+/// largest sizes — plus exact production counts as α-stability canaries.
+pub fn solver(smoke: bool) -> SuiteRun {
+    let b = budget(smoke);
+    let mut report = BenchReport::new("solver", smoke);
+    let mut human = String::from("bench_solver: sequential worklist solver\n\n");
+
+    let mut table = Table::new(["benchmark", "n", "mean time"]);
+    let mut family = |name: &str, make: &dyn Fn(usize) -> Process, sizes: &[usize]| {
+        for &n in sizes {
+            let p = make(n);
+            let t = timed_stable(b, || {
+                let _ = solve(Constraints::generate(&p));
+            });
+            table.row([format!("solver/{name}"), n.to_string(), fmt_ms(t)]);
+            report.time(&format!("{name}/{n}"), t);
+        }
+    };
+    family("relay-chain", &workloads::relay_chain, &[8, 16, 32, 64]);
+    family("crypto-chain", &workloads::crypto_chain, &[8, 16, 32, 64]);
+    family(
+        "star-broadcast",
+        &workloads::star_broadcast,
+        &[8, 16, 32, 64],
+    );
+    family("wmf-sessions", &workloads::wmf_sessions, &[2, 4, 8, 16]);
+    family("mixer", &workloads::mixer, &[4, 8, 16, 32]);
+    human.push_str(&table.render());
+    human.push('\n');
+
+    // Phase split: constraint generation is linear, solving dominates.
+    let mut phases = Table::new(["benchmark", "mean time"]);
+    let p = workloads::crypto_chain(32);
+    let t = timed_stable(b, || {
+        let _ = Constraints::generate(&p);
+    });
+    phases.row(["phases/generate-32".to_owned(), fmt_ms(t)]);
+    report.time("phases/generate-32", t);
+    let t = timed_stable(b, || {
+        let _ = solve(Constraints::generate(&p));
+    });
+    phases.row(["phases/solve-32".to_owned(), fmt_ms(t)]);
+    report.time("phases/solve-32", t);
+    let wmf4 = workloads::wmf_sessions(4);
+    let t = timed_stable(b, || {
+        let _ = solve(Constraints::generate(&wmf4));
+    });
+    phases.row(["phases/wmf4-end-to-end".to_owned(), fmt_ms(t)]);
+    report.time("phases/wmf4-end-to-end", t);
+    human.push_str(&phases.render());
+    human.push('\n');
+
+    // Deterministic outputs: the least solution's size must never move
+    // without a deliberate analysis change.
+    let sol = solve(Constraints::generate(&p));
+    report.exact(
+        "crypto-chain-32/productions",
+        sol.stats().productions as u64,
+    );
+    let sol = solve(Constraints::generate(&wmf4));
+    report.exact("wmf-sessions-4/productions", sol.stats().productions as u64);
+
+    // Sequential vs sharded on the largest instances.
+    let mut par = Table::new(["benchmark", "threads", "mean time"]);
+    for (name, p) in [
+        ("wmf-sessions-16", workloads::wmf_sessions(16)),
+        ("mixer-32", workloads::mixer(32)),
+    ] {
+        for threads in [1usize, 2, 4] {
+            let t = timed_stable(b, || {
+                let _ = solve_parallel(Constraints::generate(&p), threads);
+            });
+            par.row([format!("parallel/{name}"), threads.to_string(), fmt_ms(t)]);
+            report.time(&format!("parallel/{name}/t{threads}"), t);
+        }
+    }
+    human.push_str(&par.render());
+    human.push_str("bench_solver done.\n");
+    SuiteRun { human, report }
+}
+
+/// The 21-case lint batch the engine bench and the round-trip suite use:
+/// the 17 closed protocols plus the 4 tracked open examples.
+pub fn suite_requests() -> Vec<Request> {
+    let mut out = Vec::new();
+    for spec in suite() {
+        let mut secrets: Vec<String> = spec
+            .policy
+            .secrets()
+            .map(|s| s.as_str().to_owned())
+            .collect();
+        secrets.sort();
+        out.push(Request::Lint {
+            process: ProcessInput::Source(spec.source.clone()),
+            secrets,
+            shards: 1,
+        });
+    }
+    for ex in open_examples() {
+        let tracked = builder::restrict(
+            n_star_name(),
+            ex.process.subst(ex.var, &Value::name(n_star_name())),
+        );
+        let mut policy = ex.policy.clone();
+        policy.add_secret(n_star());
+        let mut secrets: Vec<String> = policy.secrets().map(|s| s.as_str().to_owned()).collect();
+        secrets.sort();
+        out.push(Request::Lint {
+            process: ProcessInput::Parsed(tracked),
+            secrets,
+            shards: 1,
+        });
+    }
+    out
+}
+
+/// Engine throughput over the protocol suite, cold vs warm cache. The
+/// warm rounds and cache counters are identical in smoke and full mode,
+/// so the exact metrics always match the committed baseline.
+pub fn engine(smoke: bool) -> SuiteRun {
+    const WARM_ROUNDS: u32 = 5;
+    let requests = suite_requests();
+    let cases = requests.len();
+    let engine = AnalysisEngine::with_jobs(0); // one worker per core
+    let mut human = format!(
+        "bench_engine: {cases}-case suite, {} worker(s), cold batch then {WARM_ROUNDS} warm rounds\n\n",
+        engine.jobs()
+    );
+
+    let (cold_responses, cold) = timed(|| engine.submit_requests(requests.clone()));
+    assert!(
+        cold_responses.iter().all(Response::is_ok),
+        "cold batch must succeed"
+    );
+    let mut warm_total = Duration::ZERO;
+    for round in 0..WARM_ROUNDS {
+        let (responses, took) = timed(|| engine.submit_requests(requests.clone()));
+        assert!(
+            responses.iter().all(|r| r.cached),
+            "warm round {round} must be served from the cache"
+        );
+        warm_total += took;
+    }
+    let warm = warm_total / WARM_ROUNDS;
+    let stats = engine.stats();
+    let speedup = cold.as_secs_f64() / warm.as_secs_f64().max(1e-9);
+
+    let mut table = Table::new(["phase", "batch time", "per case", "throughput"]);
+    for (phase, took) in [("cold", cold), ("warm (mean)", warm)] {
+        table.row([
+            phase.to_owned(),
+            fmt_ms(took),
+            format!("{:.3}ms", took.as_secs_f64() * 1e3 / cases as f64),
+            format!("{:.0} case/s", cases as f64 / took.as_secs_f64()),
+        ]);
+    }
+    human.push_str(&table.render());
+    human.push_str(&format!(
+        "speedup: {speedup:.1}x   hit rate: {:.3}   cache: {} entries, {} bytes\n",
+        stats.hit_rate(),
+        stats.cache_entries,
+        stats.cache_bytes
+    ));
+    assert!(
+        warm < cold,
+        "warm-cache batch ({warm:?}) must beat the cold batch ({cold:?})"
+    );
+
+    let mut report = BenchReport::new("engine", smoke);
+    report.time("cold-batch", cold);
+    report.time("warm-batch", warm);
+    report.info("speedup", speedup, "x");
+    report.info("hit-rate", stats.hit_rate(), "ratio");
+    report.exact("cases", cases as u64);
+    report.exact("cache/hits", stats.cache.hits);
+    report.exact("cache/misses", stats.cache.misses);
+    report.exact("cache/entries", stats.cache_entries as u64);
+    SuiteRun { human, report }
+}
+
+/// Lint overhead over a bare attacked solve, per protocol, plus the
+/// solver-free syntactic pass.
+pub fn lint_suite(smoke: bool) -> SuiteRun {
+    let b = budget(smoke);
+    let mut report = BenchReport::new("lint", smoke);
+    let mut human = String::from("bench_lint: full lint vs bare solve vs syntactic-only\n\n");
+    let mut table = Table::new([
+        "protocol",
+        "bare solve",
+        "full lint",
+        "syntactic only",
+        "lint/solve",
+    ]);
+    let specs = suite();
+    report.exact("protocols", specs.len() as u64);
+    for spec in specs {
+        let secret = spec.policy.secrets().collect();
+        let t_solve = timed_stable(b, || {
+            let _ = analyze_with_attacker(&spec.process, &secret);
+        });
+        let t_lint = timed_stable(b, || {
+            let _ = lint(&spec.process, &spec.policy);
+        });
+        let t_syn = timed_stable(b, || {
+            let ctx = LintContext::new(&spec.process, &spec.policy);
+            let _ = PassRegistry::syntactic_only().run(&ctx);
+        });
+        table.row([
+            spec.name.to_owned(),
+            fmt_ms(t_solve),
+            fmt_ms(t_lint),
+            format!("{:.4}ms", t_syn.as_secs_f64() * 1e3),
+            format!("{:.2}x", t_lint.as_secs_f64() / t_solve.as_secs_f64()),
+        ]);
+        report.time(&format!("solve/{}", spec.name), t_solve);
+        report.time(&format!("lint/{}", spec.name), t_lint);
+        report.time(&format!("syntactic/{}", spec.name), t_syn);
+        report.info(
+            &format!("ratio/{}", spec.name),
+            t_lint.as_secs_f64() / t_solve.as_secs_f64(),
+            "x",
+        );
+    }
+    human.push_str(&table.render());
+    SuiteRun { human, report }
+}
+
+/// The operational-semantics engine: evaluation, commitment enumeration,
+/// and bounded exploration.
+pub fn semantics(smoke: bool) -> SuiteRun {
+    let b = budget(smoke);
+    let mut report = BenchReport::new("semantics", smoke);
+    let mut human = String::from("bench_semantics: evaluation, commitments, exploration\n\n");
+    let mut table = Table::new(["benchmark", "mean time"]);
+
+    for depth in [2usize, 8, 32] {
+        let mut e = builder::zero();
+        for i in 0..depth {
+            e = builder::enc(
+                vec![e],
+                Name::global(format!("r{i}").as_str()),
+                builder::name("k"),
+            );
+        }
+        let t = timed_stable(b, || {
+            eval(&e, EvalMode::NuSpi).unwrap();
+        });
+        table.row([
+            format!("eval/nested-encryption-{depth}"),
+            format!("{:.4}ms", t.as_secs_f64() * 1e3),
+        ]);
+        report.time(&format!("eval/nested-encryption-{depth}"), t);
+    }
+
+    let wmf_p = wmf::wmf().process;
+    let t = timed_stable(b, || {
+        let _ = commitments(&wmf_p, &CommitConfig::default());
+    });
+    table.row(["commitments/wmf-initial".to_owned(), fmt_ms(t)]);
+    report.time("commitments/wmf-initial", t);
+    report.exact(
+        "commitments/wmf-initial/count",
+        commitments(&wmf_p, &CommitConfig::default()).len() as u64,
+    );
+    let broadcast = workloads::star_broadcast(16);
+    let t = timed_stable(b, || {
+        let _ = commitments(&broadcast, &CommitConfig::default());
+    });
+    table.row(["commitments/star-broadcast-16".to_owned(), fmt_ms(t)]);
+    report.time("commitments/star-broadcast-16", t);
+
+    let t = timed_stable(b, || {
+        let _ = explore_tau(&wmf_p, &ExecConfig::default(), |_, _| true);
+    });
+    table.row(["explore/wmf-exhaustive".to_owned(), fmt_ms(t)]);
+    report.time("explore/wmf-exhaustive", t);
+    let chain = workloads::relay_chain(8);
+    let t = timed_stable(b, || {
+        let _ = explore_tau(&chain, &ExecConfig::default(), |_, _| true);
+    });
+    table.row(["explore/relay-chain-8".to_owned(), fmt_ms(t)]);
+    report.time("explore/relay-chain-8", t);
+
+    human.push_str(&table.render());
+    human.push_str("bench_semantics done.\n");
+    SuiteRun { human, report }
+}
+
+/// The security layer: confinement per protocol, the carefulness
+/// monitor, the Dolev–Yao closure, and the bounded intruder on a
+/// known-broken protocol.
+pub fn security(smoke: bool) -> SuiteRun {
+    let b = budget(smoke);
+    let mut report = BenchReport::new("security", smoke);
+    let mut human = String::from("bench_security: confinement, carefulness, Dolev-Yao\n\n");
+    let mut table = Table::new(["benchmark", "mean time"]);
+
+    let mut confined = 0u64;
+    for spec in suite() {
+        let t = timed_stable(b, || {
+            let _ = confinement(&spec.process, &spec.policy);
+        });
+        table.row([format!("confinement/{}", spec.name), fmt_ms(t)]);
+        report.time(&format!("confinement/{}", spec.name), t);
+        if confinement(&spec.process, &spec.policy).is_confined() {
+            confined += 1;
+        }
+    }
+    report.exact("confinement/confined-count", confined);
+
+    let spec = wmf::wmf();
+    let cfg = ExecConfig::default();
+    let t = timed_stable(b, || {
+        let _ = carefulness(&spec.process, &spec.policy, &cfg);
+    });
+    table.row(["carefulness/wmf".to_owned(), fmt_ms(t)]);
+    report.time("carefulness/wmf", t);
+
+    for n in [8usize, 32, 128] {
+        let t = timed_stable(b, || {
+            let mut k = Knowledge::from_names(["c"]);
+            // A chain of ciphertexts, each key released by the next.
+            for i in (0..n).rev() {
+                let key = format!("k{i}");
+                let next = format!("k{}", i + 1);
+                k.learn(Value::enc(
+                    vec![Value::name(next.as_str())],
+                    Name::global("r"),
+                    Value::name(key.as_str()),
+                ));
+            }
+            k.learn(Value::name("k0"));
+            assert!(k.can_derive(&Value::name(format!("k{n}").as_str())));
+        });
+        table.row([format!("dolev-yao/closure-{n}"), fmt_ms(t)]);
+        report.time(&format!("dolev-yao/closure-{n}"), t);
+    }
+
+    let spec = wmf::wmf_key_in_clear();
+    let k0 = Knowledge::from_names(spec.public_channels.iter().copied());
+    let icfg = IntruderConfig::default();
+    let t = timed_stable(b, || {
+        reveals(&spec.process, &k0, Symbol::intern("m"), &icfg).expect("attack must be found");
+    });
+    table.row(["dolev-yao/attack-wmf-key-in-clear".to_owned(), fmt_ms(t)]);
+    report.time("dolev-yao/attack-wmf-key-in-clear", t);
+
+    human.push_str(&table.render());
+    human.push_str("bench_security done.\n");
+    SuiteRun { human, report }
+}
+
+/// Design-choice ablations: attacker closure on/off, replication
+/// budget, and νSPI vs classic-spi evaluation.
+pub fn ablation(smoke: bool) -> SuiteRun {
+    let b = budget(smoke);
+    let mut report = BenchReport::new("ablation", smoke);
+    let mut human = String::from("bench_ablation: design-choice ablations\n\n");
+    let mut table = Table::new(["benchmark", "mean time"]);
+
+    for n in [2usize, 4, 8] {
+        let p = workloads::wmf_sessions(n);
+        let secrets: HashSet<_> = (0..n)
+            .flat_map(|i| {
+                [
+                    format!("m{i}"),
+                    format!("kAS{i}"),
+                    format!("kBS{i}"),
+                    format!("kAB{i}"),
+                ]
+            })
+            .map(|s| Symbol::intern(&s))
+            .collect();
+        let t = timed_stable(b, || {
+            let _ = analyze(&p);
+        });
+        table.row([format!("attacker-closure/plain-{n}"), fmt_ms(t)]);
+        report.time(&format!("attacker-closure/plain-{n}"), t);
+        let t = timed_stable(b, || {
+            let _ = analyze_with_attacker(&p, &secrets);
+        });
+        table.row([format!("attacker-closure/closed-{n}"), fmt_ms(t)]);
+        report.time(&format!("attacker-closure/closed-{n}"), t);
+    }
+
+    let p = parse_process("!(ping<0>.0 | ping(x).pong<x>.0)").unwrap();
+    for rep in [1u32, 2, 3] {
+        let cfg = CommitConfig {
+            mode: EvalMode::NuSpi,
+            rep_budget: rep,
+        };
+        let t = timed_stable(b, || {
+            let _ = commitments(&p, &cfg);
+        });
+        table.row([format!("rep-budget/{rep}"), fmt_ms(t)]);
+        report.time(&format!("rep-budget/{rep}"), t);
+    }
+
+    let mut e = builder::zero();
+    for i in 0..16 {
+        e = builder::enc(
+            vec![e],
+            Name::global(format!("r{i}").as_str()),
+            builder::name("k"),
+        );
+    }
+    let t = timed_stable(b, || {
+        eval(&e, EvalMode::NuSpi).unwrap();
+    });
+    table.row(["eval-mode/nuspi-fresh-confounders".to_owned(), fmt_ms(t)]);
+    report.time("eval-mode/nuspi-fresh-confounders", t);
+    let t = timed_stable(b, || {
+        eval(&e, EvalMode::ClassicSpi).unwrap();
+    });
+    table.row(["eval-mode/classic-spi".to_owned(), fmt_ms(t)]);
+    report.time("eval-mode/classic-spi", t);
+
+    human.push_str(&table.render());
+    human.push_str("bench_ablation done.\n");
+    SuiteRun { human, report }
+}

@@ -95,8 +95,12 @@ pub struct Constraints {
 impl Constraints {
     /// Generates the constraint system for a process per Table 2.
     pub fn generate(p: &Process) -> Constraints {
+        let _sp = nuspi_obs::span!("cfa.generate");
         let mut c = Constraints::default();
         c.gen_process(p);
+        if nuspi_obs::enabled() {
+            nuspi_obs::counter("cfa.constraints", c.list.len() as u64);
+        }
         c
     }
 

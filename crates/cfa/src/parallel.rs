@@ -105,6 +105,7 @@ struct Globals {
 /// [`solve_reference`](crate::solve_reference) on every input; the
 /// differential suite enforces this.
 pub fn solve_parallel(constraints: Constraints, threads: usize) -> Solution {
+    let _sp = nuspi_obs::span!("cfa.solve_parallel", threads);
     let nshards = threads.max(1);
     let Constraints { mut vars, list } = constraints;
 
@@ -193,11 +194,13 @@ pub fn solve_parallel(constraints: Constraints, threads: usize) -> Solution {
     };
     let mut pending: Vec<Vec<Delta>> = vec![Vec::new(); nshards];
     loop {
+        let _round_sp = nuspi_obs::span!("cfa.solve.round", round = stats.rounds);
         let round_start = std::time::Instant::now();
         stats.rounds += 1;
         let round = stats.rounds;
 
         // Phase A: read-only delta generation against the frozen grammar.
+        let phase_a_sp = nuspi_obs::span!("cfa.phase_a");
         let (tx, rx) = mpsc::channel::<(usize, Vec<Delta>)>();
         std::thread::scope(|s| {
             for (shard, sc) in scratch.iter_mut().enumerate() {
@@ -211,8 +214,10 @@ pub fn solve_parallel(constraints: Constraints, threads: usize) -> Solution {
         for (dest, batch) in rx {
             pending[dest].extend(batch);
         }
+        drop(phase_a_sp);
 
         // Phase B: each shard applies the deltas routed to it.
+        let phase_b_sp = nuspi_obs::span!("cfa.phase_b");
         let inboxes: Vec<Vec<Delta>> = pending.iter_mut().map(std::mem::take).collect();
         let (tx, rx) = mpsc::channel::<(usize, Vec<Delta>)>();
         std::thread::scope(|s| {
@@ -226,6 +231,7 @@ pub fn solve_parallel(constraints: Constraints, threads: usize) -> Solution {
         for (dest, batch) in rx {
             pending[dest].extend(batch);
         }
+        drop(phase_b_sp);
 
         stats
             .round_millis
@@ -262,6 +268,19 @@ pub fn solve_parallel(constraints: Constraints, threads: usize) -> Solution {
         stats.per_shard.push(shard_stats);
     }
     stats.productions = prods.iter().map(HashSet::len).sum();
+    if nuspi_obs::enabled() {
+        nuspi_obs::counter("cfa.solve_parallel.calls", 1);
+        nuspi_obs::counter("cfa.memo.hits", stats.cache_hits as u64);
+        nuspi_obs::counter("cfa.memo.misses", stats.cache_misses as u64);
+        nuspi_obs::counter("cfa.firings", stats.conditional_firings as u64);
+        let sent: usize = stats.per_shard.iter().map(|s| s.deltas_sent).sum();
+        let applied: usize = stats.per_shard.iter().map(|s| s.deltas_applied).sum();
+        nuspi_obs::counter("cfa.deltas.sent", sent as u64);
+        nuspi_obs::counter("cfa.deltas.applied", applied as u64);
+        for ms in &stats.round_millis {
+            nuspi_obs::record_us("cfa.round_us", (ms * 1e3) as u64);
+        }
+    }
     Solution::from_parts(vars, prods, stats)
 }
 

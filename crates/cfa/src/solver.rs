@@ -290,6 +290,7 @@ pub fn solve_traced(constraints: Constraints) -> (Solution, Provenance) {
 }
 
 fn solve_impl(constraints: Constraints, traced: bool) -> (Solution, Option<Provenance>) {
+    let _sp = nuspi_obs::span!("cfa.solve");
     let Constraints { vars, list } = constraints;
     let n = vars.len();
     let mut s = Solver {
@@ -338,6 +339,7 @@ fn solve_impl(constraints: Constraints, traced: bool) -> (Solution, Option<Prove
     // Outer fixpoint: drain the worklist, then retry parked decryptions
     // whose key intersection may have become non-empty.
     loop {
+        let _round = nuspi_obs::span!("cfa.solve.round", round = s.stats.rounds);
         let round_start = std::time::Instant::now();
         s.stats.rounds += 1;
         s.drain();
@@ -371,6 +373,15 @@ fn solve_impl(constraints: Constraints, traced: bool) -> (Solution, Option<Prove
     s.stats.flow_vars = s.vars.len();
     s.stats.productions = s.prods.iter().map(HashSet::len).sum();
     s.stats.edges = s.edge_set.len();
+    if nuspi_obs::enabled() {
+        nuspi_obs::counter("cfa.solve.calls", 1);
+        nuspi_obs::counter("cfa.memo.hits", s.stats.cache_hits as u64);
+        nuspi_obs::counter("cfa.memo.misses", s.stats.cache_misses as u64);
+        nuspi_obs::counter("cfa.firings", s.stats.conditional_firings as u64);
+        for ms in &s.stats.round_millis {
+            nuspi_obs::record_us("cfa.round_us", (ms * 1e3) as u64);
+        }
+    }
     (
         Solution {
             vars: s.vars,

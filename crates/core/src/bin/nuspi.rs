@@ -42,7 +42,7 @@ const USAGE: &str = "usage:
   nuspi explore <file> [--max-depth N] [--max-states N]
   nuspi explain <file> [--secret NAME]...
   nuspi lint    <file> [--secret NAME]... [--json] [--shards N]
-  nuspi serve   [--jobs N] [--cache-bytes N]";
+  nuspi serve   [--jobs N] [--cache-bytes N] [--trace FILE]";
 
 struct Opts {
     file: Option<String>,
@@ -60,6 +60,7 @@ struct Opts {
     max_states: usize,
     jobs: usize,
     cache_bytes: usize,
+    trace: Option<String>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -79,6 +80,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         max_states: 4096,
         jobs: 0,
         cache_bytes: 0,
+        trace: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -105,6 +107,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--max-states" => o.max_states = num("--max-states")? as usize,
             "--jobs" => o.jobs = num("--jobs")? as usize,
             "--cache-bytes" => o.cache_bytes = num("--cache-bytes")? as usize,
+            "--trace" => o.trace = Some(it.next().ok_or("--trace needs a file")?.clone()),
             _ if a.starts_with("--") => return Err(format!("unknown flag {a}")),
             _ if o.file.is_none() => o.file = Some(a.clone()),
             _ => return Err(format!("unexpected argument {a}")),
@@ -143,8 +146,20 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             cache_bytes: o.cache_bytes,
             ..Default::default()
         });
+        if o.trace.is_some() {
+            nuspi::obs::enable();
+        }
         nuspi::engine::serve(&engine, std::io::stdin().lock(), std::io::stdout().lock())
             .map_err(|e| format!("serve: {e}"))?;
+        if let Some(path) = &o.trace {
+            nuspi::obs::disable();
+            std::fs::write(path, nuspi::obs::snapshot_jsonl())
+                .map_err(|e| format!("--trace {path}: {e}"))?;
+            // The summary goes to stderr so response lines stay the only
+            // stdout traffic.
+            eprint!("{}", nuspi::obs::summary());
+            eprintln!("trace written to {path}");
+        }
         return Ok(ExitCode::SUCCESS);
     }
     let file = o.file.clone().ok_or("missing <file>")?;

@@ -67,10 +67,12 @@ impl ByteLru {
             Some(entry) => {
                 entry.last_used = self.tick;
                 self.counters.hits += 1;
+                nuspi_obs::counter("engine.cache.hits", 1);
                 Some(Arc::clone(&entry.body))
             }
             None => {
                 self.counters.misses += 1;
+                nuspi_obs::counter("engine.cache.misses", 1);
                 None
             }
         }
@@ -99,6 +101,7 @@ impl ByteLru {
             let evicted = self.map.remove(&oldest).expect("key just found");
             self.bytes -= evicted.cost;
             self.counters.evictions += 1;
+            nuspi_obs::counter("engine.cache.evictions", 1);
         }
         self.tick += 1;
         self.map.insert(
@@ -111,6 +114,7 @@ impl ByteLru {
         );
         self.bytes += cost;
         self.counters.insertions += 1;
+        nuspi_obs::counter("engine.cache.insertions", 1);
     }
 
     /// Bytes currently charged against the budget.

@@ -234,7 +234,13 @@ impl AnalysisEngine {
                 let (tx, rx) = channel::<Arc<str>>();
                 let cache = Arc::clone(&self.cache);
                 let counters = Arc::clone(&self.counters);
+                // Clock reads only happen with the recorder on, so the
+                // disabled path stays allocation- and syscall-free.
+                let enqueued = nuspi_obs::enabled().then(std::time::Instant::now);
                 self.pool.spawn(Box::new(move || {
+                    if let Some(t) = enqueued {
+                        nuspi_obs::record_duration("engine.queue_wait_us", t.elapsed());
+                    }
                     let body = execute(run, op, key, &cache, &counters);
                     let _ = tx.send(body); // receiver may have timed out; fine
                 }));
@@ -283,6 +289,7 @@ impl AnalysisEngine {
                         self.counters
                             .deadline_expirations
                             .fetch_add(1, Ordering::Relaxed);
+                        nuspi_obs::counter("engine.deadline_expirations", 1);
                         let ms = deadline.map_or(0, |d| d.as_millis());
                         Response {
                             id,
@@ -326,12 +333,14 @@ impl AnalysisEngine {
 /// storing cacheable successes. Shared by the worker and inline paths.
 fn execute<F: FnOnce() -> String>(
     run: F,
-    op: &str,
+    op: &'static str,
     key: Option<u128>,
     cache: &Mutex<ByteLru>,
     counters: &Counters,
 ) -> Arc<str> {
-    match catch_unwind(AssertUnwindSafe(run)) {
+    let _sp = nuspi_obs::span!("engine.exec", op = op);
+    let started = nuspi_obs::enabled().then(std::time::Instant::now);
+    let body = match catch_unwind(AssertUnwindSafe(run)) {
         Ok(body) => {
             let body: Arc<str> = Arc::from(body.as_str());
             if let Some(key) = key {
@@ -341,10 +350,22 @@ fn execute<F: FnOnce() -> String>(
         }
         Err(payload) => {
             counters.job_panics.fetch_add(1, Ordering::Relaxed);
+            nuspi_obs::counter("engine.exec.panics", 1);
             let msg = panic_message(payload.as_ref());
             Arc::from(error_body(op, &format!("analysis panicked: {msg}")).as_str())
         }
+    };
+    if let Some(t) = started {
+        let busy = t.elapsed();
+        nuspi_obs::record_duration("engine.exec_us", busy);
+        let current = std::thread::current();
+        let worker = current.name().unwrap_or("inline");
+        nuspi_obs::counter(
+            &format!("engine.worker.{worker}.busy_us"),
+            busy.as_micros() as u64,
+        );
     }
+    body
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {

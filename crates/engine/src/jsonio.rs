@@ -7,7 +7,8 @@
 //! side is a small recursive-descent parser into [`Json`], enough to
 //! decode request lines: all of RFC 8259 except that numbers are read as
 //! `f64` (request fields are small non-negative integers, so nothing is
-//! lost).
+//! lost). Nesting is capped at [`MAX_DEPTH`] levels so adversarially
+//! deep input yields an error line instead of exhausting the stack.
 
 use std::fmt::Write as _;
 
@@ -35,6 +36,7 @@ impl Json {
         let mut p = Parser {
             bytes: src.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -70,12 +72,22 @@ impl Json {
     }
 
     /// The numeric payload as a non-negative integer, if this is an
-    /// integral number in `u64` range.
+    /// integral number in `u64` range. The bound is strict: `u64::MAX
+    /// as f64` rounds *up* to 2^64, so `<=` would admit 2^64 and
+    /// silently saturate it to `u64::MAX`.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
-            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n < u64::MAX as f64 => {
                 Some(*n as u64)
             }
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a finite number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) if n.is_finite() => Some(*n),
             _ => None,
         }
     }
@@ -97,9 +109,14 @@ impl Json {
     }
 }
 
+/// Maximum container-nesting depth the parser accepts. Deeper input is
+/// rejected with an error, never a stack overflow.
+pub const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -137,8 +154,8 @@ impl Parser<'_> {
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
             Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
+            Some(b'[') => self.nested(Parser::array),
+            Some(b'{') => self.nested(Parser::object),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
             Some(c) => Err(format!(
                 "unexpected `{}` at byte {}",
@@ -147,6 +164,22 @@ impl Parser<'_> {
             )),
             None => Err("unexpected end of input".into()),
         }
+    }
+
+    fn nested(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<Json, String>,
+    ) -> Result<Json, String> {
+        if self.depth >= MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} levels at byte {}",
+                self.pos
+            ));
+        }
+        self.depth += 1;
+        let v = f(self);
+        self.depth -= 1;
+        v
     }
 
     fn number(&mut self) -> Result<Json, String> {

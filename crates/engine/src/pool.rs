@@ -150,6 +150,17 @@ mod tests {
             .collect();
         got.sort_unstable();
         assert_eq!(got, vec![0, 1, 2, 3]);
+        // A worker may still be unwinding its last injected panic when
+        // the sentinel jobs finish on the other worker; wait for the
+        // backstop counter rather than racing it.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while pool.backstop_panics() < 8 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "backstop never reached 8"
+            );
+            std::thread::yield_now();
+        }
         assert_eq!(pool.backstop_panics(), 8);
     }
 

@@ -150,6 +150,16 @@ fn stats_body(s: &EngineStats) -> String {
         s.deadline_expirations,
         s.uncacheable
     );
+    // Tracing telemetry appears only while the recorder is on, so the
+    // stats body stays byte-identical whenever tracing is off.
+    if nuspi_obs::enabled() {
+        let _ = write!(
+            out,
+            ",\"obs\":{{\"spans\":{},\"serve_requests\":{}}}",
+            nuspi_obs::span_count(),
+            nuspi_obs::counter_value("serve.requests")
+        );
+    }
     out
 }
 
@@ -164,7 +174,20 @@ fn error_response(id: Option<String>, message: &str) -> Response {
 /// Answers one input line with the responses it produces (one for a
 /// single request, N for a batch).
 fn answer(engine: &AnalysisEngine, line: &str) -> Vec<Response> {
-    match decode_line(line) {
+    let decoded = decode_line(line);
+    let _sp = if nuspi_obs::enabled() {
+        let op = match &decoded {
+            Err(_) => "malformed",
+            Ok(Decoded::Stats { .. }) => "stats",
+            Ok(Decoded::Batch(_)) => "batch",
+            Ok(Decoded::One(envelope)) => envelope.request.op(),
+        };
+        nuspi_obs::counter("serve.requests", 1);
+        nuspi_obs::span_with("serve.request", "op", nuspi_obs::FieldValue::from(op))
+    } else {
+        nuspi_obs::Span::disabled()
+    };
+    match decoded {
         Err(e) => vec![error_response(None, &e)],
         Ok(Decoded::Stats { id }) => vec![Response {
             id,

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Perf-regression gate: re-runs the bench suites and compares them to
+# the committed artifacts/bench/BENCH_*.json baselines. Any flag is
+# passed through to the bench_gate binary:
+#
+#   scripts/bench_gate.sh                 # full-budget gate (local)
+#   scripts/bench_gate.sh --smoke         # cheap CI gate
+#   scripts/bench_gate.sh --bless         # re-bless the baselines
+#   scripts/bench_gate.sh --suite solver  # one suite only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec cargo run --release -q -p nuspi-bench --bin bench_gate -- "$@"

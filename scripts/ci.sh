@@ -17,6 +17,15 @@ cargo test -q --test provenance_stats
 echo "==> lint golden files"
 cargo test -q --test lint_golden
 
+echo "==> digest properties, jsonio edge cases, engine stress, trace schema"
+cargo test -q --test properties digest  # the three canonical-digest properties
+cargo test -q -p nuspi-engine --test jsonio_edge
+cargo test -q -p nuspi-engine --test stress
+cargo test -q -p nuspi-engine --test trace
+
+echo "==> bench regression gate (smoke)"
+./scripts/bench_gate.sh --smoke
+
 echo "==> nuspi serve round-trip smoke test"
 serve_out=$(printf '%s\n' \
   '{"id":"r1","op":"audit","process":"(new k) (new m) c<{m, new r}:k>.0","secrets":["m","k"]}' \
@@ -29,6 +38,21 @@ echo "$serve_out" | sed -n 1p | grep -q '"secure":true' || { echo "serve: audit 
 [ "$(echo "$serve_out" | sed -n 1p | sed 's/r1/rX/')" = "$(echo "$serve_out" | sed -n 2p | sed 's/r2/rX/')" ] \
   || { echo "serve: repeat not byte-identical"; exit 1; }
 echo "$serve_out" | sed -n 3p | grep -q '"hits":1' || { echo "serve: cache hit not reported"; exit 1; }
+
+echo "==> nuspi serve --trace smoke test"
+trace_file=$(mktemp)
+traced_out=$(printf '%s\n' \
+  '{"id":"r1","op":"audit","process":"(new k) (new m) c<{m, new r}:k>.0","secrets":["m","k"]}' \
+  '{"id":"r2","op":"audit","process":"(new k) (new m) c<{m, new r}:k>.0","secrets":["m","k"]}' \
+  '{"id":"s","op":"stats"}' \
+  | ./target/release/nuspi serve --jobs 2 --trace "$trace_file" 2>/dev/null)
+grep -q '"type":"span"' "$trace_file" || { echo "trace: no spans recorded"; exit 1; }
+grep -q '"name":"engine.exec"' "$trace_file" || { echo "trace: engine.exec span missing"; exit 1; }
+grep -q '"type":"counter"' "$trace_file" || { echo "trace: no counters recorded"; exit 1; }
+rm -f "$trace_file"
+# Tracing must not change the response bytes (modulo the stats obs section).
+[ "$(echo "$serve_out" | sed -n 1p)" = "$(echo "$traced_out" | sed -n 1p)" ] \
+  || { echo "trace: response bytes changed under tracing"; exit 1; }
 
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

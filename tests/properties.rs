@@ -258,6 +258,166 @@ fn analysis_predicts_every_immediate_output() {
     }
 }
 
+/// Rebuilds `p` with every restriction binder renamed to a globally
+/// fresh name — an α-renaming, so all digests must be invariant.
+fn freshen_restrictions(p: &nuspi::Process) -> nuspi::Process {
+    use nuspi::Process as P;
+    match p {
+        P::Nil => P::Nil,
+        P::Output { chan, msg, then } => P::Output {
+            chan: chan.clone(),
+            msg: msg.clone(),
+            then: Box::new(freshen_restrictions(then)),
+        },
+        P::Input { chan, var, then } => P::Input {
+            chan: chan.clone(),
+            var: *var,
+            then: Box::new(freshen_restrictions(then)),
+        },
+        P::Par(l, r) => P::Par(
+            Box::new(freshen_restrictions(l)),
+            Box::new(freshen_restrictions(r)),
+        ),
+        P::Restrict { name, body } => {
+            let fresh = name.freshen();
+            P::Restrict {
+                name: fresh,
+                body: Box::new(freshen_restrictions(&body.rename_name(*name, fresh))),
+            }
+        }
+        P::Match { lhs, rhs, then } => P::Match {
+            lhs: lhs.clone(),
+            rhs: rhs.clone(),
+            then: Box::new(freshen_restrictions(then)),
+        },
+        P::Replicate(q) => P::Replicate(Box::new(freshen_restrictions(q))),
+        P::Let {
+            fst,
+            snd,
+            expr,
+            then,
+        } => P::Let {
+            fst: *fst,
+            snd: *snd,
+            expr: expr.clone(),
+            then: Box::new(freshen_restrictions(then)),
+        },
+        P::CaseNat {
+            expr,
+            zero,
+            pred,
+            succ,
+        } => P::CaseNat {
+            expr: expr.clone(),
+            zero: Box::new(freshen_restrictions(zero)),
+            pred: *pred,
+            succ: Box::new(freshen_restrictions(succ)),
+        },
+        P::CaseDec {
+            expr,
+            vars,
+            key,
+            then,
+        } => P::CaseDec {
+            expr: expr.clone(),
+            vars: vars.clone(),
+            key: key.clone(),
+            then: Box::new(freshen_restrictions(then)),
+        },
+    }
+}
+
+#[test]
+fn alpha_equivalent_processes_have_equal_digests() {
+    use nuspi::syntax::{alpha_equivalent, alpha_hash, canonical_digest};
+    for seed in 0..400u64 {
+        let p = random_process(seed, &GenConfig::default());
+        let q = freshen_restrictions(&p);
+        assert!(
+            alpha_equivalent(&p, &q),
+            "seed {seed}: binder freshening must be an α-renaming of {p}"
+        );
+        assert_eq!(
+            canonical_digest(&p),
+            canonical_digest(&q),
+            "seed {seed}: canonical digest must be α-invariant for {p}"
+        );
+        assert_eq!(alpha_hash(&p), alpha_hash(&q), "seed {seed}");
+        // Idempotent: freshening again still lands in the same class.
+        let r = freshen_restrictions(&q);
+        assert_eq!(canonical_digest(&p), canonical_digest(&r), "seed {seed}");
+    }
+}
+
+#[test]
+fn single_node_perturbations_change_the_digest() {
+    use nuspi::syntax::{alpha_equivalent, canonical_digest, Name};
+    for seed in 0..400u64 {
+        let p = random_process(seed, &GenConfig::default());
+        let d = canonical_digest(&p);
+
+        // Insert one node at the root.
+        let wrapped = nuspi::Process::Replicate(Box::new(p.clone()));
+        assert!(!alpha_equivalent(&p, &wrapped), "seed {seed}");
+        assert_ne!(d, canonical_digest(&wrapped), "seed {seed}: !P vs P");
+
+        let parred = nuspi::Process::Par(Box::new(p.clone()), Box::new(nuspi::Process::Nil));
+        assert!(!alpha_equivalent(&p, &parred), "seed {seed}");
+        assert_ne!(d, canonical_digest(&parred), "seed {seed}: P|0 vs P");
+
+        // Renaming a *free* name is a semantic change, not an α-step —
+        // the digest must move (guarded: the name must actually occur
+        // free, and the renaming must not collide with another name).
+        let renamed = p.rename_name(Name::global("c"), Name::global("zz-perturbed-free-name"));
+        if !alpha_equivalent(&p, &renamed) {
+            assert_ne!(d, canonical_digest(&renamed), "seed {seed}: free rename");
+        }
+    }
+}
+
+#[test]
+fn digests_are_byte_stable_across_runs() {
+    use nuspi::syntax::canonical_digest;
+    // Pinned hex digests: these change only when the canonical-form or
+    // hash algorithm changes, which must be a deliberate decision (the
+    // engine's on-disk/archived cache keys and trace correlation both
+    // lean on cross-run stability).
+    let pinned = [
+        ("0", "fda1c23f6296f7b42584d6f2a074a7c5"),
+        (
+            "(new k) (new m) c<{m, new r}:k>.0",
+            "d2a0a460235b4dab15c0a41e848eb5af",
+        ),
+        (
+            "!(ping<0>.0 | ping(x).pong<x>.0)",
+            "0fa6ee124034ca0a5994da5356e69a20",
+        ),
+    ];
+    for (src, hex) in pinned {
+        let p = nuspi::parse_process(src).unwrap();
+        assert_eq!(
+            canonical_digest(&p).to_hex(),
+            hex,
+            "digest of {src:?} drifted — cache keys would miss across versions"
+        );
+        // And stable within the run, including through an α-renaming.
+        assert_eq!(
+            canonical_digest(&freshen_restrictions(&p)).to_hex(),
+            hex,
+            "{src:?}"
+        );
+    }
+    // Random processes: recomputation is reproducible.
+    for seed in 0..200u64 {
+        let p = random_process(seed, &GenConfig::default());
+        assert_eq!(
+            canonical_digest(&p),
+            canonical_digest(&p.clone()),
+            "seed {seed}"
+        );
+    }
+}
+
 #[test]
 fn parse_print_round_trip_preserves_structure() {
     for seed in 0..300u64 {
