@@ -15,6 +15,11 @@
 //! or vice versa — is a schema drift and fails the gate, so renames
 //! can't silently drop coverage. `--bless` rewrites the baseline from
 //! the current run instead of comparing.
+//!
+//! A suite whose only failures are time overruns is re-measured once
+//! before failing (back-to-back gate runs on a loaded box get
+//! de-scheduled mid-measurement); exact and schema failures are
+//! deterministic and never retried.
 
 use crate::report::{bench_dir, BenchReport, Gate};
 use crate::suites;
@@ -56,6 +61,10 @@ pub struct GateFailure {
     pub metric: String,
     /// What went wrong.
     pub reason: String,
+    /// Whether a re-measurement could plausibly clear it (time overruns
+    /// on a loaded box); exact drift and schema drift are deterministic
+    /// and never transient.
+    pub transient: bool,
 }
 
 /// The outcome of gating one suite.
@@ -79,11 +88,12 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, tolerance: f64) ->
         timed: 0,
         exact: 0,
     };
-    let mut fail = |metric: &str, reason: String| {
+    let mut fail = |metric: &str, reason: String, transient: bool| {
         out.failures.push(GateFailure {
             suite: baseline.bench.clone(),
             metric: metric.to_owned(),
             reason,
+            transient,
         });
     };
     for base in &baseline.metrics {
@@ -91,6 +101,7 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, tolerance: f64) ->
             fail(
                 &base.name,
                 "present in the baseline, missing from this run".to_owned(),
+                false,
             );
             continue;
         };
@@ -111,6 +122,7 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, tolerance: f64) ->
                             limit,
                             base.unit
                         ),
+                        true,
                     );
                 }
             }
@@ -124,6 +136,7 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, tolerance: f64) ->
                              re-bless if the analysis change is intentional",
                             base.value, cur.value
                         ),
+                        false,
                     );
                 }
             }
@@ -135,6 +148,7 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, tolerance: f64) ->
             fail(
                 &cur.name,
                 "new metric not in the baseline — re-bless to adopt it".to_owned(),
+                false,
             );
         }
     }
@@ -207,7 +221,23 @@ pub fn run(config: &GateConfig) -> Result<String, String> {
                 continue;
             }
         };
-        let outcome = compare(&baseline, &run.report, tolerance);
+        let mut outcome = compare(&baseline, &run.report, tolerance);
+        // Time overruns on a loaded box are the one failure mode a
+        // re-measurement can legitimately clear: the suites run back to
+        // back, and a long gate run can get de-scheduled mid-measurement.
+        // One retry, and only when *every* failure is a time overrun —
+        // exact drift and schema drift are deterministic and fail
+        // immediately.
+        if !outcome.failures.is_empty() && outcome.failures.iter().all(|f| f.transient) {
+            let _ = writeln!(
+                transcript,
+                "RETRY {name}: {} time metric(s) over budget, re-measuring once",
+                outcome.failures.len()
+            );
+            if let Some(rerun) = suites::run(name, config.smoke) {
+                outcome = compare(&baseline, &rerun.report, tolerance);
+            }
+        }
         if outcome.failures.is_empty() {
             let _ = writeln!(
                 transcript,
@@ -258,6 +288,7 @@ mod tests {
         let out = compare(&sample(), &cur, 1.0);
         assert_eq!(out.failures.len(), 1);
         assert_eq!(out.failures[0].metric, "fast");
+        assert!(out.failures[0].transient, "time overruns are retryable");
     }
 
     #[test]
@@ -274,6 +305,7 @@ mod tests {
         let out = compare(&sample(), &cur, 100.0);
         assert_eq!(out.failures.len(), 1);
         assert!(out.failures[0].reason.contains("re-bless"));
+        assert!(!out.failures[0].transient, "exact drift is deterministic");
     }
 
     #[test]
@@ -291,6 +323,10 @@ mod tests {
         let out = compare(&sample(), &cur, 1.0);
         let reasons: Vec<&str> = out.failures.iter().map(|f| f.metric.as_str()).collect();
         assert_eq!(reasons, ["fast", "brand-new"]);
+        assert!(
+            out.failures.iter().all(|f| !f.transient),
+            "schema drift must not be retried"
+        );
     }
 
     #[test]

@@ -1,0 +1,511 @@
+//! Incremental re-solving keyed by α-invariant subtree digests.
+//!
+//! A νSPI program is a parallel composition of protocol components; an
+//! edit typically touches one of them. [`IncrementalSolver`] splits the
+//! top-level `Par` spine, digests each component with
+//! [`canonical_digest`](nuspi_syntax::canonical_digest), and keeps the
+//! component's *isolated* least solution — production sets plus the
+//! subset-edge relation — in a content-addressed cache. On the next
+//! solve only the components whose digest changed are re-solved; the
+//! clean ones are re-stitched silently and the work-stealing solver
+//! saturates just the coupling frontier.
+//!
+//! **Why this is sound and least.** Components couple through shared
+//! channels: every cross-component flow passes through some `κ(n)`, and
+//! the only premise that can *newly* fire on a cached fact is a
+//! decryption whose key language grew globally. A component's isolated
+//! solution is a pointwise lower bound of the global least solution
+//! (its constraint set is a subset), so installing it cannot overshoot.
+//! Re-saturation then recovers exactly the global fixpoint because every
+//! place new information can enter is re-examined:
+//!
+//! * every `κ` fact is enqueued as a live task, so the input/output
+//!   clauses and the cached cross-`κ` edges replay against the *union*
+//!   of the components' channel knowledge;
+//! * every cached `Enc` production watched by a decryption is re-parked,
+//!   so its key intersection is re-decided on the stitched grammar;
+//! * everything else arrives as an ordinary task and triggers its
+//!   watchers like any other production.
+//!
+//! Cached entries use a *portable* encoding: component-local variables
+//! are stored positionally (`Local(i)` — generation is a deterministic
+//! left-to-right traversal, so position is stable across parses),
+//! channel variables symbolically (`Kappa(n)` — parse-global identity).
+//! The cache key pairs the α-invariant digest with a salt over the
+//! component's rendered source, because α-equivalent components can
+//! spell their bound names differently and those spellings appear in
+//! solutions as canonical name productions.
+//!
+//! The no-op edit (digest-identical re-solve of the *same* labelled
+//! process) short-circuits entirely; a re-parsed identical source has
+//! fresh labels, so it takes the component path instead (still all
+//! cache hits) and yields a solution keyed by the new labels.
+
+use crate::constraints::{Constraint, Constraints};
+use crate::domain::{FlowVar, Prod, VarId, VarTable};
+use crate::parallel::{solve_parallel_with, Prefill};
+use crate::solver::{solve_with_edges, Solution};
+use nuspi_syntax::{canonical_digest, Process, StableHasher, Symbol};
+use std::collections::{HashMap, HashSet};
+use std::hash::Hasher;
+
+/// Cache key of one component: α-invariant digest plus a stable hash of
+/// the rendered source (bound-name spellings matter to the solution).
+type ComponentKey = (u128, u64);
+
+/// A flow variable of a cached component, in portable form.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum PortId {
+    /// The i-th entry of the component's generation-time variable table
+    /// (positional: generation is a deterministic traversal).
+    Local(u32),
+    /// A channel variable `κ(n)` — identified by its canonical name.
+    Kappa(Symbol),
+}
+
+/// A production with [`PortId`] children.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum PProd {
+    Name(Symbol),
+    Zero,
+    Suc(PortId),
+    Pair(PortId, PortId),
+    Enc {
+        args: Vec<PortId>,
+        confounder: Symbol,
+        key: PortId,
+    },
+}
+
+/// The isolated least solution of one component, portable across
+/// variable tables: all productions plus the subset-edge relation (the
+/// edges are needed so silently reinstalled facts keep flowing when new
+/// global facts arrive behind them).
+#[derive(Clone, Debug)]
+struct CachedComponent {
+    prods: Vec<(PortId, PProd)>,
+    edges: Vec<(PortId, PortId)>,
+}
+
+/// Effort counters of one [`IncrementalSolver::solve`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct IncrementalStats {
+    /// Top-level parallel components of the solved process.
+    pub components: usize,
+    /// Components whose isolated solution came from the cache.
+    pub reuse_hits: usize,
+    /// Components solved in isolation this call (then cached).
+    pub reuse_misses: usize,
+    /// Whether the call short-circuited on the digest-identical no-op
+    /// fast path (same labelled process as the previous call).
+    pub noop: bool,
+}
+
+/// A solver that caches per-component solutions across calls and
+/// re-solves only the dirty frontier of an edited process.
+pub struct IncrementalSolver {
+    threads: usize,
+    cache: HashMap<ComponentKey, CachedComponent>,
+    last: Option<LastSolve>,
+}
+
+struct LastSolve {
+    keys: Vec<ComponentKey>,
+    fingerprint: u64,
+    solution: Solution,
+}
+
+/// Beyond this many cached components the cache is dropped wholesale —
+/// a crude bound that keeps a long-lived server from growing without
+/// limit while staying trivially correct.
+const CACHE_CAP: usize = 8192;
+
+impl IncrementalSolver {
+    /// An empty solver whose global re-saturations run on `threads`
+    /// work-stealing workers.
+    pub fn new(threads: usize) -> IncrementalSolver {
+        IncrementalSolver {
+            threads: threads.max(1),
+            cache: HashMap::new(),
+            last: None,
+        }
+    }
+
+    /// Number of component solutions currently cached.
+    pub fn cached_components(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Computes the least solution of `p`, reusing cached component
+    /// solutions where the component digest is unchanged. The estimate
+    /// is identical to [`solve`](crate::solve) /
+    /// [`solve_parallel`](crate::solve_parallel) on the same process;
+    /// the differential suite enforces this.
+    pub fn solve(&mut self, p: &Process) -> (Solution, IncrementalStats) {
+        let _sp = nuspi_obs::span!("cfa.incremental.solve");
+        let comps = split_par(p);
+        let keys: Vec<ComponentKey> = comps.iter().map(|c| component_key(c)).collect();
+        let fingerprint = parse_fingerprint(p);
+        let mut stats = IncrementalStats {
+            components: comps.len(),
+            ..IncrementalStats::default()
+        };
+
+        if let Some(last) = &self.last {
+            if last.keys == keys && last.fingerprint == fingerprint {
+                stats.noop = true;
+                stats.reuse_hits = comps.len();
+                self.record(&stats);
+                return (last.solution.clone(), stats);
+            }
+        }
+
+        // Ensure every component has a cached isolated solution.
+        for (c, key) in comps.iter().zip(&keys) {
+            if self.cache.contains_key(key) {
+                stats.reuse_hits += 1;
+                continue;
+            }
+            stats.reuse_misses += 1;
+            let ci = Constraints::generate(c);
+            let gen_len = ci.vars.len();
+            let (sol, edges) = solve_with_edges(ci);
+            self.cache.insert(*key, encode(&sol, &edges, gen_len));
+        }
+        if self.cache.len() > CACHE_CAP {
+            self.cache.clear();
+            for (c, key) in comps.iter().zip(&keys) {
+                let ci = Constraints::generate(c);
+                let gen_len = ci.vars.len();
+                let (sol, edges) = solve_with_edges(ci);
+                self.cache.insert(*key, encode(&sol, &edges, gen_len));
+            }
+        }
+
+        // Stitch: translate every component's conditional constraints
+        // into one global system (positional variables are re-interned in
+        // traversal order, so the result aligns with a from-scratch
+        // generation of the whole process) and prefill the cached facts.
+        let mut gvars = VarTable::new();
+        let mut glist: Vec<Constraint> = Vec::new();
+        type ResolvedEntry = (Vec<(VarId, Prod)>, Vec<(VarId, VarId)>);
+        let mut resolved: Vec<ResolvedEntry> = Vec::new();
+        let mut claims: HashMap<VarId, usize> = HashMap::new();
+        for (c, key) in comps.iter().zip(&keys) {
+            let ci = Constraints::generate(c);
+            let map: Vec<VarId> = ci
+                .vars
+                .iter()
+                .map(|(_, fv)| match fv {
+                    FlowVar::Aux(_) => gvars.fresh_aux(),
+                    other => gvars.intern(other),
+                })
+                .collect();
+            let m = |v: VarId| map[v.index()];
+            for con in &ci.list {
+                match con {
+                    // Facts and unconditional edges are covered by the
+                    // cached entry; only the watchers must be live.
+                    Constraint::Prod { .. } | Constraint::Sub { .. } => {}
+                    Constraint::Output { chan, msg } => glist.push(Constraint::Output {
+                        chan: m(*chan),
+                        msg: m(*msg),
+                    }),
+                    Constraint::Input { chan, var } => glist.push(Constraint::Input {
+                        chan: m(*chan),
+                        var: m(*var),
+                    }),
+                    Constraint::Split {
+                        scrutinee,
+                        fst,
+                        snd,
+                    } => glist.push(Constraint::Split {
+                        scrutinee: m(*scrutinee),
+                        fst: m(*fst),
+                        snd: m(*snd),
+                    }),
+                    Constraint::CaseSuc { scrutinee, pred } => glist.push(Constraint::CaseSuc {
+                        scrutinee: m(*scrutinee),
+                        pred: m(*pred),
+                    }),
+                    Constraint::Decrypt {
+                        scrutinee,
+                        key,
+                        vars,
+                    } => glist.push(Constraint::Decrypt {
+                        scrutinee: m(*scrutinee),
+                        key: m(*key),
+                        vars: vars.iter().copied().map(m).collect(),
+                    }),
+                }
+            }
+            let cached = &self.cache[key];
+            let resolve = |port: &PortId, gvars: &mut VarTable| match port {
+                PortId::Local(i) => map[*i as usize],
+                PortId::Kappa(n) => gvars.intern(FlowVar::Kappa(*n)),
+            };
+            let mut claimed: HashSet<VarId> = map.iter().copied().collect();
+            let mut facts = Vec::with_capacity(cached.prods.len());
+            for (port, pprod) in &cached.prods {
+                let var = resolve(port, &mut gvars);
+                claimed.insert(var);
+                let prod = match pprod {
+                    PProd::Name(n) => Prod::Name(*n),
+                    PProd::Zero => Prod::Zero,
+                    PProd::Suc(a) => Prod::Suc(resolve(a, &mut gvars)),
+                    PProd::Pair(a, b) => Prod::Pair(resolve(a, &mut gvars), resolve(b, &mut gvars)),
+                    PProd::Enc {
+                        args,
+                        confounder,
+                        key,
+                    } => Prod::Enc {
+                        args: args.iter().map(|a| resolve(a, &mut gvars)).collect(),
+                        confounder: *confounder,
+                        key: resolve(key, &mut gvars),
+                    },
+                };
+                facts.push((var, prod));
+            }
+            let mut edges = Vec::with_capacity(cached.edges.len());
+            for (a, b) in &cached.edges {
+                let (ga, gb) = (resolve(a, &mut gvars), resolve(b, &mut gvars));
+                claimed.insert(ga);
+                claimed.insert(gb);
+                edges.push((ga, gb));
+            }
+            for v in claimed {
+                *claims.entry(v).or_insert(0) += 1;
+            }
+            resolved.push((facts, edges));
+        }
+
+        // A fact is enqueued live when its target couples components —
+        // any κ variable, or any variable claimed by more than one
+        // component; everything else is installed silently (its local
+        // consequences are already part of the cached facts and edges).
+        let mut prefill = Prefill::default();
+        let mut enqueue: HashSet<(VarId, Prod)> = HashSet::new();
+        for (facts, edges) in resolved {
+            for (var, prod) in facts {
+                let coupling = matches!(gvars.describe(var), FlowVar::Kappa(_))
+                    || claims.get(&var).copied().unwrap_or(0) > 1;
+                if coupling {
+                    enqueue.insert((var, prod));
+                } else {
+                    prefill.silent.push((var, prod));
+                }
+            }
+            prefill.edges.extend(edges);
+        }
+        prefill.enqueue = enqueue.into_iter().collect();
+
+        let constraints = Constraints {
+            vars: gvars,
+            list: glist,
+        };
+        let solution = solve_parallel_with(constraints, self.threads, prefill);
+        self.record(&stats);
+        self.last = Some(LastSolve {
+            keys,
+            fingerprint,
+            solution: solution.clone(),
+        });
+        (solution, stats)
+    }
+
+    fn record(&self, stats: &IncrementalStats) {
+        if nuspi_obs::enabled() {
+            nuspi_obs::counter("cfa.incremental.calls", 1);
+            nuspi_obs::counter("cfa.incremental.components", stats.components as u64);
+            nuspi_obs::counter("cfa.incremental.reuse.hits", stats.reuse_hits as u64);
+            nuspi_obs::counter("cfa.incremental.reuse.misses", stats.reuse_misses as u64);
+            if stats.noop {
+                nuspi_obs::counter("cfa.incremental.noop", 1);
+            }
+        }
+    }
+}
+
+/// The top-level parallel components of `p`, left to right. A top-level
+/// restriction scopes over everything, so such a process is a single
+/// component (correct, just without reuse granularity).
+fn split_par(p: &Process) -> Vec<&Process> {
+    fn walk<'a>(p: &'a Process, out: &mut Vec<&'a Process>) {
+        if let Process::Par(a, b) = p {
+            walk(a, out);
+            walk(b, out);
+        } else {
+            out.push(p);
+        }
+    }
+    let mut out = Vec::new();
+    walk(p, &mut out);
+    out
+}
+
+fn component_key(c: &Process) -> ComponentKey {
+    let digest = canonical_digest(c).0;
+    let mut h = StableHasher::new();
+    h.write(c.to_string().as_bytes());
+    (digest, h.finish())
+}
+
+/// A fingerprint of the process's label sequence: labels are minted per
+/// parse, so this distinguishes "the same labelled AST again" (true
+/// no-op) from "a re-parse of identical source" (which needs a solution
+/// keyed by the fresh labels).
+fn parse_fingerprint(p: &Process) -> u64 {
+    let mut h = StableHasher::new();
+    for l in p.labels() {
+        h.write_u64(u64::from(l.index()));
+    }
+    h.finish()
+}
+
+/// Encodes an isolated component solution portably. Variables interned
+/// during generation (the first `gen_len` ids) are positional; the
+/// solver only ever interns `κ` variables beyond that, which are stored
+/// symbolically.
+fn encode(sol: &Solution, edges: &[(VarId, VarId)], gen_len: usize) -> CachedComponent {
+    let port = |id: VarId| -> PortId {
+        if let FlowVar::Kappa(n) = sol.describe(id) {
+            PortId::Kappa(n)
+        } else {
+            debug_assert!(
+                id.index() < gen_len,
+                "non-κ variable interned post-generation"
+            );
+            PortId::Local(id.index() as u32)
+        }
+    };
+    let mut prods = Vec::new();
+    for (id, _) in sol.flow_vars() {
+        for p in sol.prods_of_id(id) {
+            let pp = match p {
+                Prod::Name(n) => PProd::Name(*n),
+                Prod::Zero => PProd::Zero,
+                Prod::Suc(a) => PProd::Suc(port(*a)),
+                Prod::Pair(a, b) => PProd::Pair(port(*a), port(*b)),
+                Prod::Enc {
+                    args,
+                    confounder,
+                    key,
+                } => PProd::Enc {
+                    args: args.iter().copied().map(port).collect(),
+                    confounder: *confounder,
+                    key: port(*key),
+                },
+            };
+            prods.push((port(id), pp));
+        }
+    }
+    let edges = edges.iter().map(|&(a, b)| (port(a), port(b))).collect();
+    CachedComponent { prods, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{solve, solve_parallel};
+    use nuspi_syntax::parse_process;
+
+    fn assert_incremental_matches(solver: &mut IncrementalSolver, src: &str, ctx: &str) {
+        let p = parse_process(src).unwrap();
+        let (inc, _) = solver.solve(&p);
+        let scratch = solve(Constraints::generate(&p));
+        scratch
+            .estimate_eq(&inc)
+            .unwrap_or_else(|e| panic!("{ctx}: incremental vs from-scratch: {e}"));
+    }
+
+    #[test]
+    fn incremental_matches_from_scratch_cold_and_warm() {
+        let mut solver = IncrementalSolver::new(2);
+        let src = "c<{m, new r}:k>.0 | c(z). case z of {x}:k in d<x>.0 | a<m2>.0";
+        assert_incremental_matches(&mut solver, src, "cold");
+        assert_incremental_matches(&mut solver, src, "warm (re-parse)");
+    }
+
+    #[test]
+    fn edit_reuses_clean_components() {
+        let mut solver = IncrementalSolver::new(2);
+        let p1 = parse_process("a<m>.0 | a(x).b<x>.0 | b(y).0").unwrap();
+        let (_, s1) = solver.solve(&p1);
+        assert_eq!(s1.components, 3);
+        assert_eq!(s1.reuse_misses, 3);
+        // Edit the middle component only.
+        let p2 = parse_process("a<m>.0 | a(x).c<x>.0 | b(y).0").unwrap();
+        let (sol, s2) = solver.solve(&p2);
+        assert_eq!(s2.reuse_hits, 2, "two components unchanged");
+        assert_eq!(s2.reuse_misses, 1, "one component edited");
+        let scratch = solve(Constraints::generate(&p2));
+        scratch.estimate_eq(&sol).unwrap();
+    }
+
+    #[test]
+    fn noop_fast_path_returns_identical_estimate() {
+        let mut solver = IncrementalSolver::new(1);
+        let p = parse_process("c<{m, new r}:k>.0 | c(z). case z of {x}:k in d<x>.0").unwrap();
+        let (first, s1) = solver.solve(&p);
+        assert!(!s1.noop);
+        let (second, s2) = solver.solve(&p);
+        assert!(s2.noop, "same labelled AST must hit the no-op path");
+        assert_eq!(s2.reuse_hits, s2.components);
+        first.estimate_eq(&second).unwrap();
+    }
+
+    #[test]
+    fn reparsed_identical_source_is_not_a_noop_but_reuses_everything() {
+        let mut solver = IncrementalSolver::new(1);
+        let src = "a<m>.0 | a(x).b<x>.0";
+        let p1 = parse_process(src).unwrap();
+        solver.solve(&p1);
+        let p2 = parse_process(src).unwrap();
+        let (sol, st) = solver.solve(&p2);
+        assert!(!st.noop, "fresh labels: the solution must be re-keyed");
+        assert_eq!(st.reuse_hits, st.components, "but every component reuses");
+        let scratch = solve(Constraints::generate(&p2));
+        scratch.estimate_eq(&sol).unwrap();
+    }
+
+    #[test]
+    fn cross_component_decryption_unlocks_on_stitch() {
+        // The key flows from one component, the ciphertext from another:
+        // in isolation neither decrypts, stitched they must.
+        let mut solver = IncrementalSolver::new(2);
+        let src = "c<{m, new r}:k2>.0 | kchan<k2>.0 \
+                   | kchan(kk). c(z). case z of {x}:kk in d<x>.0";
+        let p = parse_process(src).unwrap();
+        let (sol, _) = solver.solve(&p);
+        assert!(sol
+            .kappa(Symbol::intern("d"))
+            .contains(&Prod::Name(Symbol::intern("m"))));
+        let scratch = solve_parallel(Constraints::generate(&p), 2);
+        scratch.estimate_eq(&sol).unwrap();
+    }
+
+    #[test]
+    fn duplicate_components_share_one_cache_entry() {
+        let mut solver = IncrementalSolver::new(1);
+        let p = parse_process("c<m>.0 | c<m>.0 | c<m>.0").unwrap();
+        let (sol, st) = solver.solve(&p);
+        assert_eq!(st.components, 3);
+        assert_eq!(st.reuse_misses, 1, "identical components dedupe");
+        assert_eq!(st.reuse_hits, 2);
+        let scratch = solve(Constraints::generate(&p));
+        scratch.estimate_eq(&sol).unwrap();
+    }
+
+    #[test]
+    fn alpha_equivalent_components_with_different_names_do_not_collide() {
+        // (new a) c<a>.0 and (new b) c<b>.0 are α-equivalent but leak
+        // differently-spelled canonical names into κ(c): the salt must
+        // keep their cache entries apart.
+        let mut solver = IncrementalSolver::new(1);
+        let p = parse_process("(new na) c<na>.0 | (new nb) c<nb>.0").unwrap();
+        let (sol, _) = solver.solve(&p);
+        let scratch = solve(Constraints::generate(&p));
+        scratch.estimate_eq(&sol).unwrap();
+        assert_eq!(sol.kappa(Symbol::intern("c")).len(), 2);
+    }
+}

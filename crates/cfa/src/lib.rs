@@ -40,6 +40,7 @@ mod constraints;
 mod display;
 mod domain;
 mod finite;
+mod incremental;
 mod lang;
 mod parallel;
 mod reference;
@@ -52,6 +53,7 @@ pub use attacker::{
 pub use constraints::{Constraint, Constraints};
 pub use domain::{FlowVar, Prod, VarId, VarTable};
 pub use finite::{FiniteEstimate, FiniteViolation, ValSet};
+pub use incremental::{IncrementalSolver, IncrementalStats};
 pub use parallel::{solve_parallel, solve_suite};
 pub use reference::solve_reference;
 pub use solver::{

@@ -17,6 +17,7 @@
 use crate::constraints::{Constraint, Constraints};
 use crate::domain::{FlowVar, Prod, VarId, VarTable};
 use nuspi_syntax::{Label, Symbol, Value, Var};
+use std::borrow::Cow;
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Size and effort counters of a solver run.
@@ -34,7 +35,7 @@ pub struct SolverStats {
     pub intersection_queries: usize,
     /// Intersection queries answered from the memo cache (positive
     /// entries are valid forever — languages only grow; negative entries
-    /// are valid within the round that computed them).
+    /// are valid until the next production insertion).
     pub cache_hits: usize,
     /// Intersection queries that ran the product-pair saturation.
     pub cache_misses: usize,
@@ -42,6 +43,10 @@ pub struct SolverStats {
     pub rounds: usize,
     /// Wall-clock milliseconds per outer fixpoint round.
     pub round_millis: Vec<f64>,
+    /// Per-round intersection memo activity as `(hits, misses)` deltas.
+    /// Memo caches persist across rounds, so on a workload whose final
+    /// rounds re-ask settled queries the tail entries are all-hit.
+    pub round_memo: Vec<(usize, usize)>,
     /// Per-shard counters ([`solve_parallel`](crate::solve_parallel)
     /// only; empty for the sequential and reference solvers).
     pub per_shard: Vec<ShardStats>,
@@ -68,6 +73,8 @@ pub struct ShardStats {
     pub deltas_sent: usize,
     /// Deltas this shard applied to its own variables.
     pub deltas_applied: usize,
+    /// Tasks this worker stole from another worker's deque.
+    pub steals: usize,
 }
 
 #[derive(Clone, Debug)]
@@ -85,13 +92,15 @@ pub(crate) enum Cond {
 /// this so all solvers share one intersection-nonemptiness decision
 /// procedure.
 pub(crate) trait ProdView {
-    /// The productions of `v`, or `None` if the variable has none.
-    fn prods_at(&self, v: VarId) -> Option<&HashSet<Prod>>;
+    /// The productions of `v`, or `None` if the variable has none. A
+    /// dense layout borrows; a locked layout snapshots under its lock and
+    /// returns an owned copy, so no lock is held across pair-graph steps.
+    fn prods_at(&self, v: VarId) -> Option<Cow<'_, HashSet<Prod>>>;
 }
 
 impl ProdView for [HashSet<Prod>] {
-    fn prods_at(&self, v: VarId) -> Option<&HashSet<Prod>> {
-        self.get(v.index())
+    fn prods_at(&self, v: VarId) -> Option<Cow<'_, HashSet<Prod>>> {
+        self.get(v.index()).map(Cow::Borrowed)
     }
 }
 
@@ -273,6 +282,11 @@ struct Solver {
     parked: Vec<(usize, Prod)>,
     parked_set: HashSet<(usize, Prod)>,
     nonempty: HashSet<(VarId, VarId)>,
+    /// Bumped on every production insertion; negative intersection
+    /// answers tagged with an older generation have expired (edges alone
+    /// cannot turn an empty intersection non-empty).
+    generation: u64,
+    neg_cache: HashMap<(VarId, VarId), u64>,
     stats: SolverStats,
     trace: Option<Provenance>,
 }
@@ -282,14 +296,25 @@ pub fn solve(constraints: Constraints) -> Solution {
     solve_impl(constraints, false).0
 }
 
+/// Like [`solve`], additionally returning the subset-edge relation of the
+/// final grammar (the incremental solver caches it alongside the
+/// production sets so a reused component can be re-stitched silently).
+pub(crate) fn solve_with_edges(constraints: Constraints) -> (Solution, Vec<(VarId, VarId)>) {
+    let (sol, _, edges) = solve_impl(constraints, false);
+    (sol, edges)
+}
+
 /// Like [`solve`], additionally recording flow [`Provenance`] so each
 /// production's path into each variable can be narrated.
 pub fn solve_traced(constraints: Constraints) -> (Solution, Provenance) {
-    let (sol, prov) = solve_impl(constraints, true);
+    let (sol, prov, _) = solve_impl(constraints, true);
     (sol, prov.expect("tracing was enabled"))
 }
 
-fn solve_impl(constraints: Constraints, traced: bool) -> (Solution, Option<Provenance>) {
+fn solve_impl(
+    constraints: Constraints,
+    traced: bool,
+) -> (Solution, Option<Provenance>, Vec<(VarId, VarId)>) {
     let _sp = nuspi_obs::span!("cfa.solve");
     let Constraints { vars, list } = constraints;
     let n = vars.len();
@@ -304,6 +329,8 @@ fn solve_impl(constraints: Constraints, traced: bool) -> (Solution, Option<Prove
         parked: Vec::new(),
         parked_set: HashSet::new(),
         nonempty: HashSet::new(),
+        generation: 0,
+        neg_cache: HashMap::new(),
         stats: SolverStats::default(),
         trace: traced.then(Provenance::default),
     };
@@ -341,6 +368,7 @@ fn solve_impl(constraints: Constraints, traced: bool) -> (Solution, Option<Prove
     loop {
         let _round = nuspi_obs::span!("cfa.solve.round", round = s.stats.rounds);
         let round_start = std::time::Instant::now();
+        let (hits0, misses0) = (s.stats.cache_hits, s.stats.cache_misses);
         s.stats.rounds += 1;
         s.drain();
         let parked = std::mem::take(&mut s.parked);
@@ -365,6 +393,9 @@ fn solve_impl(constraints: Constraints, traced: bool) -> (Solution, Option<Prove
         s.stats
             .round_millis
             .push(round_start.elapsed().as_secs_f64() * 1e3);
+        s.stats
+            .round_memo
+            .push((s.stats.cache_hits - hits0, s.stats.cache_misses - misses0));
         if !progressed && s.queue.is_empty() {
             break;
         }
@@ -382,6 +413,7 @@ fn solve_impl(constraints: Constraints, traced: bool) -> (Solution, Option<Prove
             nuspi_obs::record_us("cfa.round_us", (ms * 1e3) as u64);
         }
     }
+    let edges: Vec<(VarId, VarId)> = s.edge_set.iter().copied().collect();
     (
         Solution {
             vars: s.vars,
@@ -390,6 +422,7 @@ fn solve_impl(constraints: Constraints, traced: bool) -> (Solution, Option<Prove
             empty: HashSet::new(),
         },
         s.trace,
+        edges,
     )
 }
 
@@ -419,6 +452,7 @@ impl Solver {
     fn add_prod(&mut self, var: VarId, prod: Prod, source: ProdSource) {
         self.ensure(var);
         if self.prods[var.index()].insert(prod.clone()) {
+            self.generation += 1;
             if let Some(trace) = &mut self.trace {
                 trace.prod_source.insert((var, prod.clone()), source);
             }
@@ -515,16 +549,29 @@ impl Solver {
     }
 
     /// `L(a) ∩ L(b) ≠ ∅` — bottom-up product saturation over the pair
-    /// graph reachable from `(a, b)`. Positive results are cached globally
-    /// (languages only grow during solving, so non-emptiness is monotone).
+    /// graph reachable from `(a, b)`. Positive results are cached forever
+    /// (languages only grow during solving, so non-emptiness is
+    /// monotone); negative results are tagged with the production
+    /// generation that computed them and stay valid until a production
+    /// is inserted anywhere.
     fn intersect_nonempty(&mut self, a: VarId, b: VarId) -> bool {
         self.stats.intersection_queries += 1;
-        if self.nonempty.contains(&norm(a, b)) {
+        let pair = norm(a, b);
+        if self.nonempty.contains(&pair) {
             self.stats.cache_hits += 1;
             return true;
         }
+        if self.neg_cache.get(&pair) == Some(&self.generation) {
+            self.stats.cache_hits += 1;
+            return false;
+        }
         self.stats.cache_misses += 1;
-        intersect_fixpoint(self.prods.as_slice(), &mut self.nonempty, a, b)
+        if intersect_fixpoint(self.prods.as_slice(), &mut self.nonempty, a, b) {
+            true
+        } else {
+            self.neg_cache.insert(pair, self.generation);
+            false
+        }
     }
 }
 
@@ -561,8 +608,8 @@ pub(crate) fn intersect_fixpoint<V: ProdView + ?Sized>(
         let (u, v) = pair;
         let mut here = Vec::new();
         if let (Some(pu), Some(pv)) = (prods.prods_at(u), prods.prods_at(v)) {
-            for p in pu {
-                for q in pv {
+            for p in pu.iter() {
+                for q in pv.iter() {
                     if let Some(children) = p.root_compatible(q) {
                         let children: Vec<(VarId, VarId)> =
                             children.into_iter().map(|(x, y)| norm(x, y)).collect();

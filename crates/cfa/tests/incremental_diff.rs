@@ -1,0 +1,172 @@
+//! Differential wall around the incremental solver.
+//!
+//! [`IncrementalSolver`] memoises per-component least solutions keyed by
+//! α-invariant digests and re-stitches them on every call. These
+//! properties pin the only contract that matters: after *any* edit — a
+//! random single-subtree mutation, a component insertion or removal, or
+//! no edit at all — the re-solved estimate is semantically identical to
+//! a from-scratch [`solve`] of the edited process, and the digest-equal
+//! fast path is taken exactly when the labelled tree is unchanged.
+
+use nuspi_bench::genproc::{random_process, GenConfig};
+use nuspi_bench::testkit::{check, ensure};
+use nuspi_cfa::{solve, Constraints, IncrementalSolver};
+use nuspi_semantics::rng::{Rng, SplitMix64};
+use nuspi_syntax::{builder as b, Process};
+
+/// One generated edit scenario: a parallel composition of seeded random
+/// components, plus a single-subtree mutation replacing component
+/// `edit` with a re-generated subtree.
+#[derive(Debug, Clone)]
+struct Case {
+    seeds: Vec<u64>,
+    edit: usize,
+    to: u64,
+}
+
+fn gen_case(rng: &mut SplitMix64) -> Case {
+    let len = rng.gen_range_inclusive(2, 5);
+    let seeds: Vec<u64> = (0..len).map(|_| rng.next_u64() % 10_000).collect();
+    Case {
+        edit: rng.gen_range(0..len),
+        to: 10_000 + rng.next_u64() % 10_000,
+        seeds,
+    }
+}
+
+/// Shrink by dropping unedited components — smaller counterexamples
+/// with the mutation preserved.
+fn shrink_case(c: &Case) -> Vec<Case> {
+    let mut out = Vec::new();
+    if c.seeds.len() > 1 {
+        for i in 0..c.seeds.len() {
+            if i == c.edit {
+                continue;
+            }
+            let mut seeds = c.seeds.clone();
+            seeds.remove(i);
+            out.push(Case {
+                seeds,
+                edit: c.edit - usize::from(i < c.edit),
+                to: c.to,
+            });
+        }
+    }
+    out
+}
+
+fn assemble(seeds: &[u64]) -> Process {
+    let cfg = GenConfig::default();
+    b::par_all(seeds.iter().map(|&s| random_process(s, &cfg)))
+}
+
+/// The incremental solver mints its own auxiliary variables, so raw
+/// `estimate_eq` (which compares productions structurally, auxiliaries
+/// included) cannot be used across solvers here; the α-class rendering
+/// of `(ρ, κ, ζ)` against the same process is the portable comparator.
+fn agree(incremental: &nuspi_cfa::Solution, p: &Process, ctx: &str) -> Result<(), String> {
+    let scratch = solve(Constraints::generate(p));
+    let got = incremental.render_estimate_for(p, 6);
+    let want = scratch.render_estimate_for(p, 6);
+    ensure(got == want, || {
+        format!("{ctx}: incremental vs from-scratch:\n--- incremental\n{got}\n--- scratch\n{want}")
+    })
+}
+
+#[test]
+fn property_edit_resolve_equals_from_scratch() {
+    check(
+        "incremental-equals-scratch",
+        80,
+        gen_case,
+        shrink_case,
+        |c| {
+            let base = assemble(&c.seeds);
+            let mut edited_seeds = c.seeds.clone();
+            edited_seeds[c.edit] = c.to;
+            let edited = assemble(&edited_seeds);
+
+            let mut inc = IncrementalSolver::new(2);
+            let (cold, st) = inc.solve(&base);
+            ensure(!st.noop, || "cold solve flagged as no-op".to_owned())?;
+            agree(&cold, &base, "cold")?;
+
+            let (warm, st) = inc.solve(&edited);
+            ensure(!st.noop, || "edited solve flagged as no-op".to_owned())?;
+            ensure(st.reuse_hits + st.reuse_misses == st.components, || {
+                format!("meter accounting broken: {st:?}")
+            })?;
+            agree(&warm, &edited, "after edit")?;
+
+            // Digest-identical resubmission: the fast path must engage
+            // and still return the same estimate.
+            let (noop, st) = inc.solve(&edited);
+            ensure(st.noop, || {
+                "identical resubmission missed the fast path".to_owned()
+            })?;
+            ensure(
+                noop.render_estimate_for(&edited, 6) == warm.render_estimate_for(&edited, 6),
+                || "no-op fast path changed the estimate".to_owned(),
+            )?;
+
+            // And going back to the original text re-uses the original
+            // components rather than re-deriving them.
+            let (back, st) = inc.solve(&base);
+            ensure(st.reuse_misses == 0, || {
+                format!("returning to a fully-cached corpus re-solved components: {st:?}")
+            })?;
+            agree(&back, &base, "after revert")
+        },
+    );
+}
+
+#[test]
+fn property_component_insertion_and_removal_resolve_correctly() {
+    check(
+        "incremental-grows-and-shrinks",
+        40,
+        gen_case,
+        shrink_case,
+        |c| {
+            let base = assemble(&c.seeds);
+            let mut grown_seeds = c.seeds.clone();
+            grown_seeds.push(c.to);
+            let grown = assemble(&grown_seeds);
+            let shrunk = assemble(&c.seeds[..c.seeds.len() - 1]);
+
+            let mut inc = IncrementalSolver::new(1);
+            let (s, _) = inc.solve(&base);
+            agree(&s, &base, "base")?;
+            let (s, _) = inc.solve(&grown);
+            agree(&s, &grown, "after insertion")?;
+            let (s, _) = inc.solve(&shrunk);
+            agree(&s, &shrunk, "after removal")
+        },
+    );
+}
+
+#[test]
+fn noop_fast_path_requires_identical_labels_not_just_identical_text() {
+    // Re-parsing the same source re-labels the tree; the solver must
+    // notice (labels feed ζ) and re-stitch — all components reused, but
+    // no no-op claim.
+    let src = "a<m>.0 | a(x). b<x>.0 | (new s) c<{s, new r}:k>.0";
+    let p = nuspi_syntax::parse_process(src).unwrap();
+    let q = nuspi_syntax::parse_process(src).unwrap();
+    let mut inc = IncrementalSolver::new(2);
+    let (sp, st) = inc.solve(&p);
+    assert!(!st.noop);
+    let (sq, st) = inc.solve(&q);
+    assert!(!st.noop, "fresh labels must defeat the no-op check");
+    assert_eq!(
+        st.reuse_misses, 0,
+        "α-digests must still reuse every component"
+    );
+    assert_eq!(
+        sp.render_estimate_for(&p, 6),
+        sq.render_estimate_for(&q, 6),
+        "same source, same estimate"
+    );
+    let (_, st) = inc.solve(&q);
+    assert!(st.noop, "verbatim resubmission of the same tree is a no-op");
+}

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! nuspi check   <file> [--secret NAME]...        audit: confinement + carefulness + intruder
-//! nuspi analyze <file> [--secret NAME]... [--attacker] [--depth N] [--summary]
+//! nuspi analyze <file> [--secret NAME]... [--attacker] [--incremental] [--depth N] [--summary]
 //!                                                print the least estimate (ρ, κ, ζ)
 //! nuspi run     <file> [--steps N] [--seed N] [--classic]
 //!                                                random simulation, printing the trace
@@ -37,7 +37,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   nuspi check   <file> [--secret NAME]...
-  nuspi analyze <file> [--secret NAME]... [--attacker] [--depth N] [--summary]
+  nuspi analyze <file> [--secret NAME]... [--attacker] [--incremental] [--depth N] [--summary]
   nuspi run     <file> [--steps N] [--seed N] [--classic] [--msc]
   nuspi explore <file> [--max-depth N] [--max-states N]
   nuspi explain <file> [--secret NAME]...
@@ -48,6 +48,7 @@ struct Opts {
     file: Option<String>,
     secrets: Vec<String>,
     attacker: bool,
+    incremental: bool,
     classic: bool,
     msc: bool,
     summary: bool,
@@ -68,6 +69,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         file: None,
         secrets: Vec::new(),
         attacker: false,
+        incremental: false,
         classic: false,
         msc: false,
         summary: false,
@@ -95,6 +97,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 .secrets
                 .push(it.next().ok_or("--secret needs a name")?.clone()),
             "--attacker" => o.attacker = true,
+            "--incremental" => o.incremental = true,
             "--classic" => o.classic = true,
             "--msc" => o.msc = true,
             "--summary" => o.summary = true,
@@ -196,9 +199,22 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             })
         }
         "analyze" => {
+            if o.incremental && o.attacker {
+                return Err("--incremental cannot be combined with --attacker".into());
+            }
             let solution = if o.attacker {
                 let secret = policy.secrets().collect();
                 nuspi_cfa::analyze_with_attacker(&process, &secret).solution
+            } else if o.incremental {
+                // One-shot runs start cold, but the path (component
+                // digesting + cached re-stitching) is the same one
+                // `nuspi serve`'s solve_incremental op keeps warm.
+                let (solution, inc) = nuspi_cfa::IncrementalSolver::new(o.shards).solve(&process);
+                eprintln!(
+                    "-- incremental: {} components, {} reused, {} solved",
+                    inc.components, inc.reuse_hits, inc.reuse_misses
+                );
+                solution
             } else {
                 nuspi::analyze(&process)
             };
@@ -450,6 +466,17 @@ mod tests {
             run(&s(&["analyze", f.to_str().unwrap(), "--attacker"])).unwrap(),
             ExitCode::SUCCESS
         );
+        assert_eq!(
+            run(&s(&["analyze", f.to_str().unwrap(), "--incremental"])).unwrap(),
+            ExitCode::SUCCESS
+        );
+        assert!(run(&s(&[
+            "analyze",
+            f.to_str().unwrap(),
+            "--incremental",
+            "--attacker"
+        ]))
+        .is_err());
         assert_eq!(
             run(&s(&["explore", f.to_str().unwrap(), "--max-depth", "4"])).unwrap(),
             ExitCode::SUCCESS

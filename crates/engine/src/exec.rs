@@ -21,7 +21,7 @@
 //! so a body is byte-identical whether computed fresh, served from the
 //! cache, or produced under a different worker count.
 
-use crate::engine::EngineConfig;
+use crate::engine::{EngineConfig, IncrementalState};
 use crate::jsonio::escape;
 use crate::request::{error_body, ProcessInput, Request};
 use nuspi_diagnostics::{lint_with, to_json_compact, LintConfig};
@@ -30,6 +30,7 @@ use nuspi_syntax::{canonical_digest, parse_process, Process, StableHasher128, Sy
 use std::collections::HashSet;
 use std::fmt::Write as _;
 use std::hash::Hasher as _;
+use std::sync::Arc;
 
 /// Version of the cache-key schema. Bump when the key derivation or any
 /// body layout changes, so stale entries from an older engine can never
@@ -153,8 +154,14 @@ fn runner(
     }
 }
 
-/// Prepares `request` for execution under `cfg`.
-pub(crate) fn prepare(request: &Request, cfg: &EngineConfig) -> Prepared {
+/// Prepares `request` for execution under `cfg`. `incremental` is the
+/// engine's persistent incremental solver, shared by every
+/// [`Request::SolveIncremental`] job.
+pub(crate) fn prepare(
+    request: &Request,
+    cfg: &EngineConfig,
+    incremental: &Arc<IncrementalState>,
+) -> Prepared {
     match request {
         Request::Audit { process, secrets } => {
             let op = "audit";
@@ -338,6 +345,35 @@ pub(crate) fn prepare(request: &Request, cfg: &EngineConfig) -> Prepared {
                 }
             }
         }
+        Request::SolveIncremental { process, depth } => {
+            let op = "solve_incremental";
+            let depth = *depth;
+            match parse_input(process) {
+                Err(e) => fail(op, e),
+                Ok(p) => {
+                    // Same key family as `solve`: the body is a pure
+                    // function of the α-class and the render depth —
+                    // reuse accounting is *not* in the body (it depends
+                    // on solver warmth), it lives in the engine meters.
+                    let key = derive_key(5, &p, &[], &[depth as u64], &[], cfg);
+                    let inc = Arc::clone(incremental);
+                    let run = runner(op, process, p, move |p| {
+                        let (solution, stats) = inc.solve(&p);
+                        format!(
+                            "\"op\":\"solve_incremental\",\"status\":\"ok\",\
+                             \"components\":{},\"estimate\":\"{}\"",
+                            stats.components,
+                            escape(&solution.render_estimate_for(&p, depth))
+                        )
+                    });
+                    Prepared {
+                        op,
+                        key: Some(key),
+                        run,
+                    }
+                }
+            }
+        }
         Request::DebugPanic => Prepared {
             op: "debug-panic",
             key: None,
@@ -362,6 +398,10 @@ mod tests {
 
     fn cfg() -> EngineConfig {
         EngineConfig::default()
+    }
+
+    fn prepare(request: &Request, cfg: &EngineConfig) -> Prepared {
+        super::prepare(request, cfg, &Arc::new(IncrementalState::new(1)))
     }
 
     fn run(p: Prepared) -> String {
@@ -447,6 +487,33 @@ mod tests {
     }
 
     #[test]
+    fn incremental_bodies_are_warmth_independent() {
+        // The body must be a pure function of the request: a warm
+        // re-solve (everything reused) renders byte-identically to the
+        // cold one, and matches the plain `solve` estimate.
+        let src = "a<m>.0 | a(x).b<x>.0 | c<{m, new r}:k>.0 \
+                   | c(z). case z of {y}:k in d<y>.0";
+        let state = Arc::new(IncrementalState::new(2));
+        let req = Request::solve_incremental(src);
+        let cold = run(super::prepare(&req, &cfg(), &state));
+        let warm = run(super::prepare(&req, &cfg(), &state));
+        assert_eq!(cold, warm);
+        assert!(cold.contains("\"components\":4"), "{cold}");
+        let plain = run(prepare(&Request::solve(src), &cfg()));
+        let estimate = |body: &str| {
+            body.split("\"estimate\":\"")
+                .nth(1)
+                .map(str::to_owned)
+                .expect("estimate field")
+        };
+        assert_eq!(estimate(&cold), estimate(&plain));
+        // Distinct op tag: never shares a cache slot with plain solve.
+        let a = super::prepare(&req, &cfg(), &state);
+        let b = prepare(&Request::solve(src), &cfg());
+        assert_ne!(a.key, b.key);
+    }
+
+    #[test]
     fn parse_failures_are_uncacheable_error_bodies() {
         let p = prepare(&Request::solve("(new"), &cfg());
         assert!(p.key.is_none());
@@ -504,6 +571,7 @@ mod tests {
             Request::audit(src, &["m", "k"]),
             Request::lint(src, &["m", "k"]),
             Request::solve(src),
+            Request::solve_incremental(src),
             Request::reveals(src, &["m", "k"], "m"),
         ] {
             let once = run(prepare(&req, &cfg()));

@@ -46,7 +46,10 @@ mod request;
 mod serve;
 
 pub use cache::{CacheCounters, ENTRY_OVERHEAD};
-pub use engine::{AnalysisEngine, EngineConfig, EngineStats, IntruderBudgets, DEFAULT_CACHE_BYTES};
+pub use engine::{
+    AnalysisEngine, EngineConfig, EngineStats, IncrementalMeters, IntruderBudgets,
+    DEFAULT_CACHE_BYTES,
+};
 pub use pool::WorkerPool;
 pub use request::{Envelope, ProcessInput, Request, Response};
 pub use serve::serve;

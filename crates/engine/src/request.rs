@@ -94,6 +94,18 @@ pub enum Request {
         /// public free names).
         known: Vec<String>,
     },
+    /// The CFA least solution computed by the engine's persistent
+    /// [`IncrementalSolver`](nuspi_cfa::IncrementalSolver): unchanged
+    /// top-level components are reused from the per-component solution
+    /// cache, so re-solving an edited process only saturates the dirty
+    /// frontier. The estimate is identical to [`Request::Solve`] without
+    /// attacker composition.
+    SolveIncremental {
+        /// The process to solve.
+        process: ProcessInput,
+        /// Tree-render depth of the reported estimate.
+        depth: usize,
+    },
     /// Test-only: a job that panics inside the worker, exercising the
     /// pool's panic isolation. Not reachable from the wire protocol.
     #[doc(hidden)]
@@ -128,6 +140,14 @@ impl Request {
         }
     }
 
+    /// An incremental solve request over source text.
+    pub fn solve_incremental(src: &str) -> Request {
+        Request::SolveIncremental {
+            process: src.into(),
+            depth: 3,
+        }
+    }
+
     /// A revelation-search request over source text.
     pub fn reveals(src: &str, secrets: &[&str], secret: &str) -> Request {
         Request::Reveals {
@@ -145,6 +165,7 @@ impl Request {
             Request::Lint { .. } => "lint",
             Request::Solve { .. } => "solve",
             Request::Reveals { .. } => "reveals",
+            Request::SolveIncremental { .. } => "solve_incremental",
             Request::DebugPanic => "debug-panic",
         }
     }

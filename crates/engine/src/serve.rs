@@ -6,10 +6,12 @@
 //! ← {"id":"r1","op":"audit","status":"ok","secure":true,...}
 //! ```
 //!
-//! Ops mirror [`Request`]: `audit`, `lint`, `solve`, `reveals` — plus
-//! `batch` (a `requests` array answered as one line per element, in
-//! order) and `stats` (the engine's meters; the only op whose body is
-//! not a pure function of the request, so it is never cached). Every
+//! Ops mirror [`Request`]: `audit`, `lint`, `solve`, `solve_incremental`
+//! (the persistent per-component solution cache; ideal for re-analysing
+//! an edited protocol over a long session), `reveals` — plus `batch` (a
+//! `requests` array answered as one line per element, in order) and
+//! `stats` (the engine's meters; the only op whose body is not a pure
+//! function of the request, so it is never cached). Every
 //! request may carry an `id` (echoed back) and a `deadline_ms`. A
 //! malformed line is answered with an error line rather than ending the
 //! session; end of input shuts the engine down gracefully (in-flight
@@ -83,6 +85,17 @@ fn decode_envelope(v: &Json) -> Result<Envelope, String> {
                 .transpose()?
                 .unwrap_or(3) as usize,
         },
+        "solve_incremental" => Request::SolveIncremental {
+            process: process()?.as_str().into(),
+            depth: v
+                .get("depth")
+                .map(|d| {
+                    d.as_u64()
+                        .ok_or_else(|| "`depth` must be a non-negative integer".to_owned())
+                })
+                .transpose()?
+                .unwrap_or(3) as usize,
+        },
         "reveals" => Request::Reveals {
             process: process()?.as_str().into(),
             secrets: str_list(v, "secrets")?,
@@ -144,11 +157,21 @@ fn stats_body(s: &EngineStats) -> String {
     );
     let _ = write!(
         out,
-        "\"hit_rate\":{:.3},\"job_panics\":{},\"deadline_expirations\":{},\"uncacheable\":{}",
+        "\"hit_rate\":{:.3},\"job_panics\":{},\"deadline_expirations\":{},\"uncacheable\":{},",
         s.hit_rate(),
         s.job_panics,
         s.deadline_expirations,
         s.uncacheable
+    );
+    let _ = write!(
+        out,
+        "\"incremental\":{{\"calls\":{},\"components\":{},\"reuse_hits\":{},\
+         \"reuse_misses\":{},\"noops\":{}}}",
+        s.incremental.calls,
+        s.incremental.components,
+        s.incremental.reuse_hits,
+        s.incremental.reuse_misses,
+        s.incremental.noops
     );
     // Tracing telemetry appears only while the recorder is on, so the
     // stats body stays byte-identical whenever tracing is off.
@@ -328,6 +351,30 @@ mod tests {
         );
         assert!(stats.contains("\"hits\":1"), "{stats}");
         assert!(stats.contains("\"misses\":1"), "{stats}");
+        Json::parse(stats).unwrap();
+    }
+
+    #[test]
+    fn solve_incremental_op_round_trips_and_meters_reuse() {
+        let e = engine();
+        let input = "{\"id\":\"a\",\"op\":\"solve_incremental\",\
+                     \"process\":\"a<m>.0 | a(x).b<x>.0\"}\n\
+                     {\"id\":\"b\",\"op\":\"solve_incremental\",\
+                     \"process\":\"a<m>.0 | a(x).c<x>.0\"}\n\
+                     {\"id\":\"s\",\"op\":\"stats\"}\n";
+        let lines = run(&e, input);
+        assert_eq!(lines.len(), 3);
+        for line in &lines[..2] {
+            assert!(line.contains("\"op\":\"solve_incremental\""), "{line}");
+            assert!(line.contains("\"status\":\"ok\""), "{line}");
+            assert!(line.contains("\"components\":2"), "{line}");
+            Json::parse(line).unwrap();
+        }
+        // The edit kept the `a<m>.0` component: one reuse hit.
+        let stats = &lines[2];
+        assert!(stats.contains("\"incremental\":{\"calls\":2"), "{stats}");
+        assert!(stats.contains("\"reuse_hits\":1"), "{stats}");
+        assert!(stats.contains("\"reuse_misses\":3"), "{stats}");
         Json::parse(stats).unwrap();
     }
 

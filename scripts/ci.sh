@@ -10,9 +10,12 @@ cargo build --release
 echo "==> cargo test -q (workspace)"
 cargo test -q --workspace
 
-echo "==> differential solver suite"
+echo "==> differential solver suite (sequential / work-stealing / reference)"
 cargo test -q --test differential
 cargo test -q --test provenance_stats
+
+echo "==> incremental differential wall"
+cargo test -q -p nuspi-cfa --test incremental_diff
 
 echo "==> lint golden files"
 cargo test -q --test lint_golden
@@ -30,14 +33,18 @@ echo "==> nuspi serve round-trip smoke test"
 serve_out=$(printf '%s\n' \
   '{"id":"r1","op":"audit","process":"(new k) (new m) c<{m, new r}:k>.0","secrets":["m","k"]}' \
   '{"id":"r2","op":"audit","process":"(new k) (new m) c<{m, new r}:k>.0","secrets":["m","k"]}' \
+  '{"id":"i1","op":"solve_incremental","process":"a<m>.0 | a(x). b<x>.0"}' \
   '{"id":"s","op":"stats"}' \
   | ./target/release/nuspi serve --jobs 2)
 echo "$serve_out"
-[ "$(echo "$serve_out" | wc -l)" -eq 3 ] || { echo "serve: expected 3 response lines"; exit 1; }
+[ "$(echo "$serve_out" | wc -l)" -eq 4 ] || { echo "serve: expected 4 response lines"; exit 1; }
 echo "$serve_out" | sed -n 1p | grep -q '"secure":true' || { echo "serve: audit verdict missing"; exit 1; }
 [ "$(echo "$serve_out" | sed -n 1p | sed 's/r1/rX/')" = "$(echo "$serve_out" | sed -n 2p | sed 's/r2/rX/')" ] \
   || { echo "serve: repeat not byte-identical"; exit 1; }
-echo "$serve_out" | sed -n 3p | grep -q '"hits":1' || { echo "serve: cache hit not reported"; exit 1; }
+echo "$serve_out" | sed -n 3p | grep -q '"op":"solve_incremental"' || { echo "serve: incremental op missing"; exit 1; }
+echo "$serve_out" | sed -n 3p | grep -q '"components":2' || { echo "serve: incremental components missing"; exit 1; }
+echo "$serve_out" | sed -n 4p | grep -q '"hits":1' || { echo "serve: cache hit not reported"; exit 1; }
+echo "$serve_out" | sed -n 4p | grep -q '"incremental":{"calls":1' || { echo "serve: incremental meters missing"; exit 1; }
 
 echo "==> nuspi serve --trace smoke test"
 trace_file=$(mktemp)

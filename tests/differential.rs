@@ -1,8 +1,8 @@
 //! Differential testing of the three solvers.
 //!
 //! The optimised solvers — the sequential worklist ([`solve`]) and the
-//! sharded bulk-synchronous parallel solver ([`solve_parallel`] at 1, 2
-//! and 4 threads) — must compute exactly the same estimate `(ρ, κ, ζ)`
+//! work-stealing parallel solver ([`solve_parallel`] at 1, 2, 4 and 8
+//! threads) — must compute exactly the same estimate `(ρ, κ, ζ)`
 //! as the deliberately naive round-robin reference ([`solve_reference`])
 //! on every input: the protocol suite plus hundreds of seeded random
 //! processes. On flat processes, leastness is additionally re-checked
@@ -14,8 +14,10 @@ use nuspi::cfa::{
 };
 use nuspi_bench::flatref::{concretize_flat, random_flat_process, saturate_flat};
 use nuspi_bench::genproc::{random_process, GenConfig};
+use nuspi_bench::testkit::{check, ensure, shrink_u64};
 use nuspi_bench::theorems::check_moore_meet;
 use nuspi_protocols::suite;
+use nuspi_semantics::rng::Rng as _;
 use nuspi_syntax::{Process, Symbol, Value};
 
 /// Solves one labelled process with every solver and checks pairwise
@@ -25,11 +27,38 @@ fn assert_solvers_agree(p: &Process, ctx: &str) {
     let refr = solve_reference(Constraints::generate(p));
     seq.estimate_eq(&refr)
         .unwrap_or_else(|e| panic!("{ctx}: sequential vs reference: {e}"));
-    for threads in [1, 2, 4] {
+    for threads in [1, 2, 4, 8] {
         let par = solve_parallel(Constraints::generate(p), threads);
         seq.estimate_eq(&par)
             .unwrap_or_else(|e| panic!("{ctx}: sequential vs parallel({threads}): {e}"));
     }
+}
+
+#[test]
+fn property_parallel_matches_reference_at_every_thread_count() {
+    // The testkit variant of the differential wall: 200 fresh seeds per
+    // run (shift the stream with NUSPI_TESTKIT_SEED), shrinking a
+    // failing seed toward a small reproducer.
+    check(
+        "parallel-equals-reference",
+        200,
+        |rng| rng.next_u64() % 100_000,
+        shrink_u64,
+        |seed| {
+            let p = random_process(*seed, &GenConfig::default());
+            let refr = solve_reference(Constraints::generate(&p));
+            for threads in [1usize, 2, 4, 8] {
+                let par = solve_parallel(Constraints::generate(&p), threads);
+                ensure(refr.estimate_eq(&par).is_ok(), || {
+                    format!(
+                        "seed {seed}: parallel({threads}) disagrees with the reference: {}",
+                        refr.estimate_eq(&par).unwrap_err()
+                    )
+                })?;
+            }
+            Ok(())
+        },
+    );
 }
 
 #[test]
