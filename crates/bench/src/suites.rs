@@ -40,6 +40,7 @@ pub const SUITES: &[&str] = &[
     "solver",
     "engine",
     "lint",
+    "lang",
     "semantics",
     "security",
     "ablation",
@@ -51,6 +52,7 @@ pub fn run(name: &str, smoke: bool) -> Option<SuiteRun> {
         "solver" => Some(solver(smoke)),
         "engine" => Some(engine(smoke)),
         "lint" => Some(lint_suite(smoke)),
+        "lang" => Some(lang(smoke)),
         "semantics" => Some(semantics(smoke)),
         "security" => Some(security(smoke)),
         "ablation" => Some(ablation(smoke)),
@@ -438,6 +440,127 @@ pub fn lint_suite(smoke: bool) -> SuiteRun {
         );
     }
     human.push_str(&table.render());
+    SuiteRun { human, report }
+}
+
+/// The `examples/lang/` ladder, embedded at compile time so the suite
+/// measures exactly the committed programs.
+const LANG_LADDER: &[(&str, &str)] = &[
+    (
+        "01_hello",
+        include_str!("../../../examples/lang/01_hello.nu"),
+    ),
+    (
+        "02_channels",
+        include_str!("../../../examples/lang/02_channels.nu"),
+    ),
+    (
+        "03_channels_leak",
+        include_str!("../../../examples/lang/03_channels_leak.nu"),
+    ),
+    (
+        "04_functions",
+        include_str!("../../../examples/lang/04_functions.nu"),
+    ),
+    (
+        "05_functions_leak",
+        include_str!("../../../examples/lang/05_functions_leak.nu"),
+    ),
+    (
+        "06_cycle",
+        include_str!("../../../examples/lang/06_cycle.nu"),
+    ),
+    (
+        "07_cycle_leak",
+        include_str!("../../../examples/lang/07_cycle_leak.nu"),
+    ),
+    (
+        "08_secret",
+        include_str!("../../../examples/lang/08_secret.nu"),
+    ),
+    (
+        "09_secret_leak",
+        include_str!("../../../examples/lang/09_secret_leak.nu"),
+    ),
+];
+
+/// The annotated-source frontend over the `examples/lang/` ladder:
+/// frontend-only (parse + lower) vs the full source-to-verdict check
+/// per program, plus the engine's `analyze_source` path cold vs warm.
+pub fn lang(smoke: bool) -> SuiteRun {
+    const WARM_ROUNDS: u32 = 5;
+    let b = budget(smoke);
+    let mut report = BenchReport::new("lang", smoke);
+    let mut human = String::from("bench_lang: annotated-source frontend over the ladder\n\n");
+
+    let mut table = Table::new(["program", "parse+lower", "full check", "verdict"]);
+    let mut insecure = 0u64;
+    for (name, src) in LANG_LADDER {
+        let t_front = timed_stable(b, || {
+            let _ = nuspi_lang::compile(name, src).expect("ladder program compiles");
+        });
+        let report_run = nuspi_lang::check(name, src);
+        let verdict = report_run.verdict.as_str();
+        if verdict == "insecure" {
+            insecure += 1;
+        }
+        let t_check = timed_stable(b, || {
+            let _ = nuspi_lang::check(name, src);
+        });
+        table.row([
+            (*name).to_owned(),
+            format!("{:.4}ms", t_front.as_secs_f64() * 1e3),
+            fmt_ms(t_check),
+            verdict.to_owned(),
+        ]);
+        report.time(&format!("frontend/{name}"), t_front);
+        report.time(&format!("check/{name}"), t_check);
+    }
+    human.push_str(&table.render());
+    report.exact("ladder/programs", LANG_LADDER.len() as u64);
+    report.exact("ladder/insecure", insecure);
+
+    // The engine path: a cold batch computes every program, warm
+    // batches are pure cache hits (the key is the lowered process's
+    // α-invariant digest, so a formatting edit would hit too).
+    let engine = AnalysisEngine::with_jobs(0);
+    let requests: Vec<Request> = LANG_LADDER
+        .iter()
+        .map(|(name, src)| Request::AnalyzeSource {
+            file: format!("{name}.nu"),
+            source: (*src).to_owned(),
+            shards: 1,
+        })
+        .collect();
+    let (cold_responses, cold) = timed(|| engine.submit_requests(requests.clone()));
+    assert!(
+        cold_responses.iter().all(Response::is_ok),
+        "cold analyze_source batch must succeed"
+    );
+    let mut warm_total = Duration::ZERO;
+    for round in 0..WARM_ROUNDS {
+        let (responses, took) = timed(|| engine.submit_requests(requests.clone()));
+        assert!(
+            responses.iter().all(|r| r.cached),
+            "warm round {round} must be served from the cache"
+        );
+        warm_total += took;
+    }
+    let warm = warm_total / WARM_ROUNDS;
+    let speedup = cold.as_secs_f64() / warm.as_secs_f64().max(1e-9);
+    human.push_str(&format!(
+        "\nengine analyze_source: cold {} warm {} speedup {speedup:.1}x\n",
+        fmt_ms(cold),
+        fmt_ms(warm)
+    ));
+    report.time("engine/cold-batch", cold);
+    report.time("engine/warm-batch", warm);
+    report.info("engine/speedup", speedup, "x");
+    let stats = engine.stats();
+    report.exact("engine/cache-hits", stats.cache.hits);
+    report.exact("engine/cache-misses", stats.cache.misses);
+
+    human.push_str("bench_lang done.\n");
     SuiteRun { human, report }
 }
 

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! nuspi check   <file> [--secret NAME]...        audit: confinement + carefulness + intruder
+//! nuspi check   <file.nu> [--json] [--shards N]  compile an annotated source program and lint it
 //! nuspi analyze <file> [--secret NAME]... [--attacker] [--incremental] [--depth N] [--summary]
 //!                                                print the least estimate (ρ, κ, ζ)
 //! nuspi run     <file> [--steps N] [--seed N] [--classic]
@@ -37,6 +38,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   nuspi check   <file> [--secret NAME]...
+  nuspi check   <file.nu> [--json] [--shards N]
   nuspi analyze <file> [--secret NAME]... [--attacker] [--incremental] [--depth N] [--summary]
   nuspi run     <file> [--steps N] [--seed N] [--classic] [--msc]
   nuspi explore <file> [--max-depth N] [--max-states N]
@@ -167,6 +169,22 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     }
     let file = o.file.clone().ok_or("missing <file>")?;
     let src = read_source(&file)?;
+    if cmd == "check" && file.ends_with(".nu") {
+        // Annotated-source programs go through the nuspi-lang frontend;
+        // compile failures still render a report (and a JSON document
+        // under --json) rather than a bare usage error.
+        let report = nuspi::lang::check_with(&file, &src, o.shards);
+        if o.json {
+            print!("{}", nuspi::lang::check_to_json(&report));
+        } else {
+            print!("{}", nuspi::lang::render_check(&report));
+        }
+        return Ok(match report.verdict {
+            nuspi::lang::Verdict::Secure => ExitCode::SUCCESS,
+            nuspi::lang::Verdict::Insecure => ExitCode::FAILURE,
+            nuspi::lang::Verdict::Invalid => ExitCode::from(2),
+        });
+    }
     let process = nuspi::parse_process(&src).map_err(|e| e.to_string())?;
     if !process.is_closed() {
         return Err("process has free variables".into());
@@ -450,6 +468,47 @@ mod tests {
         std::fs::write(&bad, "(new s) net<s>.0").unwrap();
         let code = run(&s(&["check", bad.to_str().unwrap(), "--secret", "s"])).unwrap();
         assert_eq!(code, ExitCode::FAILURE);
+    }
+
+    #[test]
+    fn check_command_routes_nu_files_through_the_lang_frontend() {
+        let dir = std::env::temp_dir().join("nuspi-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let clean = dir.join("clean.nu");
+        std::fs::write(&clean, "func main() {\n  ch := make(chan)\n  ch <- 1\n}\n").unwrap();
+        assert_eq!(
+            run(&s(&["check", clean.to_str().unwrap()])).unwrap(),
+            ExitCode::SUCCESS
+        );
+
+        let leak = dir.join("leak.nu");
+        std::fs::write(
+            &leak,
+            "func main() {\n  //nuspi::sink::{}\n  out := make(chan)\n  //nuspi::label::{high}\n  pin := 4\n  out <- pin\n}\n",
+        )
+        .unwrap();
+        assert_eq!(
+            run(&s(&["check", leak.to_str().unwrap()])).unwrap(),
+            ExitCode::FAILURE
+        );
+        assert_eq!(
+            run(&s(&[
+                "check",
+                leak.to_str().unwrap(),
+                "--json",
+                "--shards",
+                "2"
+            ]))
+            .unwrap(),
+            ExitCode::FAILURE
+        );
+
+        let broken = dir.join("broken.nu");
+        std::fs::write(&broken, "func main( {").unwrap();
+        assert_eq!(
+            run(&s(&["check", broken.to_str().unwrap()])).unwrap(),
+            ExitCode::from(2)
+        );
     }
 
     #[test]

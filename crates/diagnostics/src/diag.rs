@@ -71,6 +71,16 @@ pub enum Span {
     Name(Symbol),
     /// The process as a whole.
     Process,
+    /// A point in surface-language source text (1-based line and
+    /// column). Produced by frontends such as `nuspi-lang`, whose
+    /// diagnostics anchor to the file being compiled rather than to a
+    /// νSPI program point.
+    Source {
+        /// 1-based source line.
+        line: u32,
+        /// 1-based source column.
+        col: u32,
+    },
 }
 
 impl Span {
@@ -81,6 +91,9 @@ impl Span {
             Span::Channel(n) => (1, 0, n.as_str()),
             Span::Name(n) => (2, 0, n.as_str()),
             Span::Process => (3, 0, ""),
+            // Lines first, then columns; the encoding keeps the
+            // (u8, usize, &str) key shape shared with the other kinds.
+            Span::Source { line, col } => (4, (*line as usize) << 16 | *col as usize, ""),
         }
     }
 
@@ -90,6 +103,7 @@ impl Span {
             Span::Point { ordinal } => format!("ℓ#{ordinal}"),
             Span::Channel(n) | Span::Name(n) => n.as_str().to_owned(),
             Span::Process => "process".to_owned(),
+            Span::Source { line, col } => format!("{line}:{col}"),
         }
     }
 
@@ -100,6 +114,7 @@ impl Span {
             Span::Channel(_) => "channel",
             Span::Name(_) => "name",
             Span::Process => "process",
+            Span::Source { .. } => "source",
         }
     }
 }
@@ -111,6 +126,7 @@ impl fmt::Display for Span {
             Span::Channel(n) => write!(f, "channel {n}"),
             Span::Name(n) => write!(f, "name {n}"),
             Span::Process => write!(f, "process"),
+            Span::Source { line, col } => write!(f, "source {line}:{col}"),
         }
     }
 }

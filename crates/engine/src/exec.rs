@@ -374,6 +374,52 @@ pub(crate) fn prepare(
                 }
             }
         }
+        Request::AnalyzeSource {
+            file,
+            source,
+            shards,
+        } => {
+            let op = "analyze_source";
+            let shards = (*shards).max(1);
+            match nuspi_lang::compile(file, source) {
+                // Frontend failures are uncacheable error bodies, like
+                // parse failures of the νSPI ops.
+                Err(e) => fail(op, format!("{file}:{}: {}", e.pos, e.message)),
+                Ok(c) => {
+                    // Keyed on the α-invariant digest of the *lowered*
+                    // process (so formatting-only source edits share a
+                    // slot) plus the file name (it appears verbatim in
+                    // the body's anchors). Shards are not in the key:
+                    // reports are byte-identical across solver layouts.
+                    let key = derive_key(6, &c.process, &c.secrets, &[], &[file], cfg);
+                    let (file, source) = (file.clone(), source.clone());
+                    // The lowered AST is `Rc`-shared (not `Send`); the
+                    // worker recompiles from source, like the νSPI ops
+                    // re-parse.
+                    let run = Runner::Pooled(Box::new(move || {
+                        let report = nuspi_lang::check_with(&file, &source, shards);
+                        let errors = report
+                            .diags
+                            .iter()
+                            .filter(|d| d.diag.severity == nuspi_diagnostics::Severity::Error)
+                            .count();
+                        format!(
+                            "\"op\":\"analyze_source\",\"status\":\"ok\",\"file\":\"{}\",\
+                             \"verdict\":\"{}\",\"errors\":{},\"report\":{}",
+                            escape(&file),
+                            report.verdict.as_str(),
+                            errors,
+                            nuspi_lang::check_to_json_compact(&report)
+                        )
+                    }));
+                    Prepared {
+                        op,
+                        key: Some(key),
+                        run,
+                    }
+                }
+            }
+        }
         Request::DebugPanic => Prepared {
             op: "debug-panic",
             key: None,

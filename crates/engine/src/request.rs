@@ -106,6 +106,20 @@ pub enum Request {
         /// Tree-render depth of the reported estimate.
         depth: usize,
     },
+    /// The annotated-source frontend (`nuspi-lang`): compile a Go-ish
+    /// `.nu` program down to νSPI and run the full lint pipeline,
+    /// rendering source-anchored diagnostics. Cached on the α-invariant
+    /// digest of the *lowered* process, so a formatting-only edit of
+    /// the source is a cache hit.
+    AnalyzeSource {
+        /// The file name used in anchors (never read from disk).
+        file: String,
+        /// The annotated source text.
+        source: String,
+        /// Solver shards (`1` = sequential; diagnostics are identical
+        /// either way).
+        shards: usize,
+    },
     /// Test-only: a job that panics inside the worker, exercising the
     /// pool's panic isolation. Not reachable from the wire protocol.
     #[doc(hidden)]
@@ -158,6 +172,15 @@ impl Request {
         }
     }
 
+    /// An annotated-source analysis request (sequential solver).
+    pub fn analyze_source(file: &str, source: &str) -> Request {
+        Request::AnalyzeSource {
+            file: file.to_owned(),
+            source: source.to_owned(),
+            shards: 1,
+        }
+    }
+
     /// The protocol op name.
     pub fn op(&self) -> &'static str {
         match self {
@@ -166,6 +189,7 @@ impl Request {
             Request::Solve { .. } => "solve",
             Request::Reveals { .. } => "reveals",
             Request::SolveIncremental { .. } => "solve_incremental",
+            Request::AnalyzeSource { .. } => "analyze_source",
             Request::DebugPanic => "debug-panic",
         }
     }

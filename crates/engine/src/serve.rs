@@ -8,7 +8,9 @@
 //!
 //! Ops mirror [`Request`]: `audit`, `lint`, `solve`, `solve_incremental`
 //! (the persistent per-component solution cache; ideal for re-analysing
-//! an edited protocol over a long session), `reveals` — plus `batch` (a
+//! an edited protocol over a long session), `reveals`, `analyze_source`
+//! (the annotated-source `nuspi-lang` frontend: a `source` program plus
+//! optional `file` and `shards`) — plus `batch` (a
 //! `requests` array answered as one line per element, in order) and
 //! `stats` (the engine's meters; the only op whose body is not a pure
 //! function of the request, so it is never cached). Every
@@ -95,6 +97,19 @@ fn decode_envelope(v: &Json) -> Result<Envelope, String> {
                 })
                 .transpose()?
                 .unwrap_or(3) as usize,
+        },
+        "analyze_source" => Request::AnalyzeSource {
+            file: opt_str(v, "file").unwrap_or_else(|| "<input>".to_owned()),
+            source: opt_str(v, "source")
+                .ok_or_else(|| "op `analyze_source` requires a `source` string".to_owned())?,
+            shards: v
+                .get("shards")
+                .map(|s| {
+                    s.as_u64()
+                        .ok_or_else(|| "`shards` must be a non-negative integer".to_owned())
+                })
+                .transpose()?
+                .unwrap_or(1) as usize,
         },
         "reveals" => Request::Reveals {
             process: process()?.as_str().into(),

@@ -1,0 +1,155 @@
+//! The span-carrying surface AST of the mini-language.
+//!
+//! ```text
+//! program := { func-decl }
+//! func-decl := "func" IDENT "(" [ IDENT { "," IDENT } ] ")" block
+//! block := "{" { stmt } "}"
+//! stmt := IDENT ":=" "make" "(" "chan" ")"      channel declaration
+//!       | IDENT ":=" "<-" IDENT                 receive
+//!       | IDENT ":=" expr                       value binding
+//!       | IDENT "<-" expr                       send
+//!       | "if" expr block [ "else" block ]
+//!       | "for" block                           infinite loop
+//!       | "go" IDENT "(" [ args ] ")"           spawn
+//!       | IDENT "(" [ args ] ")"                call
+//! expr := term { "+" term }
+//! term := IDENT | INT | STRING | "(" expr ")"
+//! ```
+//!
+//! Every node carries the position of its first token; statements also
+//! record the line their last token ends on, which annotation
+//! attachment (line-based) needs. The grammar is newline-insensitive:
+//! statement boundaries fall out of the syntax, so formatting never
+//! changes the parse.
+
+use crate::token::{Annotation, Pos};
+
+/// A whole compilation unit: its function declarations, in order.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// The declared functions, in source order.
+    pub funcs: Vec<FuncDecl>,
+}
+
+/// One `func name(params) { … }` declaration.
+#[derive(Clone, Debug)]
+pub struct FuncDecl {
+    /// The function name.
+    pub name: String,
+    /// Position of the name token.
+    pub pos: Pos,
+    /// Parameter names with their positions.
+    pub params: Vec<(String, Pos)>,
+    /// The body.
+    pub body: Block,
+}
+
+/// A `{ … }` statement block.
+#[derive(Clone, Debug, Default)]
+pub struct Block {
+    /// The statements, in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// One statement with its source extent and attached annotations.
+#[derive(Clone, Debug)]
+pub struct Stmt {
+    /// The statement itself.
+    pub kind: StmtKind,
+    /// Position of the first token.
+    pub pos: Pos,
+    /// Line the statement's last token starts on (for trailing
+    /// annotation attachment).
+    pub end_line: u32,
+    /// Annotations attached by the line-based attachment pass.
+    pub annotations: Vec<Annotation>,
+}
+
+/// The statement forms.
+#[derive(Clone, Debug)]
+pub enum StmtKind {
+    /// `x := expr`
+    Let {
+        /// The bound identifier.
+        name: String,
+        /// The initializer.
+        value: Expr,
+    },
+    /// `x := make(chan)`
+    MakeChan {
+        /// The channel identifier.
+        name: String,
+    },
+    /// `x := <-ch`
+    Recv {
+        /// The bound identifier.
+        name: String,
+        /// The channel identifier.
+        chan: String,
+        /// Position of the channel identifier.
+        chan_pos: Pos,
+    },
+    /// `ch <- expr`
+    Send {
+        /// The channel identifier.
+        chan: String,
+        /// Position of the channel identifier.
+        chan_pos: Pos,
+        /// The sent value.
+        value: Expr,
+    },
+    /// `if cond { … } else { … }`
+    If {
+        /// The condition.
+        cond: Expr,
+        /// The then-branch.
+        then: Block,
+        /// The optional else-branch.
+        els: Option<Block>,
+    },
+    /// `for { … }` — an infinite loop.
+    Loop {
+        /// The loop body.
+        body: Block,
+    },
+    /// `go f(args)`
+    Go {
+        /// The spawned call.
+        call: Call,
+    },
+    /// `f(args)`
+    Call(Call),
+}
+
+/// A call site: callee name, arguments, and position.
+#[derive(Clone, Debug)]
+pub struct Call {
+    /// The callee.
+    pub func: String,
+    /// Position of the callee identifier.
+    pub pos: Pos,
+    /// The argument expressions.
+    pub args: Vec<Expr>,
+}
+
+/// An expression with its position.
+#[derive(Clone, Debug)]
+pub struct Expr {
+    /// The expression itself.
+    pub kind: ExprKind,
+    /// Position of the first token.
+    pub pos: Pos,
+}
+
+/// The expression forms.
+#[derive(Clone, Debug)]
+pub enum ExprKind {
+    /// A variable (or channel) reference.
+    Var(String),
+    /// An integer literal.
+    Int(u64),
+    /// A string literal.
+    Str(String),
+    /// `a + b` — lowered as a pair, so taint joins conservatively.
+    Add(Box<Expr>, Box<Expr>),
+}

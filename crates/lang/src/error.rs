@@ -1,0 +1,69 @@
+//! Structured frontend errors.
+//!
+//! Every failure mode of the frontend — lexing, parsing, annotation
+//! attachment, lowering — is a [`LangError`]: a message plus the
+//! 1-based source position it anchors to. Errors convert into the
+//! shared [`Diagnostic`] model (code `L001`, pass `lang`, a
+//! [`Span::Source`] span), so CLI, engine, and tests all consume the
+//! one representation and nothing in the frontend ever panics on bad
+//! input.
+
+use crate::token::Pos;
+use nuspi_diagnostics::{Diagnostic, Severity, Span};
+
+/// The diagnostic code shared by all frontend errors.
+pub const LANG_ERROR_CODE: &str = "L001";
+
+/// One frontend failure with its source anchor.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LangError {
+    /// Where in the source the problem is.
+    pub pos: Pos,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl LangError {
+    pub(crate) fn new(pos: Pos, message: String) -> LangError {
+        LangError { pos, message }
+    }
+
+    /// Converts into the shared diagnostic model.
+    pub fn to_diagnostic(&self) -> Diagnostic {
+        Diagnostic {
+            code: LANG_ERROR_CODE,
+            pass: "lang",
+            severity: Severity::Error,
+            span: Span::Source {
+                line: self.pos.line,
+                col: self.pos.col,
+            },
+            message: self.message.clone(),
+            witness: Vec::new(),
+        }
+    }
+}
+
+impl std::fmt::Display for LangError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converts_to_source_span_diagnostic() {
+        let e = LangError::new(Pos::new(3, 7), "boom".into());
+        let d = e.to_diagnostic();
+        assert_eq!(d.code, "L001");
+        assert_eq!(d.span, Span::Source { line: 3, col: 7 });
+        assert_eq!(d.span.kind(), "source");
+        assert_eq!(d.span.value(), "3:7");
+        assert_eq!(e.to_string(), "3:7: boom");
+    }
+}

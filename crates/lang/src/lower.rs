@@ -1,0 +1,555 @@
+//! Static lowering from the surface AST into a νSPI process.
+//!
+//! The translation is a continuation-passing walk over statement
+//! sequences:
+//!
+//! - `x := make(chan)` mints a νSPI name for the channel. Ordinary
+//!   channels are `new`-restricted and declared policy-secret (an
+//!   internal channel is not an observable); `//nuspi::sink::{}`
+//!   channels stay *free* under the bare surface identifier — a free
+//!   public name is exactly what the analysis treats as
+//!   attacker-observable.
+//! - `//nuspi::label::{high}` / `//nuspi::secret` declarations mint a
+//!   restricted, policy-secret name and bind the identifier to it; the
+//!   initializer (if any) is checked for undeclared variables but the
+//!   annotation overrides its value.
+//! - `ch <- e` / `x := <-ch` become `Output` / `Input`.
+//! - `if` becomes `CaseNat` (both branches share the statement-level
+//!   continuation), `for { … }` becomes a replicated body in parallel
+//!   with the continuation, `go f(…)` runs the callee in parallel.
+//! - Calls are inlined (the callee body is lowered at each call site
+//!   with parameters bound to the lowered arguments); recursion is a
+//!   structured error, so inlining terminates.
+//!
+//! Minted names are mangled by **declaration order** (`main.x`,
+//! `main.x.2`, …), never by line/column — so a formatting-only edit
+//! lowers to an α-digest-identical process, which is what the engine's
+//! cache keys on. Every minted name is recorded in the [`SourceMap`].
+
+use crate::ast::{Call, Expr, ExprKind, FuncDecl, Program, Stmt, StmtKind};
+use crate::error::LangError;
+use crate::srcmap::{Role, Site, SourceMap};
+use crate::token::{AnnKind, Pos};
+use nuspi_syntax::{builder as b, Expr as SpiExpr, Name, Process, Var};
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+/// Numerals larger than this lower to the capped numeral: magnitude is
+/// irrelevant to information flow, and unbounded `suc` chains would let
+/// a literal blow up the process size.
+const NUMERAL_CAP: u64 = 8;
+
+/// The result of lowering a program.
+#[derive(Debug)]
+pub struct Lowered {
+    /// The νSPI process.
+    pub process: Process,
+    /// Canonical base names that are policy-secret, sorted.
+    pub secrets: Vec<String>,
+    /// Declaration sites for every minted name.
+    pub sites: BTreeMap<String, Site>,
+}
+
+impl Lowered {
+    /// Packages the sites as a [`SourceMap`] for `file`.
+    pub fn source_map(&self, file: &str) -> SourceMap {
+        SourceMap {
+            file: file.to_owned(),
+            sites: self.sites.clone(),
+        }
+    }
+}
+
+/// What a surface identifier is bound to during lowering.
+#[derive(Clone)]
+enum Binding {
+    /// A channel: a νSPI name usable as a subject of send/receive.
+    Chan(Name),
+    /// A value: substituted (cloned) at each use site.
+    Val(SpiExpr),
+    /// A process-level variable bound by an `Input`.
+    BoundVar(Var),
+}
+
+/// One lexical frame: the visible bindings plus the call stack used for
+/// recursion detection. Cheap to clone (the stack is shared).
+#[derive(Clone)]
+struct Scope {
+    vars: HashMap<String, Binding>,
+    func: Rc<str>,
+    stack: Rc<Vec<Rc<str>>>,
+}
+
+/// The statement-level continuation: what runs after the current
+/// statement sequence finishes. Each frame carries the scope the
+/// remaining statements must see.
+enum Cont<'a> {
+    /// Nothing left: the inert process.
+    Done,
+    /// The remaining statements of an enclosing sequence.
+    Seq {
+        stmts: &'a [Stmt],
+        scope: Scope,
+        next: Rc<Cont<'a>>,
+    },
+}
+
+struct Ctx<'a> {
+    funcs: HashMap<&'a str, &'a FuncDecl>,
+    /// Declaration counters keyed by `func.ident`, for stable mangling.
+    counters: HashMap<String, u32>,
+    /// Minted names to hoist as `new`-restrictions, in mint order.
+    restricted: Vec<Name>,
+    secrets: Vec<String>,
+    sites: BTreeMap<String, Site>,
+}
+
+/// Lowers a parsed program. `main` is the entry point; every failure
+/// (no `main`, undeclared identifiers, channel misuse, recursion,
+/// arity mismatches) is a structured [`LangError`].
+pub fn lower(program: &Program) -> Result<Lowered, LangError> {
+    let mut funcs: HashMap<&str, &FuncDecl> = HashMap::new();
+    for f in &program.funcs {
+        if funcs.insert(f.name.as_str(), f).is_some() {
+            return Err(LangError::new(
+                f.pos,
+                format!("function `{}` is declared twice", f.name),
+            ));
+        }
+    }
+    let main = *funcs
+        .get("main")
+        .ok_or_else(|| LangError::new(Pos::new(1, 1), "no `func main()` found".to_owned()))?;
+    if !main.params.is_empty() {
+        return Err(LangError::new(
+            main.pos,
+            "`main` takes no parameters".to_owned(),
+        ));
+    }
+    let mut ctx = Ctx {
+        funcs,
+        counters: HashMap::new(),
+        restricted: Vec::new(),
+        secrets: Vec::new(),
+        sites: BTreeMap::new(),
+    };
+    let name: Rc<str> = Rc::from("main");
+    let scope = Scope {
+        vars: HashMap::new(),
+        func: name.clone(),
+        stack: Rc::new(vec![name]),
+    };
+    let body = lower_seq(&mut ctx, &main.body.stmts, scope, Rc::new(Cont::Done))?;
+    let process = b::restrict_all(ctx.restricted, body);
+    let mut secrets = ctx.secrets;
+    secrets.sort();
+    secrets.dedup();
+    Ok(Lowered {
+        process,
+        secrets,
+        sites: ctx.sites,
+    })
+}
+
+impl<'a> Ctx<'a> {
+    /// Mints a restricted, policy-secret name for a declaration of
+    /// `ident` in `func`, mangled by declaration order.
+    fn mint(
+        &mut self,
+        func: &str,
+        ident: &str,
+        role: Role,
+        label: Option<String>,
+        pos: Pos,
+    ) -> Name {
+        let key = format!("{func}.{ident}");
+        let n = self.counters.entry(key.clone()).or_insert(0);
+        *n += 1;
+        let base = if *n == 1 { key } else { format!("{key}.{n}") };
+        let name = Name::global(base.as_str());
+        self.restricted.push(name);
+        self.secrets.push(base.clone());
+        self.sites.insert(
+            base,
+            Site {
+                ident: ident.to_owned(),
+                role,
+                label,
+                line: pos.line,
+                col: pos.col,
+            },
+        );
+        name
+    }
+
+    /// A sink channel: the bare surface identifier as a *free* νSPI
+    /// name. Re-declaring the same sink reuses the name (sinks are
+    /// global observables); the first declaration site wins.
+    fn sink(&mut self, ident: &str, pos: Pos) -> Name {
+        self.sites.entry(ident.to_owned()).or_insert(Site {
+            ident: ident.to_owned(),
+            role: Role::Sink,
+            label: None,
+            line: pos.line,
+            col: pos.col,
+        });
+        Name::global(ident)
+    }
+}
+
+/// The declaration role + label a statement's annotations give it:
+/// `(is_sink, origin_role, label)`.
+fn classify(s: &Stmt) -> (bool, Option<Role>, Option<String>) {
+    let mut sink = false;
+    let mut role = None;
+    let mut label = None;
+    for a in &s.annotations {
+        match &a.kind {
+            AnnKind::Sink => sink = true,
+            AnnKind::Secret => role = Some(Role::Secret),
+            AnnKind::Label(l) => {
+                role = Some(Role::High);
+                label = Some(l.clone());
+            }
+        }
+    }
+    (sink, role, label)
+}
+
+fn lower_cont<'a>(ctx: &mut Ctx<'a>, cont: &Cont<'a>) -> Result<Process, LangError> {
+    match cont {
+        Cont::Done => Ok(b::nil()),
+        Cont::Seq { stmts, scope, next } => lower_seq(ctx, stmts, scope.clone(), next.clone()),
+    }
+}
+
+fn lower_seq<'a>(
+    ctx: &mut Ctx<'a>,
+    stmts: &'a [Stmt],
+    mut scope: Scope,
+    cont: Rc<Cont<'a>>,
+) -> Result<Process, LangError> {
+    let Some((s, rest)) = stmts.split_first() else {
+        return lower_cont(ctx, &cont);
+    };
+    let (is_sink, origin, label) = classify(s);
+    match &s.kind {
+        StmtKind::MakeChan { name } => {
+            let chan = if is_sink {
+                ctx.sink(name, s.pos)
+            } else {
+                ctx.mint(
+                    &scope.func.clone(),
+                    name,
+                    origin.unwrap_or(Role::Channel),
+                    label,
+                    s.pos,
+                )
+            };
+            scope.vars.insert(name.clone(), Binding::Chan(chan));
+            lower_seq(ctx, rest, scope, cont)
+        }
+        StmtKind::Let { name, value } => {
+            let binding = match origin {
+                Some(role) => {
+                    // Check the initializer for undeclared identifiers,
+                    // then let the annotation override its value.
+                    check_expr(&scope, value)?;
+                    let n = ctx.mint(&scope.func.clone(), name, role, label, s.pos);
+                    Binding::Val(b::name_expr(n))
+                }
+                None => Binding::Val(lower_expr(&scope, value)?),
+            };
+            scope.vars.insert(name.clone(), binding);
+            lower_seq(ctx, rest, scope, cont)
+        }
+        StmtKind::Recv {
+            name,
+            chan,
+            chan_pos,
+        } => {
+            let ch = channel(&scope, chan, *chan_pos)?;
+            let v = Var::fresh(name.as_str());
+            let binding = match origin {
+                Some(role) => {
+                    let n = ctx.mint(&scope.func.clone(), name, role, label, s.pos);
+                    Binding::Val(b::name_expr(n))
+                }
+                None => Binding::BoundVar(v),
+            };
+            scope.vars.insert(name.clone(), binding);
+            let then = lower_seq(ctx, rest, scope, cont)?;
+            Ok(b::input(b::name_expr(ch), v, then))
+        }
+        StmtKind::Send {
+            chan,
+            chan_pos,
+            value,
+        } => {
+            let ch = channel(&scope, chan, *chan_pos)?;
+            let msg = lower_expr(&scope, value)?;
+            let then = lower_seq(ctx, rest, scope, cont)?;
+            Ok(b::output(b::name_expr(ch), msg, then))
+        }
+        StmtKind::If { cond, then, els } => {
+            let c = lower_expr(&scope, cond)?;
+            let rest_cont = Rc::new(Cont::Seq {
+                stmts: rest,
+                scope: scope.clone(),
+                next: cont,
+            });
+            let then_p = lower_seq(ctx, &then.stmts, scope.clone(), rest_cont.clone())?;
+            let else_p = match els {
+                Some(e) => lower_seq(ctx, &e.stmts, scope, rest_cont)?,
+                None => lower_cont(ctx, &rest_cont)?,
+            };
+            Ok(b::case_nat(c, else_p, Var::fresh("_pred"), then_p))
+        }
+        StmtKind::Loop { body } => {
+            let body_p = lower_seq(ctx, &body.stmts, scope.clone(), Rc::new(Cont::Done))?;
+            let rest_p = lower_seq(ctx, rest, scope, cont)?;
+            Ok(b::par(b::replicate(body_p), rest_p))
+        }
+        StmtKind::Go { call } => {
+            let spawned = lower_call(ctx, call, &scope, Rc::new(Cont::Done))?;
+            let rest_p = lower_seq(ctx, rest, scope, cont)?;
+            Ok(b::par(spawned, rest_p))
+        }
+        StmtKind::Call(call) => {
+            let after = Rc::new(Cont::Seq {
+                stmts: rest,
+                scope: scope.clone(),
+                next: cont,
+            });
+            lower_call(ctx, call, &scope, after)
+        }
+    }
+}
+
+fn lower_call<'a>(
+    ctx: &mut Ctx<'a>,
+    call: &'a Call,
+    caller: &Scope,
+    cont: Rc<Cont<'a>>,
+) -> Result<Process, LangError> {
+    let callee = *ctx.funcs.get(call.func.as_str()).ok_or_else(|| {
+        LangError::new(
+            call.pos,
+            format!("call to undefined function `{}`", call.func),
+        )
+    })?;
+    if caller.stack.iter().any(|f| f.as_ref() == call.func) {
+        return Err(LangError::new(
+            call.pos,
+            format!(
+                "recursive call to `{}` (calls are inlined; recursion is not supported)",
+                call.func
+            ),
+        ));
+    }
+    if call.args.len() != callee.params.len() {
+        return Err(LangError::new(
+            call.pos,
+            format!(
+                "`{}` takes {} argument(s), {} given",
+                call.func,
+                callee.params.len(),
+                call.args.len()
+            ),
+        ));
+    }
+    let mut vars = HashMap::new();
+    for ((param, _), arg) in callee.params.iter().zip(&call.args) {
+        // A bare identifier argument passes its binding through, so a
+        // channel stays a channel in the callee.
+        let binding = match &arg.kind {
+            ExprKind::Var(x) => match caller.vars.get(x) {
+                Some(binding) => binding.clone(),
+                None => {
+                    return Err(LangError::new(
+                        arg.pos,
+                        format!("undeclared identifier `{x}`"),
+                    ))
+                }
+            },
+            _ => Binding::Val(lower_expr(caller, arg)?),
+        };
+        vars.insert(param.clone(), binding);
+    }
+    let fname: Rc<str> = Rc::from(call.func.as_str());
+    let mut stack = caller.stack.as_ref().clone();
+    stack.push(fname.clone());
+    let callee_scope = Scope {
+        vars,
+        func: fname,
+        stack: Rc::new(stack),
+    };
+    lower_seq(ctx, &callee.body.stmts, callee_scope, cont)
+}
+
+/// Resolves `ident` to a channel name, or errors.
+fn channel(scope: &Scope, ident: &str, pos: Pos) -> Result<Name, LangError> {
+    match scope.vars.get(ident) {
+        Some(Binding::Chan(n)) => Ok(*n),
+        Some(_) => Err(LangError::new(
+            pos,
+            format!("`{ident}` is not a channel (declared without `make(chan)`)"),
+        )),
+        None => Err(LangError::new(pos, format!("undeclared channel `{ident}`"))),
+    }
+}
+
+fn lower_expr(scope: &Scope, e: &Expr) -> Result<SpiExpr, LangError> {
+    match &e.kind {
+        ExprKind::Var(x) => match scope.vars.get(x) {
+            Some(Binding::Chan(n)) => Ok(b::name_expr(*n)),
+            Some(Binding::Val(v)) => Ok(v.clone()),
+            Some(Binding::BoundVar(v)) => Ok(b::var(*v)),
+            None => Err(LangError::new(
+                e.pos,
+                format!("undeclared identifier `{x}`"),
+            )),
+        },
+        ExprKind::Int(n) => Ok(b::numeral(n.min(&NUMERAL_CAP).to_owned() as u32)),
+        // Strings are opaque public data: magnitude-free, label-free.
+        ExprKind::Str(_) => Ok(b::numeral(0)),
+        // `+` joins taint conservatively: a pair carries both operands.
+        ExprKind::Add(a, c) => Ok(b::pair(lower_expr(scope, a)?, lower_expr(scope, c)?)),
+    }
+}
+
+/// Validates identifiers in an expression without lowering it (used for
+/// the ignored initializer of an annotated declaration).
+fn check_expr(scope: &Scope, e: &Expr) -> Result<(), LangError> {
+    match &e.kind {
+        ExprKind::Var(x) => {
+            if scope.vars.contains_key(x) {
+                Ok(())
+            } else {
+                Err(LangError::new(
+                    e.pos,
+                    format!("undeclared identifier `{x}`"),
+                ))
+            }
+        }
+        ExprKind::Int(_) | ExprKind::Str(_) => Ok(()),
+        ExprKind::Add(a, c) => {
+            check_expr(scope, a)?;
+            check_expr(scope, c)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use nuspi_syntax::canonical_digest;
+
+    fn lower_src(src: &str) -> Result<Lowered, LangError> {
+        lower(&parse(src).expect("parse"))
+    }
+
+    #[test]
+    fn channels_are_restricted_and_secret_sinks_are_free() {
+        let l = lower_src(
+            "func main() {\n\
+             //nuspi::sink::{}\n\
+             out := make(chan)\n\
+             ch := make(chan)\n\
+             ch <- 1\n\
+             out <- 2\n\
+             }",
+        )
+        .unwrap();
+        assert_eq!(l.secrets, vec!["main.ch".to_owned()]);
+        assert!(l.sites.contains_key("out"));
+        assert_eq!(l.sites["out"].role, Role::Sink);
+        assert_eq!(l.sites["main.ch"].role, Role::Channel);
+        // `out` is free, `main.ch` is not.
+        let free: Vec<String> = l
+            .process
+            .free_names()
+            .iter()
+            .map(|n| n.to_string())
+            .collect();
+        assert!(free.contains(&"out".to_owned()), "{free:?}");
+        assert!(!free.iter().any(|n| n.contains("main.ch")), "{free:?}");
+    }
+
+    #[test]
+    fn redeclaration_mangles_by_declaration_order() {
+        let l = lower_src(
+            "func main() {\nch := make(chan)\nif 1 { ch := make(chan)\nch <- 1 } else {}\nch <- 0\n}",
+        )
+        .unwrap();
+        assert_eq!(
+            l.secrets,
+            vec!["main.ch".to_owned(), "main.ch.2".to_owned()]
+        );
+    }
+
+    #[test]
+    fn reformatting_preserves_the_canonical_digest() {
+        let a = lower_src("func main() {\nch := make(chan)\nch <- 1 + 2\n}").unwrap();
+        let b_ = lower_src(
+            "// a comment\nfunc main()   {\n\n\n    ch := make(chan)\n    ch <- 1 + 2\n\n}\n",
+        )
+        .unwrap();
+        assert_eq!(
+            canonical_digest(&a.process).0,
+            canonical_digest(&b_.process).0
+        );
+    }
+
+    #[test]
+    fn recursion_and_unknown_calls_are_errors() {
+        let e = lower_src("func f() { f() }\nfunc main() { f() }").unwrap_err();
+        assert!(e.message.contains("recursive"), "{e:?}");
+        let e = lower_src("func main() { g() }").unwrap_err();
+        assert!(e.message.contains("undefined function"), "{e:?}");
+        let e = lower_src("func f(a) {}\nfunc main() { f() }").unwrap_err();
+        assert!(e.message.contains("argument"), "{e:?}");
+    }
+
+    #[test]
+    fn sequential_calls_are_not_recursion() {
+        let l =
+            lower_src("func f(ch) { ch <- 1 }\nfunc main() {\nch := make(chan)\nf(ch)\nf(ch)\n}");
+        assert!(l.is_ok(), "{:?}", l.err());
+    }
+
+    #[test]
+    fn channel_misuse_is_an_error() {
+        let e = lower_src("func main() {\nx := 1\nx <- 2\n}").unwrap_err();
+        assert!(e.message.contains("not a channel"), "{e:?}");
+        let e = lower_src("func main() {\ny := <-nope\n}").unwrap_err();
+        assert!(e.message.contains("undeclared channel"), "{e:?}");
+    }
+
+    #[test]
+    fn annotated_declarations_mint_secret_names() {
+        let l = lower_src(
+            "func main() {\n\
+             //nuspi::label::{high}\n\
+             pin := 1234\n\
+             //nuspi::secret\n\
+             key := 0\n\
+             ch := make(chan)\n\
+             ch <- pin + key\n\
+             }",
+        )
+        .unwrap();
+        assert_eq!(l.sites["main.pin"].role, Role::High);
+        assert_eq!(l.sites["main.pin"].label.as_deref(), Some("high"));
+        assert_eq!(l.sites["main.key"].role, Role::Secret);
+        assert!(l.secrets.contains(&"main.pin".to_owned()));
+        assert!(l.secrets.contains(&"main.key".to_owned()));
+    }
+
+    #[test]
+    fn no_main_is_an_error() {
+        let e = lower_src("func helper() {}").unwrap_err();
+        assert!(e.message.contains("main"), "{e:?}");
+    }
+}

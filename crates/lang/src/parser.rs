@@ -1,0 +1,576 @@
+//! The recursive-descent parser, plus the line-based annotation
+//! attachment pass.
+//!
+//! The parser is total on arbitrary input: every failure is a
+//! structured [`LangError`] with the offending position, and a nesting
+//! depth limit turns adversarially deep blocks/expressions into errors
+//! instead of stack overflows.
+//!
+//! Annotation attachment is a separate pass over the parsed tree:
+//! an annotation attaches to the statement whose source extent covers
+//! its line (a trailing annotation), or else to the next statement
+//! starting below it — blank lines and ordinary comments in between
+//! are fine. An annotation that lands on nothing, or on a statement
+//! that declares nothing, is an error: a stray annotation silently
+//! doing nothing would weaken the policy.
+
+use crate::ast::{Block, Call, Expr, ExprKind, FuncDecl, Program, Stmt, StmtKind};
+use crate::error::LangError;
+use crate::token::{lex, AnnKind, Annotation, Pos, TokKind, Token};
+
+/// Maximum block/expression nesting depth; beyond it the parser reports
+/// a structured error instead of risking the stack.
+const MAX_DEPTH: usize = 64;
+
+/// Parses `src` into a [`Program`] with annotations attached.
+pub fn parse(src: &str) -> Result<Program, LangError> {
+    let lexed = lex(src)?;
+    let mut p = Parser {
+        tokens: lexed.tokens,
+        at: 0,
+        depth: 0,
+    };
+    let mut funcs = Vec::new();
+    while !p.done() {
+        funcs.push(p.func_decl()?);
+    }
+    let mut program = Program { funcs };
+    attach_annotations(&mut program, lexed.annotations)?;
+    Ok(program)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    at: usize,
+    depth: usize,
+}
+
+impl Parser {
+    fn done(&self) -> bool {
+        self.at >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.at)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.at + 1)
+    }
+
+    /// Position for "unexpected end of input" errors: just past the
+    /// last token, or 1:1 for an empty file.
+    fn eof_pos(&self) -> Pos {
+        self.tokens
+            .last()
+            .map_or(Pos::new(1, 1), |t| Pos::new(t.pos.line, t.pos.col + 1))
+    }
+
+    fn next(&mut self, what: &str) -> Result<Token, LangError> {
+        let t = self.tokens.get(self.at).cloned().ok_or_else(|| {
+            LangError::new(
+                self.eof_pos(),
+                format!("expected {what}, found end of input"),
+            )
+        })?;
+        self.at += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, kind: &TokKind, what: &str) -> Result<Token, LangError> {
+        let t = self.next(what)?;
+        if &t.kind == kind {
+            Ok(t)
+        } else {
+            Err(LangError::new(
+                t.pos,
+                format!("expected {what}, found {}", t.kind.describe()),
+            ))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, Pos), LangError> {
+        let t = self.next(what)?;
+        match t.kind {
+            TokKind::Ident(s) => Ok((s, t.pos)),
+            other => Err(LangError::new(
+                t.pos,
+                format!("expected {what}, found {}", other.describe()),
+            )),
+        }
+    }
+
+    fn enter(&mut self, pos: Pos) -> Result<(), LangError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(LangError::new(
+                pos,
+                format!("nesting deeper than {MAX_DEPTH} levels"),
+            ));
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
+
+    fn func_decl(&mut self) -> Result<FuncDecl, LangError> {
+        let t = self.next("`func`")?;
+        match &t.kind {
+            TokKind::Ident(kw) if kw == "func" => {}
+            other => {
+                return Err(LangError::new(
+                    t.pos,
+                    format!("expected `func` at top level, found {}", other.describe()),
+                ))
+            }
+        }
+        let (name, pos) = self.ident("function name")?;
+        if is_keyword(&name) {
+            return Err(LangError::new(
+                pos,
+                format!("`{name}` is a keyword and cannot name a function"),
+            ));
+        }
+        self.expect(&TokKind::LParen, "`(` after function name")?;
+        let mut params = Vec::new();
+        if self.peek().map(|t| &t.kind) != Some(&TokKind::RParen) {
+            loop {
+                let (p, ppos) = self.ident("parameter name")?;
+                if params.iter().any(|(q, _)| q == &p) {
+                    return Err(LangError::new(ppos, format!("duplicate parameter `{p}`")));
+                }
+                params.push((p, ppos));
+                match self.peek().map(|t| &t.kind) {
+                    Some(TokKind::Comma) => {
+                        self.at += 1;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        self.expect(&TokKind::RParen, "`)` after parameters")?;
+        let body = self.block()?;
+        Ok(FuncDecl {
+            name,
+            pos,
+            params,
+            body,
+        })
+    }
+
+    fn block(&mut self) -> Result<Block, LangError> {
+        let open = self.expect(&TokKind::LBrace, "`{`")?;
+        self.enter(open.pos)?;
+        let mut stmts = Vec::new();
+        loop {
+            match self.peek() {
+                None => {
+                    return Err(LangError::new(
+                        self.eof_pos(),
+                        "unclosed `{` (expected `}` before end of input)".to_owned(),
+                    ))
+                }
+                Some(t) if t.kind == TokKind::RBrace => {
+                    self.at += 1;
+                    break;
+                }
+                Some(_) => stmts.push(self.stmt()?),
+            }
+        }
+        self.leave();
+        Ok(Block { stmts })
+    }
+
+    /// Line the previous token (the statement's last) starts on.
+    fn prev_line(&self) -> u32 {
+        self.tokens[self.at - 1].pos.line
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, LangError> {
+        let t = self.next("a statement")?;
+        let pos = t.pos;
+        let kind = match &t.kind {
+            TokKind::Ident(kw) if kw == "if" => {
+                let cond = self.expr()?;
+                let then = self.block()?;
+                let els = match self.peek().map(|t| &t.kind) {
+                    Some(TokKind::Ident(k)) if k == "else" => {
+                        self.at += 1;
+                        Some(self.block()?)
+                    }
+                    _ => None,
+                };
+                StmtKind::If { cond, then, els }
+            }
+            TokKind::Ident(kw) if kw == "for" => StmtKind::Loop {
+                body: self.block()?,
+            },
+            TokKind::Ident(kw) if kw == "go" => {
+                let (func, fpos) = self.ident("function name after `go`")?;
+                let args = self.call_args()?;
+                StmtKind::Go {
+                    call: Call {
+                        func,
+                        pos: fpos,
+                        args,
+                    },
+                }
+            }
+            TokKind::Ident(name) if !is_keyword(name) => {
+                let name = name.clone();
+                match self.peek().map(|t| &t.kind) {
+                    Some(TokKind::Define) => {
+                        self.at += 1;
+                        match (self.peek().map(|t| &t.kind), self.peek2().map(|t| &t.kind)) {
+                            // x := make(chan)
+                            (Some(TokKind::Ident(k)), Some(TokKind::LParen)) if k == "make" => {
+                                self.at += 1;
+                                self.expect(&TokKind::LParen, "`(` after `make`")?;
+                                let (what, wpos) = self.ident("`chan`")?;
+                                if what != "chan" {
+                                    return Err(LangError::new(
+                                        wpos,
+                                        format!("`make` can only make `chan`, found `{what}`"),
+                                    ));
+                                }
+                                self.expect(&TokKind::RParen, "`)` after `chan`")?;
+                                StmtKind::MakeChan { name }
+                            }
+                            // x := <-ch
+                            (Some(TokKind::Arrow), _) => {
+                                self.at += 1;
+                                let (chan, chan_pos) = self.ident("channel name after `<-`")?;
+                                StmtKind::Recv {
+                                    name,
+                                    chan,
+                                    chan_pos,
+                                }
+                            }
+                            // x := expr
+                            _ => StmtKind::Let {
+                                name,
+                                value: self.expr()?,
+                            },
+                        }
+                    }
+                    Some(TokKind::Arrow) => {
+                        self.at += 1;
+                        StmtKind::Send {
+                            chan: name,
+                            chan_pos: pos,
+                            value: self.expr()?,
+                        }
+                    }
+                    Some(TokKind::LParen) => {
+                        let args = self.call_args()?;
+                        StmtKind::Call(Call {
+                            func: name,
+                            pos,
+                            args,
+                        })
+                    }
+                    _ => {
+                        return Err(LangError::new(
+                            pos,
+                            format!(
+                            "`{name}` starts no statement (expected `:=`, `<-`, or `(` after it)"
+                        ),
+                        ))
+                    }
+                }
+            }
+            other => {
+                return Err(LangError::new(
+                    pos,
+                    format!("expected a statement, found {}", other.describe()),
+                ))
+            }
+        };
+        Ok(Stmt {
+            kind,
+            pos,
+            end_line: self.prev_line(),
+            annotations: Vec::new(),
+        })
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, LangError> {
+        self.expect(&TokKind::LParen, "`(`")?;
+        let mut args = Vec::new();
+        if self.peek().map(|t| &t.kind) != Some(&TokKind::RParen) {
+            loop {
+                args.push(self.expr()?);
+                match self.peek().map(|t| &t.kind) {
+                    Some(TokKind::Comma) => {
+                        self.at += 1;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        self.expect(&TokKind::RParen, "`)` after arguments")?;
+        Ok(args)
+    }
+
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.term()?;
+        while self.peek().map(|t| &t.kind) == Some(&TokKind::Plus) {
+            self.at += 1;
+            let rhs = self.term()?;
+            let pos = lhs.pos;
+            lhs = Expr {
+                kind: ExprKind::Add(Box::new(lhs), Box::new(rhs)),
+                pos,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<Expr, LangError> {
+        let t = self.next("an expression")?;
+        let pos = t.pos;
+        match t.kind {
+            TokKind::Ident(s) if !is_keyword(&s) => Ok(Expr {
+                kind: ExprKind::Var(s),
+                pos,
+            }),
+            TokKind::Int(n) => Ok(Expr {
+                kind: ExprKind::Int(n),
+                pos,
+            }),
+            TokKind::Str(s) => Ok(Expr {
+                kind: ExprKind::Str(s),
+                pos,
+            }),
+            TokKind::LParen => {
+                self.enter(pos)?;
+                let e = self.expr()?;
+                self.expect(&TokKind::RParen, "`)`")?;
+                self.leave();
+                Ok(e)
+            }
+            other => Err(LangError::new(
+                pos,
+                format!("expected an expression, found {}", other.describe()),
+            )),
+        }
+    }
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(s, "func" | "if" | "else" | "for" | "go" | "make" | "chan")
+}
+
+/// A statement's source extent, as recorded by the immutable scan phase
+/// of annotation attachment.
+struct StmtExtent {
+    pos: Pos,
+    end_line: u32,
+}
+
+/// Attaches each annotation to its statement (see module docs for the
+/// line rule). Only declaring statements (`:=` forms) accept
+/// annotations; `sink` additionally requires a channel declaration.
+///
+/// Two phases: an immutable scan picks each annotation's target by its
+/// (unique) starting position, then a mutable walk pushes the
+/// annotation onto that statement.
+fn attach_annotations(
+    program: &mut Program,
+    annotations: Vec<Annotation>,
+) -> Result<(), LangError> {
+    if annotations.is_empty() {
+        return Ok(());
+    }
+    let mut extents = Vec::new();
+    for f in &program.funcs {
+        scan_block(&f.body, &mut extents);
+    }
+    extents.sort_by_key(|e| (e.pos.line, e.pos.col));
+    for ann in annotations {
+        let target_pos = find_target(&extents, &ann).ok_or_else(|| {
+            LangError::new(
+                ann.pos,
+                "annotation attaches to no statement (nothing declared at or below it)".to_owned(),
+            )
+        })?;
+        let target = program
+            .funcs
+            .iter_mut()
+            .find_map(|f| stmt_at(&mut f.body, target_pos))
+            .expect("scanned statement exists");
+        let ok = match (&ann.kind, &target.kind) {
+            (AnnKind::Sink, StmtKind::MakeChan { .. }) => true,
+            (AnnKind::Sink, _) => {
+                return Err(LangError::new(
+                    ann.pos,
+                    "`sink` annotates channels; attach it to an `x := make(chan)` declaration"
+                        .to_owned(),
+                ))
+            }
+            (
+                AnnKind::Label(_) | AnnKind::Secret,
+                StmtKind::Let { .. } | StmtKind::MakeChan { .. } | StmtKind::Recv { .. },
+            ) => true,
+            _ => false,
+        };
+        if !ok {
+            return Err(LangError::new(
+                ann.pos,
+                "annotation must attach to a declaration (`x := …`)".to_owned(),
+            ));
+        }
+        target.annotations.push(ann);
+    }
+    Ok(())
+}
+
+/// The statement an annotation at `ann.pos` attaches to: the
+/// latest-starting statement whose extent covers the annotation's line
+/// without starting after it (trailing), else the first statement
+/// starting strictly below it. Returns the target's starting position.
+fn find_target(extents: &[StmtExtent], ann: &Annotation) -> Option<Pos> {
+    let line = ann.pos.line;
+    let mut trailing: Option<Pos> = None;
+    let mut below: Option<Pos> = None;
+    for e in extents {
+        let starts_after_ann = e.pos.line == line && e.pos.col > ann.pos.col;
+        if e.pos.line <= line && e.end_line >= line && !starts_after_ann {
+            trailing = Some(e.pos); // extents are sorted: keeps the latest-starting
+        }
+        if below.is_none() && e.pos.line > line {
+            below = Some(e.pos);
+        }
+    }
+    trailing.or(below)
+}
+
+fn scan_block(block: &Block, out: &mut Vec<StmtExtent>) {
+    for s in &block.stmts {
+        out.push(StmtExtent {
+            pos: s.pos,
+            end_line: s.end_line,
+        });
+        match &s.kind {
+            StmtKind::If { then, els, .. } => {
+                scan_block(then, out);
+                if let Some(e) = els {
+                    scan_block(e, out);
+                }
+            }
+            StmtKind::Loop { body } => scan_block(body, out),
+            _ => {}
+        }
+    }
+}
+
+/// Finds the statement starting at exactly `pos` (statement start
+/// positions are unique: each starts at a distinct token).
+fn stmt_at(block: &mut Block, pos: Pos) -> Option<&mut Stmt> {
+    for s in &mut block.stmts {
+        if s.pos == pos {
+            return Some(s);
+        }
+        let found = match &mut s.kind {
+            StmtKind::If { then, els, .. } => {
+                stmt_at(then, pos).or_else(|| els.as_mut().and_then(|e| stmt_at(e, pos)))
+            }
+            StmtKind::Loop { body } => stmt_at(body, pos),
+            _ => None,
+        };
+        if found.is_some() {
+            return found;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_main(body: &str) -> Result<Program, LangError> {
+        parse(&format!("func main() {{\n{body}\n}}\n"))
+    }
+
+    #[test]
+    fn parses_the_statement_forms() {
+        let p = parse_main(
+            "ch := make(chan)\nx := 1 + 2\ny := <-ch\nch <- y\n\
+             if x { ch <- 1 } else { ch <- 0 }\nfor { ch <- 2 }\ngo f(x)\nf(x)",
+        );
+        // `f` undefined is a lowering error, not a parse error.
+        let p = p.unwrap();
+        assert_eq!(p.funcs.len(), 1);
+        assert_eq!(p.funcs[0].body.stmts.len(), 8);
+    }
+
+    #[test]
+    fn attaches_preceding_and_trailing_annotations() {
+        let p = parse(
+            "func main() {\n\
+             //nuspi::sink::{}\n\
+             out := make(chan)\n\
+             \n\
+             //nuspi::label::{high}\n\
+             x := 1\n\
+             y := 2 //nuspi::secret\n\
+             out <- y\n\
+             }",
+        )
+        .unwrap();
+        let stmts = &p.funcs[0].body.stmts;
+        assert_eq!(stmts[0].annotations.len(), 1, "{stmts:?}");
+        assert!(matches!(stmts[0].annotations[0].kind, AnnKind::Sink));
+        assert!(matches!(stmts[1].annotations[0].kind, AnnKind::Label(_)));
+        assert!(matches!(stmts[2].annotations[0].kind, AnnKind::Secret));
+        assert!(stmts[3].annotations.is_empty());
+    }
+
+    #[test]
+    fn rejects_misplaced_annotations() {
+        // sink on a value binding
+        let e = parse("func main() {\n//nuspi::sink::{}\nx := 1\n}").unwrap_err();
+        assert!(e.message.contains("sink"), "{e:?}");
+        // annotation on a send
+        let ch = "func main() {\nch := make(chan)\n//nuspi::secret\nch <- 1\n}";
+        let e = parse(ch).unwrap_err();
+        assert!(e.message.contains("declaration"), "{e:?}");
+        // annotation at end of file
+        let e = parse("func main() {\nx := 1\n}\n//nuspi::secret\n").unwrap_err();
+        assert!(e.message.contains("attaches to no statement"), "{e:?}");
+    }
+
+    #[test]
+    fn depth_limit_is_an_error_not_a_crash() {
+        let mut src = String::from("func main() ");
+        for _ in 0..200 {
+            src.push_str("{ for ");
+        }
+        src.push('{');
+        let e = parse(&src).unwrap_err();
+        assert!(e.message.contains("nesting deeper"), "{e:?}");
+
+        let deep = format!(
+            "func main() {{ x := {}1{} }}",
+            "(".repeat(200),
+            ")".repeat(200)
+        );
+        let e = parse(&deep).unwrap_err();
+        assert!(e.message.contains("nesting deeper"), "{e:?}");
+    }
+
+    #[test]
+    fn empty_file_parses_to_zero_functions() {
+        assert_eq!(parse("").unwrap().funcs.len(), 0);
+        assert_eq!(parse("  \n// just a comment\n").unwrap().funcs.len(), 0);
+    }
+
+    #[test]
+    fn error_positions_are_precise() {
+        let e = parse("func main() {\n  x = 1\n}").unwrap_err();
+        assert_eq!((e.pos.line, e.pos.col), (2, 5));
+    }
+}

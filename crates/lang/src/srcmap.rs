@@ -1,0 +1,75 @@
+//! The source map: from every νSPI name the lowering mints back to the
+//! surface declaration it came from.
+//!
+//! Keys are *canonical base strings* (what [`Name::canonical`] renders
+//! to), because that is the currency of the analysis diagnostics: a
+//! witness trace or a [`Span::Channel`] names canonical symbols, and
+//! the driver resolves them here to `file:line:col` anchors.
+//!
+//! [`Name::canonical`]: nuspi_syntax::Name::canonical
+//! [`Span::Channel`]: nuspi_diagnostics::Span::Channel
+
+use std::collections::BTreeMap;
+
+/// What kind of surface declaration a generated name came from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Role {
+    /// A `//nuspi::sink::{}` channel: a free, public observable.
+    Sink,
+    /// An ordinary `make(chan)` channel: restricted and policy-secret.
+    Channel,
+    /// A `//nuspi::label::{high}` datum.
+    High,
+    /// A `//nuspi::secret` datum.
+    Secret,
+}
+
+impl Role {
+    /// Stable lowercase name, used by the JSON backend.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Role::Sink => "sink",
+            Role::Channel => "channel",
+            Role::High => "high",
+            Role::Secret => "secret",
+        }
+    }
+
+    /// Whether this site is a labeled/confidential *origin* of data
+    /// (as opposed to plumbing or a sink).
+    pub fn is_origin(self) -> bool {
+        matches!(self, Role::High | Role::Secret)
+    }
+}
+
+/// One declaration site in the surface program.
+#[derive(Clone, Debug)]
+pub struct Site {
+    /// The surface identifier as written.
+    pub ident: String,
+    /// What the declaration is.
+    pub role: Role,
+    /// The security label, if the declaration carried one.
+    pub label: Option<String>,
+    /// 1-based declaration line.
+    pub line: u32,
+    /// 1-based declaration column.
+    pub col: u32,
+}
+
+/// The map from canonical νSPI base names to their declaration sites.
+#[derive(Clone, Debug, Default)]
+pub struct SourceMap {
+    /// The file the program came from (as given to the driver).
+    pub file: String,
+    /// Declaration sites keyed by canonical base string. A `BTreeMap`
+    /// so iteration (and thus every render) is deterministic.
+    pub sites: BTreeMap<String, Site>,
+}
+
+impl SourceMap {
+    /// Looks up the site for a canonical base string.
+    pub fn site(&self, base: &str) -> Option<&Site> {
+        self.sites.get(base)
+    }
+}

@@ -1,0 +1,401 @@
+//! The hand-rolled lexer: tokens with 1-based line/column positions,
+//! plus the `//nuspi::…` annotation comments, which are lexed into
+//! structured [`Annotation`]s instead of being thrown away.
+//!
+//! The grammar is newline-insensitive (statements are self-delimiting),
+//! so whitespace is pure formatting: reformatting a program changes
+//! token *positions* but never the token *sequence*, which is what lets
+//! the lowering produce an α-digest-identical νSPI process for
+//! formatting-only edits. Ordinary `//` comments are discarded;
+//! annotation comments keep their position because attachment (which
+//! declaration an annotation labels) is line-based.
+
+use crate::error::LangError;
+
+/// A 1-based source position.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (in characters, not bytes).
+    pub col: u32,
+}
+
+impl Pos {
+    pub(crate) fn new(line: u32, col: u32) -> Pos {
+        Pos { line, col }
+    }
+}
+
+impl std::fmt::Display for Pos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// What a token is.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TokKind {
+    /// An identifier or keyword-candidate.
+    Ident(String),
+    /// An unsigned integer literal.
+    Int(u64),
+    /// A string literal (content, unescaped).
+    Str(String),
+    /// `:=`
+    Define,
+    /// `<-`
+    Arrow,
+    /// `+`
+    Plus,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+}
+
+impl TokKind {
+    /// A short human name for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokKind::Ident(s) => format!("`{s}`"),
+            TokKind::Int(n) => format!("`{n}`"),
+            TokKind::Str(_) => "string literal".to_owned(),
+            TokKind::Define => "`:=`".to_owned(),
+            TokKind::Arrow => "`<-`".to_owned(),
+            TokKind::Plus => "`+`".to_owned(),
+            TokKind::LParen => "`(`".to_owned(),
+            TokKind::RParen => "`)`".to_owned(),
+            TokKind::LBrace => "`{`".to_owned(),
+            TokKind::RBrace => "`}`".to_owned(),
+            TokKind::Comma => "`,`".to_owned(),
+        }
+    }
+}
+
+/// One token with its source position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// The token kind (and payload).
+    pub kind: TokKind,
+    /// Position of the token's first character.
+    pub pos: Pos,
+}
+
+/// What an annotation comment declares.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AnnKind {
+    /// `//nuspi::label::{high}` — the declared datum carries the named
+    /// security label (only `high` exists in the binary lattice).
+    Label(String),
+    /// `//nuspi::sink::{}` — the declared channel is an observable sink
+    /// (a free, public νSPI name).
+    Sink,
+    /// `//nuspi::secret` — the declared local is a confidential fresh
+    /// name (`new`-restricted and policy-secret).
+    Secret,
+}
+
+/// One parsed `//nuspi::…` annotation comment.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Annotation {
+    /// The annotation kind.
+    pub kind: AnnKind,
+    /// Position of the comment's first `/`.
+    pub pos: Pos,
+}
+
+/// The lexer's output: the token stream and the annotation comments.
+#[derive(Debug)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Annotations in source order.
+    pub annotations: Vec<Annotation>,
+}
+
+/// Lexes `src`. The first malformed construct (unterminated string,
+/// malformed annotation, unexpected character, integer overflow) is
+/// reported as a structured [`LangError`] carrying its position.
+pub fn lex(src: &str) -> Result<Lexed, LangError> {
+    let mut tokens = Vec::new();
+    let mut annotations = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            match c {
+                Some('\n') => {
+                    line += 1;
+                    col = 1;
+                }
+                Some(_) => col += 1,
+                None => {}
+            }
+            c
+        }};
+    }
+
+    while let Some(&c) = chars.peek() {
+        let pos = Pos::new(line, col);
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump!();
+            }
+            ';' => {
+                // Optional statement separator, accepted and ignored.
+                bump!();
+            }
+            '/' => {
+                bump!();
+                if chars.peek() != Some(&'/') {
+                    return Err(LangError::new(pos, "unexpected character `/`".to_owned()));
+                }
+                bump!();
+                let mut comment = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    comment.push(c);
+                    bump!();
+                }
+                if let Some(rest) = comment.strip_prefix("nuspi::") {
+                    annotations.push(parse_annotation(rest.trim_end(), pos)?);
+                }
+                // Ordinary comments (and `// expect: …` verdict headers)
+                // are formatting.
+            }
+            '"' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    match chars.peek() {
+                        None => {
+                            return Err(LangError::new(
+                                pos,
+                                "unterminated string literal".to_owned(),
+                            ))
+                        }
+                        Some('\n') => {
+                            return Err(LangError::new(
+                                pos,
+                                "unterminated string literal (newline before closing `\"`)"
+                                    .to_owned(),
+                            ))
+                        }
+                        Some('"') => {
+                            bump!();
+                            break;
+                        }
+                        Some('\\') => {
+                            bump!();
+                            match bump!() {
+                                Some(e @ ('"' | '\\' | 'n' | 't')) => {
+                                    s.push(if e == 'n' {
+                                        '\n'
+                                    } else if e == 't' {
+                                        '\t'
+                                    } else {
+                                        e
+                                    });
+                                }
+                                other => {
+                                    return Err(LangError::new(
+                                        pos,
+                                        format!(
+                                            "unsupported escape `\\{}` in string literal",
+                                            other.map(String::from).unwrap_or_default()
+                                        ),
+                                    ))
+                                }
+                            }
+                        }
+                        Some(&c) => {
+                            s.push(c);
+                            bump!();
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokKind::Str(s),
+                    pos,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: u64 = 0;
+                while let Some(&d) = chars.peek() {
+                    if !d.is_ascii_digit() {
+                        break;
+                    }
+                    n = n
+                        .checked_mul(10)
+                        .and_then(|n| n.checked_add(u64::from(d as u8 - b'0')))
+                        .ok_or_else(|| {
+                            LangError::new(pos, "integer literal overflows u64".to_owned())
+                        })?;
+                    bump!();
+                }
+                tokens.push(Token {
+                    kind: TokKind::Int(n),
+                    pos,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if !(c.is_ascii_alphanumeric() || c == '_') {
+                        break;
+                    }
+                    s.push(c);
+                    bump!();
+                }
+                tokens.push(Token {
+                    kind: TokKind::Ident(s),
+                    pos,
+                });
+            }
+            ':' => {
+                bump!();
+                if chars.peek() == Some(&'=') {
+                    bump!();
+                    tokens.push(Token {
+                        kind: TokKind::Define,
+                        pos,
+                    });
+                } else {
+                    return Err(LangError::new(
+                        pos,
+                        "expected `:=` (assignment uses `:=`, not `:`)".to_owned(),
+                    ));
+                }
+            }
+            '<' => {
+                bump!();
+                if chars.peek() == Some(&'-') {
+                    bump!();
+                    tokens.push(Token {
+                        kind: TokKind::Arrow,
+                        pos,
+                    });
+                } else {
+                    return Err(LangError::new(
+                        pos,
+                        "expected `<-` (the only `<` construct is channel send/receive)".to_owned(),
+                    ));
+                }
+            }
+            '+' | '(' | ')' | '{' | '}' | ',' => {
+                bump!();
+                let kind = match c {
+                    '+' => TokKind::Plus,
+                    '(' => TokKind::LParen,
+                    ')' => TokKind::RParen,
+                    '{' => TokKind::LBrace,
+                    '}' => TokKind::RBrace,
+                    _ => TokKind::Comma,
+                };
+                tokens.push(Token { kind, pos });
+            }
+            other => {
+                return Err(LangError::new(
+                    pos,
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        }
+    }
+    Ok(Lexed {
+        tokens,
+        annotations,
+    })
+}
+
+/// Parses the payload after `//nuspi::`. Unknown annotation names and
+/// unknown labels are structured errors, not silently ignored — a typo
+/// in an annotation must never weaken the policy.
+fn parse_annotation(rest: &str, pos: Pos) -> Result<Annotation, LangError> {
+    let kind = if rest == "secret" {
+        AnnKind::Secret
+    } else if rest == "sink::{}" {
+        AnnKind::Sink
+    } else if let Some(label) = rest
+        .strip_prefix("label::{")
+        .and_then(|r| r.strip_suffix('}'))
+    {
+        if label != "high" {
+            return Err(LangError::new(
+                pos,
+                format!("unknown security label `{label}` (the binary lattice has only `high`)"),
+            ));
+        }
+        AnnKind::Label(label.to_owned())
+    } else {
+        return Err(LangError::new(
+            pos,
+            format!(
+                "unknown annotation `//nuspi::{rest}` \
+                 (expected `label::{{high}}`, `sink::{{}}`, or `secret`)"
+            ),
+        ));
+    };
+    Ok(Annotation { kind, pos })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_tokens_with_positions() {
+        let out = lex("x := make(chan)\nch <- 42").unwrap();
+        assert_eq!(out.tokens.len(), 9);
+        assert_eq!(out.tokens[0].kind, TokKind::Ident("x".into()));
+        assert_eq!(out.tokens[0].pos, Pos::new(1, 1));
+        assert_eq!(out.tokens[5].kind, TokKind::RParen);
+        assert_eq!(out.tokens[6].pos, Pos::new(2, 1));
+        assert_eq!(out.tokens[8].kind, TokKind::Int(42));
+    }
+
+    #[test]
+    fn lexes_annotations_and_skips_plain_comments() {
+        let out =
+            lex("//nuspi::secret\n// a plain comment\nx := 1 //nuspi::label::{high}").unwrap();
+        assert_eq!(out.annotations.len(), 2);
+        assert_eq!(out.annotations[0].kind, AnnKind::Secret);
+        assert_eq!(out.annotations[0].pos.line, 1);
+        assert_eq!(out.annotations[1].kind, AnnKind::Label("high".into()));
+        assert_eq!(out.annotations[1].pos.line, 3);
+    }
+
+    #[test]
+    fn rejects_unterminated_strings_and_unknown_annotations() {
+        assert!(lex("s := \"oops").is_err());
+        assert!(lex("s := \"oops\nmore\"").is_err());
+        let err = lex("//nuspi::frobnicate\n").unwrap_err();
+        assert!(err.message.contains("unknown annotation"), "{err:?}");
+        let err = lex("//nuspi::label::{low}\n").unwrap_err();
+        assert!(err.message.contains("unknown security label"), "{err:?}");
+    }
+
+    #[test]
+    fn rejects_stray_characters_with_positions() {
+        let err = lex("x := 1\n  @").unwrap_err();
+        assert_eq!((err.pos.line, err.pos.col), (2, 3));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let out = lex("s := \"a\\\"b\\n\"").unwrap();
+        assert_eq!(out.tokens[2].kind, TokKind::Str("a\"b\n".into()));
+    }
+}

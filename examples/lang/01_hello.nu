@@ -1,0 +1,8 @@
+// expect: secure
+//
+// The smallest program: one internal channel and one send. Nothing is
+// labeled, so there is nothing to leak.
+func main() {
+	ch := make(chan)
+	ch <- 1
+}

@@ -1,0 +1,17 @@
+// expect: secure
+//
+// A labeled value travels between two internal channels. Both are
+// restricted names, so the high token never reaches the sink: only the
+// constant 0 does.
+func main() {
+	//nuspi::sink::{}
+	out := make(chan)
+	a := make(chan)
+	b := make(chan)
+	//nuspi::label::{high}
+	token := 7
+	a <- token
+	x := <-a
+	b <- x
+	out <- 0
+}

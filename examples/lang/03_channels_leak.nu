@@ -1,0 +1,15 @@
+// expect: insecure
+//
+// Same topology as 02, except the value received from the internal
+// channel is forwarded to the sink. The flow analysis tracks the token
+// through the receive binding.
+func main() {
+	//nuspi::sink::{}
+	out := make(chan)
+	a := make(chan)
+	//nuspi::label::{high}
+	token := 7
+	a <- token
+	x := <-a
+	out <- x
+}

@@ -1,0 +1,22 @@
+// expect: secure
+//
+// Nested function calls: main spawns a two-stage relay that keeps the
+// labeled value on an internal channel. The sink only ever carries the
+// constant 0.
+func relay(c, v) {
+	c <- v
+}
+
+func stage(c, v) {
+	relay(c, v)
+}
+
+func main() {
+	//nuspi::sink::{}
+	out := make(chan)
+	ch := make(chan)
+	//nuspi::label::{high}
+	pin := 9
+	go stage(ch, pin)
+	out <- 0
+}

@@ -1,0 +1,16 @@
+// expect: insecure
+//
+// The same relay as 04, but main hands it the sink channel instead of
+// an internal one. Channel arguments pass through call inlining, so the
+// send inside `emit` is a send on the sink.
+func emit(c, v) {
+	c <- v
+}
+
+func main() {
+	//nuspi::sink::{}
+	out := make(chan)
+	//nuspi::label::{high}
+	pin := 3
+	emit(out, pin)
+}

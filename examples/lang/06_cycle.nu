@@ -1,0 +1,21 @@
+// expect: secure
+//
+// A cyclic topology: two replicated forwarders form a ring in which the
+// labeled seed circulates forever. The ring is built from restricted
+// channels, so nothing escapes.
+func node(into, from) {
+	for {
+		x := <-into
+		from <- x
+	}
+}
+
+func main() {
+	a := make(chan)
+	b := make(chan)
+	go node(a, b)
+	go node(b, a)
+	//nuspi::label::{high}
+	seed := 5
+	a <- seed
+}

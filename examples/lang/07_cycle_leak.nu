@@ -1,0 +1,29 @@
+// expect: insecure
+//
+// The ring from 06 with a drain attached: one node forwards whatever
+// circulates onto the sink, so the seed eventually reaches it.
+func node(into, from) {
+	for {
+		x := <-into
+		from <- x
+	}
+}
+
+func drain(into, pub) {
+	for {
+		x := <-into
+		pub <- x
+	}
+}
+
+func main() {
+	//nuspi::sink::{}
+	out := make(chan)
+	a := make(chan)
+	b := make(chan)
+	go node(a, b)
+	go drain(b, out)
+	//nuspi::label::{high}
+	seed := 5
+	a <- seed
+}

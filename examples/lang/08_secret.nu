@@ -1,0 +1,16 @@
+// expect: secure
+//
+// A `secret` local is stronger than a label: the minted name itself is
+// declared secret to the policy. Kept on an internal vault channel
+// (and only branched on via a public toggle) it stays confined.
+func main() {
+	//nuspi::secret
+	key := 42
+	vault := make(chan)
+	toggle := 1
+	if toggle {
+		vault <- key
+	} else {
+		vault <- 0
+	}
+}

@@ -1,0 +1,12 @@
+// expect: insecure
+//
+// The secret key reaches the log sink inside an arithmetic expression.
+// Addition lowers to a pair, so taint joins: `key + 1` carries the
+// secret even though it is not sent verbatim.
+func main() {
+	//nuspi::secret
+	key := 42
+	//nuspi::sink::{}
+	log := make(chan)
+	log <- key + 1
+}

@@ -20,6 +20,12 @@ cargo test -q -p nuspi-cfa --test incremental_diff
 echo "==> lint golden files"
 cargo test -q --test lint_golden
 
+echo "==> lang ladder golden files, determinism, parser robustness"
+cargo test -q --test lang_golden
+cargo test -q -p nuspi-lang
+cargo test -q -p nuspi-lang --test determinism
+cargo test -q -p nuspi-lang --test robustness
+
 echo "==> digest properties, jsonio edge cases, engine stress, trace schema"
 cargo test -q --test properties digest  # the three canonical-digest properties
 cargo test -q -p nuspi-engine --test jsonio_edge
@@ -45,6 +51,26 @@ echo "$serve_out" | sed -n 3p | grep -q '"op":"solve_incremental"' || { echo "se
 echo "$serve_out" | sed -n 3p | grep -q '"components":2' || { echo "serve: incremental components missing"; exit 1; }
 echo "$serve_out" | sed -n 4p | grep -q '"hits":1' || { echo "serve: cache hit not reported"; exit 1; }
 echo "$serve_out" | sed -n 4p | grep -q '"incremental":{"calls":1' || { echo "serve: incremental meters missing"; exit 1; }
+
+echo "==> nuspi serve analyze_source smoke test"
+lang_out=$(printf '%s\n' \
+  '{"id":"a1","op":"analyze_source","file":"leak.nu","source":"func main() {\n//nuspi::sink::{}\nout := make(chan)\n//nuspi::label::{high}\npin := 4\nout <- pin\n}"}' \
+  '{"id":"a2","op":"analyze_source","file":"leak.nu","source":"func main() {\n//nuspi::sink::{}\nout   :=   make(chan)\n//nuspi::label::{high}\npin   :=   4\nout   <-   pin\n}"}' \
+  | ./target/release/nuspi serve --jobs 2)
+[ "$(echo "$lang_out" | wc -l)" -eq 2 ] || { echo "analyze_source: expected 2 response lines"; exit 1; }
+echo "$lang_out" | sed -n 1p | grep -q '"verdict":"insecure"' || { echo "analyze_source: verdict missing"; exit 1; }
+echo "$lang_out" | sed -n 1p | grep -q 'leak.nu:5:1' || { echo "analyze_source: origin anchor missing"; exit 1; }
+# The second request is the same program reformatted: the α-digest cache
+# key is unchanged, so the body must be byte-identical.
+[ "$(echo "$lang_out" | sed -n 1p | sed 's/a1/aX/')" = "$(echo "$lang_out" | sed -n 2p | sed 's/a2/aX/')" ] \
+  || { echo "analyze_source: reformatted resubmission not byte-identical"; exit 1; }
+
+echo "==> nuspi check ladder verdicts"
+for f in examples/lang/*.nu; do
+  expect=$(head -1 "$f" | sed 's|// expect: ||')
+  if ./target/release/nuspi check "$f" >/dev/null 2>&1; then got=secure; else got=insecure; fi
+  [ "$got" = "$expect" ] || { echo "ladder: $f expected $expect, got $got"; exit 1; }
+done
 
 echo "==> nuspi serve --trace smoke test"
 trace_file=$(mktemp)
