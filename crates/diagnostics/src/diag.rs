@@ -85,15 +85,17 @@ pub enum Span {
 
 impl Span {
     /// Stable, layout-independent sort key.
-    pub(crate) fn sort_key(&self) -> (u8, usize, &str) {
+    pub(crate) fn sort_key(&self) -> (u8, u64, &str) {
         match self {
-            Span::Point { ordinal } => (0, *ordinal, ""),
+            Span::Point { ordinal } => (0, *ordinal as u64, ""),
             Span::Channel(n) => (1, 0, n.as_str()),
             Span::Name(n) => (2, 0, n.as_str()),
             Span::Process => (3, 0, ""),
-            // Lines first, then columns; the encoding keeps the
-            // (u8, usize, &str) key shape shared with the other kinds.
-            Span::Source { line, col } => (4, (*line as usize) << 16 | *col as usize, ""),
+            // Lines first, then columns; a 32/32 split keeps the
+            // (u8, u64, &str) key shape shared with the other kinds
+            // while leaving any u32 column (minified one-line input)
+            // short of the line bits.
+            Span::Source { line, col } => (4, (u64::from(*line) << 32) | u64::from(*col), ""),
         }
     }
 
@@ -237,6 +239,41 @@ mod tests {
         assert_eq!(d[1].span, Span::Point { ordinal: 2 });
         assert_eq!(d[2].span, Span::Channel(Symbol::intern("z")));
         assert_eq!(d[3].span, Span::Name(Symbol::intern("a")));
+    }
+
+    #[test]
+    fn source_spans_sort_by_line_before_column_even_for_huge_columns() {
+        // A column past 2^16 (one enormous minified line) must never
+        // leak into the line part of the sort key: line 1 col 70000
+        // still sorts before line 2 col 1.
+        let mut d: Vec<Diagnostic> = [
+            Span::Source { line: 2, col: 1 },
+            Span::Source {
+                line: 1,
+                col: 70_000,
+            },
+            Span::Source { line: 1, col: 5 },
+        ]
+        .into_iter()
+        .map(|span| Diagnostic {
+            code: "E001",
+            pass: "p",
+            severity: Severity::Error,
+            span,
+            message: "m".into(),
+            witness: vec![],
+        })
+        .collect();
+        sort_diagnostics(&mut d);
+        assert_eq!(d[0].span, Span::Source { line: 1, col: 5 });
+        assert_eq!(
+            d[1].span,
+            Span::Source {
+                line: 1,
+                col: 70_000
+            }
+        );
+        assert_eq!(d[2].span, Span::Source { line: 2, col: 1 });
     }
 
     #[test]

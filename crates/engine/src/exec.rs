@@ -387,11 +387,29 @@ pub(crate) fn prepare(
                 Err(e) => fail(op, format!("{file}:{}: {}", e.pos, e.message)),
                 Ok(c) => {
                     // Keyed on the α-invariant digest of the *lowered*
-                    // process (so formatting-only source edits share a
-                    // slot) plus the file name (it appears verbatim in
-                    // the body's anchors). Shards are not in the key:
-                    // reports are byte-identical across solver layouts.
-                    let key = derive_key(6, &c.process, &c.secrets, &[], &[file], cfg);
+                    // process plus the file name (it appears verbatim in
+                    // the body's anchors) plus every source-map site
+                    // record: the body anchors diagnostics to the
+                    // declarations' line:col, so an edit that moves a
+                    // declaration must re-key (a cached body would point
+                    // at the wrong lines of the new file), while a
+                    // formatting-only edit that keeps every declaration
+                    // in place still shares the slot. Shards are not in
+                    // the key: reports are byte-identical across solver
+                    // layouts.
+                    let mut anchors = String::new();
+                    for (base, site) in &c.map.sites {
+                        let _ = write!(
+                            anchors,
+                            "{base}\u{0}{}\u{0}{}\u{0}{}\u{0}{}:{};",
+                            site.ident,
+                            site.role.as_str(),
+                            site.label.as_deref().unwrap_or(""),
+                            site.line,
+                            site.col
+                        );
+                    }
+                    let key = derive_key(6, &c.process, &c.secrets, &[], &[file, &anchors], cfg);
                     let (file, source) = (file.clone(), source.clone());
                     // The lowered AST is `Rc`-shared (not `Send`); the
                     // worker recompiles from source, like the νSPI ops

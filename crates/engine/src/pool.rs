@@ -44,6 +44,12 @@ impl WorkerPool {
                 let panics = Arc::clone(&panics);
                 std::thread::Builder::new()
                     .name(format!("nuspi-engine-worker-{i}"))
+                    // Analyses recurse over the process term (digesting,
+                    // lint passes, constraint generation), so give
+                    // workers headroom well past the platform's 2 MiB
+                    // spawned-thread default: a stack overflow is an
+                    // abort that no catch_unwind can contain.
+                    .stack_size(16 * 1024 * 1024)
                     .spawn(move || worker_loop(&rx, &panics))
                     .expect("spawn worker thread")
             })

@@ -38,6 +38,9 @@ pub struct Compiled {
     pub map: SourceMap,
     /// The policy's secret bases, sorted (stable input for cache keys).
     pub secrets: Vec<String>,
+    /// Statements the lowering expanded — an upper bound on the
+    /// process's size and depth.
+    pub stmts: usize,
 }
 
 /// Compiles `src` (from `file`, used only for anchors) down to a
@@ -53,6 +56,7 @@ pub fn compile(file: &str, src: &str) -> Result<Compiled, LangError> {
         policy,
         map,
         secrets: lowered.secrets,
+        stmts: lowered.stmts,
     })
 }
 
@@ -127,6 +131,16 @@ pub fn check(file: &str, src: &str) -> CheckReport {
     check_with(file, src, 1)
 }
 
+/// Programs whose lowering expanded more statements than this are
+/// analysed on a dedicated wide-stack thread: the lint passes recurse
+/// over the term, a deep term can outgrow the caller's stack, and a
+/// stack overflow is an abort no `catch_unwind` contains.
+const WIDE_STACK_STMTS: usize = 128;
+
+/// Stack size for that thread — sized for the deepest process the
+/// lowering budget admits, with generous debug-build headroom.
+const WIDE_STACK_BYTES: usize = 64 * 1024 * 1024;
+
 /// Compiles and analyses `src`, anchoring every diagnostic to source.
 /// Reports are byte-identical for any `shards >= 1`.
 pub fn check_with(file: &str, src: &str, shards: usize) -> CheckReport {
@@ -146,6 +160,33 @@ pub fn check_with(file: &str, src: &str, shards: usize) -> CheckReport {
             };
         }
     };
+    if compiled.stmts <= WIDE_STACK_STMTS {
+        return check_compiled(file, &compiled, shards);
+    }
+    // The lowered process is `Rc`-shared and not `Send`, so the wide
+    // thread recompiles from source; `compile` itself is iterative over
+    // statements and parse depth is capped, so the first compile above
+    // was safe on any stack.
+    let owned_file = file.to_owned();
+    let owned_src = src.to_owned();
+    let handle = std::thread::Builder::new()
+        .name("nuspi-lang-check".to_owned())
+        .stack_size(WIDE_STACK_BYTES)
+        .spawn(move || {
+            let compiled =
+                compile(&owned_file, &owned_src).expect("source compiled on the calling thread");
+            check_compiled(&owned_file, &compiled, shards)
+        })
+        .expect("spawn wide-stack check thread");
+    match handle.join() {
+        Ok(report) => report,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// The analysis half of [`check_with`]: lint the compiled program and
+/// anchor every diagnostic.
+fn check_compiled(file: &str, compiled: &Compiled, shards: usize) -> CheckReport {
     let diags = lint_with(
         &compiled.process,
         &compiled.policy,

@@ -1,7 +1,11 @@
 //! Static lowering from the surface AST into a νSPI process.
 //!
-//! The translation is a continuation-passing walk over statement
-//! sequences:
+//! The translation walks each statement sequence *iteratively*, pushing
+//! one process wrapper per statement and folding the wrappers over the
+//! lowered tail — so a flat million-statement program costs no call
+//! stack. Recursion happens only for *nesting* (branch bodies, loop
+//! bodies, inlined callees), which the parser bounds at `MAX_DEPTH`
+//! levels and the lowering bounds at [`MAX_INLINE_DEPTH`] inlined calls.
 //!
 //! - `x := make(chan)` mints a νSPI name for the channel. Ordinary
 //!   channels are `new`-restricted and declared policy-secret (an
@@ -14,17 +18,31 @@
 //!   initializer (if any) is checked for undeclared variables but the
 //!   annotation overrides its value.
 //! - `ch <- e` / `x := <-ch` become `Output` / `Input`.
-//! - `if` becomes `CaseNat` (both branches share the statement-level
-//!   continuation), `for { … }` becomes a replicated body in parallel
-//!   with the continuation, `go f(…)` runs the callee in parallel.
+//! - `if` becomes `CaseNat`. The statement-level continuation is
+//!   lowered exactly *once* and sequenced behind a fresh restricted
+//!   **join channel**: each branch ends by signalling the join, and the
+//!   continuation runs guarded by one input on it
+//!   (`case … then.j⟨0⟩ else.j⟨0⟩ | j(_).rest`). Duplicating the
+//!   continuation into both branches instead would make N sequential
+//!   `if`s lower to a 2^N-size process.
+//! - `for { … }` becomes a replicated body in parallel with the
+//!   continuation, `go f(…)` runs the callee in parallel.
 //! - Calls are inlined (the callee body is lowered at each call site
-//!   with parameters bound to the lowered arguments); recursion is a
-//!   structured error, so inlining terminates.
+//!   with parameters bound to the lowered arguments) behind the same
+//!   join discipline, so the statements after a call are also lowered
+//!   once. Recursion is a structured error, so inlining terminates —
+//!   but a DAG of functions that each call the next twice still doubles
+//!   per level, so the total lowered size is capped at
+//!   [`MAX_LOWERED_STMTS`] statements and overruns are structured
+//!   [`LangError`]s, matching the parser's totality guarantee.
 //!
 //! Minted names are mangled by **declaration order** (`main.x`,
 //! `main.x.2`, …), never by line/column — so a formatting-only edit
 //! lowers to an α-digest-identical process, which is what the engine's
-//! cache keys on. Every minted name is recorded in the [`SourceMap`].
+//! cache keys on. Every surface-declared name is recorded in the
+//! [`SourceMap`]; join channels (`main.#seq`, …) are internal plumbing:
+//! restricted but neither policy-secret nor mapped, so they can never
+//! surface in a verdict or weaken a policy.
 
 use crate::ast::{Call, Expr, ExprKind, FuncDecl, Program, Stmt, StmtKind};
 use crate::error::LangError;
@@ -39,6 +57,20 @@ use std::rc::Rc;
 /// a literal blow up the process size.
 const NUMERAL_CAP: u64 = 8;
 
+/// Deepest chain of inlined calls. Recursion is already rejected, but a
+/// long `f1 → f2 → … → fN` chain would otherwise recurse one lowering
+/// frame per hop; past this depth the call is a structured error.
+const MAX_INLINE_DEPTH: usize = 64;
+
+/// Total statements the lowering will expand (inlined callee bodies
+/// count once per call site). This bounds both the lowered process's
+/// size and its depth, keeping every downstream consumer — digesting,
+/// linting, solving, all recursive over the term — safely within stack
+/// budgets no matter what source arrives over the wire (the check
+/// driver moves large programs onto a dedicated wide-stack thread, and
+/// this cap is what makes "large" finite).
+const MAX_LOWERED_STMTS: usize = 5_000;
+
 /// The result of lowering a program.
 #[derive(Debug)]
 pub struct Lowered {
@@ -48,6 +80,10 @@ pub struct Lowered {
     pub secrets: Vec<String>,
     /// Declaration sites for every minted name.
     pub sites: BTreeMap<String, Site>,
+    /// Statements expanded during lowering — an upper bound on the
+    /// process's size *and* depth (≤ [`MAX_LOWERED_STMTS`]), which the
+    /// check driver uses to decide whether analysis needs a wide stack.
+    pub stmts: usize,
 }
 
 impl Lowered {
@@ -80,18 +116,23 @@ struct Scope {
     stack: Rc<Vec<Rc<str>>>,
 }
 
-/// The statement-level continuation: what runs after the current
-/// statement sequence finishes. Each frame carries the scope the
-/// remaining statements must see.
-enum Cont<'a> {
+/// What runs after the current statement sequence finishes: nothing, or
+/// a completion signal on a join channel (see [`signal`]).
+#[derive(Clone, Copy)]
+enum Cont {
     /// Nothing left: the inert process.
     Done,
-    /// The remaining statements of an enclosing sequence.
-    Seq {
-        stmts: &'a [Stmt],
-        scope: Scope,
-        next: Rc<Cont<'a>>,
-    },
+    /// Signal the join channel that sequences this body before its
+    /// continuation.
+    Join(Name),
+}
+
+/// The process a finished sequence ends in.
+fn signal(cont: Cont) -> Process {
+    match cont {
+        Cont::Done => b::nil(),
+        Cont::Join(j) => b::output(b::name_expr(j), b::zero(), b::nil()),
+    }
 }
 
 struct Ctx<'a> {
@@ -102,11 +143,14 @@ struct Ctx<'a> {
     restricted: Vec<Name>,
     secrets: Vec<String>,
     sites: BTreeMap<String, Site>,
+    /// Statements expanded so far, against [`MAX_LOWERED_STMTS`].
+    lowered_stmts: usize,
 }
 
 /// Lowers a parsed program. `main` is the entry point; every failure
 /// (no `main`, undeclared identifiers, channel misuse, recursion,
-/// arity mismatches) is a structured [`LangError`].
+/// arity mismatches, over-budget expansion) is a structured
+/// [`LangError`].
 pub fn lower(program: &Program) -> Result<Lowered, LangError> {
     let mut funcs: HashMap<&str, &FuncDecl> = HashMap::new();
     for f in &program.funcs {
@@ -132,6 +176,7 @@ pub fn lower(program: &Program) -> Result<Lowered, LangError> {
         restricted: Vec::new(),
         secrets: Vec::new(),
         sites: BTreeMap::new(),
+        lowered_stmts: 0,
     };
     let name: Rc<str> = Rc::from("main");
     let scope = Scope {
@@ -139,7 +184,7 @@ pub fn lower(program: &Program) -> Result<Lowered, LangError> {
         func: name.clone(),
         stack: Rc::new(vec![name]),
     };
-    let body = lower_seq(&mut ctx, &main.body.stmts, scope, Rc::new(Cont::Done))?;
+    let body = lower_seq(&mut ctx, &main.body.stmts, scope, Cont::Done)?;
     let process = b::restrict_all(ctx.restricted, body);
     let mut secrets = ctx.secrets;
     secrets.sort();
@@ -148,6 +193,7 @@ pub fn lower(program: &Program) -> Result<Lowered, LangError> {
         process,
         secrets,
         sites: ctx.sites,
+        stmts: ctx.lowered_stmts,
     })
 }
 
@@ -182,6 +228,21 @@ impl<'a> Ctx<'a> {
         name
     }
 
+    /// Mints a restricted join channel for sequencing in `func`. The
+    /// `#seq` segment cannot be written in the surface language, so
+    /// joins never collide with user declarations; they carry only the
+    /// public completion signal `0`, so they are *not* policy secrets
+    /// and get no source-map site.
+    fn mint_join(&mut self, func: &str) -> Name {
+        let key = format!("{func}.#seq");
+        let n = self.counters.entry(key.clone()).or_insert(0);
+        *n += 1;
+        let base = if *n == 1 { key } else { format!("{key}.{n}") };
+        let name = Name::global(base.as_str());
+        self.restricted.push(name);
+        name
+    }
+
     /// A sink channel: the bare surface identifier as a *free* νSPI
     /// name. Re-declaring the same sink reuses the name (sinks are
     /// global observables); the first declaration site wins.
@@ -194,6 +255,21 @@ impl<'a> Ctx<'a> {
             col: pos.col,
         });
         Name::global(ident)
+    }
+
+    /// Accounts one expanded statement against [`MAX_LOWERED_STMTS`].
+    fn spend(&mut self, pos: Pos) -> Result<(), LangError> {
+        self.lowered_stmts += 1;
+        if self.lowered_stmts > MAX_LOWERED_STMTS {
+            return Err(LangError::new(
+                pos,
+                format!(
+                    "program expands to more than {MAX_LOWERED_STMTS} lowered statements \
+                     (inlined calls repeat callee bodies); split the program up"
+                ),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -216,121 +292,136 @@ fn classify(s: &Stmt) -> (bool, Option<Role>, Option<String>) {
     (sink, role, label)
 }
 
-fn lower_cont<'a>(ctx: &mut Ctx<'a>, cont: &Cont<'a>) -> Result<Process, LangError> {
-    match cont {
-        Cont::Done => Ok(b::nil()),
-        Cont::Seq { stmts, scope, next } => lower_seq(ctx, stmts, scope.clone(), next.clone()),
-    }
+/// One process layer contributed by a single statement; collected
+/// front-to-back, folded back-to-front over the lowered tail.
+enum Wrap {
+    /// `chan(var). ⟨tail⟩`
+    Recv { chan: Name, var: Var },
+    /// `chan⟨msg⟩. ⟨tail⟩`
+    Send { chan: Name, msg: SpiExpr },
+    /// `spawned | ⟨tail⟩` — a `for` replication or a `go` call.
+    Spawn(Process),
+    /// `body | join(_). ⟨tail⟩` — an `if` or an inlined call whose
+    /// every path signals `join` exactly once, so the tail is lowered
+    /// (and sized) once no matter how many paths reach it.
+    Join { join: Name, body: Process },
 }
 
 fn lower_seq<'a>(
     ctx: &mut Ctx<'a>,
     stmts: &'a [Stmt],
     mut scope: Scope,
-    cont: Rc<Cont<'a>>,
+    cont: Cont,
 ) -> Result<Process, LangError> {
-    let Some((s, rest)) = stmts.split_first() else {
-        return lower_cont(ctx, &cont);
-    };
-    let (is_sink, origin, label) = classify(s);
-    match &s.kind {
-        StmtKind::MakeChan { name } => {
-            let chan = if is_sink {
-                ctx.sink(name, s.pos)
-            } else {
-                ctx.mint(
-                    &scope.func.clone(),
-                    name,
-                    origin.unwrap_or(Role::Channel),
-                    label,
-                    s.pos,
-                )
-            };
-            scope.vars.insert(name.clone(), Binding::Chan(chan));
-            lower_seq(ctx, rest, scope, cont)
-        }
-        StmtKind::Let { name, value } => {
-            let binding = match origin {
-                Some(role) => {
-                    // Check the initializer for undeclared identifiers,
-                    // then let the annotation override its value.
-                    check_expr(&scope, value)?;
-                    let n = ctx.mint(&scope.func.clone(), name, role, label, s.pos);
-                    Binding::Val(b::name_expr(n))
-                }
-                None => Binding::Val(lower_expr(&scope, value)?),
-            };
-            scope.vars.insert(name.clone(), binding);
-            lower_seq(ctx, rest, scope, cont)
-        }
-        StmtKind::Recv {
-            name,
-            chan,
-            chan_pos,
-        } => {
-            let ch = channel(&scope, chan, *chan_pos)?;
-            let v = Var::fresh(name.as_str());
-            let binding = match origin {
-                Some(role) => {
-                    let n = ctx.mint(&scope.func.clone(), name, role, label, s.pos);
-                    Binding::Val(b::name_expr(n))
-                }
-                None => Binding::BoundVar(v),
-            };
-            scope.vars.insert(name.clone(), binding);
-            let then = lower_seq(ctx, rest, scope, cont)?;
-            Ok(b::input(b::name_expr(ch), v, then))
-        }
-        StmtKind::Send {
-            chan,
-            chan_pos,
-            value,
-        } => {
-            let ch = channel(&scope, chan, *chan_pos)?;
-            let msg = lower_expr(&scope, value)?;
-            let then = lower_seq(ctx, rest, scope, cont)?;
-            Ok(b::output(b::name_expr(ch), msg, then))
-        }
-        StmtKind::If { cond, then, els } => {
-            let c = lower_expr(&scope, cond)?;
-            let rest_cont = Rc::new(Cont::Seq {
-                stmts: rest,
-                scope: scope.clone(),
-                next: cont,
-            });
-            let then_p = lower_seq(ctx, &then.stmts, scope.clone(), rest_cont.clone())?;
-            let else_p = match els {
-                Some(e) => lower_seq(ctx, &e.stmts, scope, rest_cont)?,
-                None => lower_cont(ctx, &rest_cont)?,
-            };
-            Ok(b::case_nat(c, else_p, Var::fresh("_pred"), then_p))
-        }
-        StmtKind::Loop { body } => {
-            let body_p = lower_seq(ctx, &body.stmts, scope.clone(), Rc::new(Cont::Done))?;
-            let rest_p = lower_seq(ctx, rest, scope, cont)?;
-            Ok(b::par(b::replicate(body_p), rest_p))
-        }
-        StmtKind::Go { call } => {
-            let spawned = lower_call(ctx, call, &scope, Rc::new(Cont::Done))?;
-            let rest_p = lower_seq(ctx, rest, scope, cont)?;
-            Ok(b::par(spawned, rest_p))
-        }
-        StmtKind::Call(call) => {
-            let after = Rc::new(Cont::Seq {
-                stmts: rest,
-                scope: scope.clone(),
-                next: cont,
-            });
-            lower_call(ctx, call, &scope, after)
+    let mut wraps: Vec<Wrap> = Vec::new();
+    let mut stmts = stmts;
+    // Iterative over the flat sequence: the loop recurses only into
+    // nested bodies, never into the statements that follow.
+    while let Some((s, rest)) = stmts.split_first() {
+        stmts = rest;
+        ctx.spend(s.pos)?;
+        let (is_sink, origin, label) = classify(s);
+        match &s.kind {
+            StmtKind::MakeChan { name } => {
+                let chan = if is_sink {
+                    ctx.sink(name, s.pos)
+                } else {
+                    ctx.mint(
+                        &scope.func.clone(),
+                        name,
+                        origin.unwrap_or(Role::Channel),
+                        label,
+                        s.pos,
+                    )
+                };
+                scope.vars.insert(name.clone(), Binding::Chan(chan));
+            }
+            StmtKind::Let { name, value } => {
+                let binding = match origin {
+                    Some(role) => {
+                        // Check the initializer for undeclared identifiers,
+                        // then let the annotation override its value.
+                        check_expr(&scope, value)?;
+                        let n = ctx.mint(&scope.func.clone(), name, role, label, s.pos);
+                        Binding::Val(b::name_expr(n))
+                    }
+                    None => Binding::Val(lower_expr(&scope, value)?),
+                };
+                scope.vars.insert(name.clone(), binding);
+            }
+            StmtKind::Recv {
+                name,
+                chan,
+                chan_pos,
+            } => {
+                let ch = channel(&scope, chan, *chan_pos)?;
+                let v = Var::fresh(name.as_str());
+                let binding = match origin {
+                    Some(role) => {
+                        let n = ctx.mint(&scope.func.clone(), name, role, label, s.pos);
+                        Binding::Val(b::name_expr(n))
+                    }
+                    None => Binding::BoundVar(v),
+                };
+                scope.vars.insert(name.clone(), binding);
+                wraps.push(Wrap::Recv { chan: ch, var: v });
+            }
+            StmtKind::Send {
+                chan,
+                chan_pos,
+                value,
+            } => {
+                let ch = channel(&scope, chan, *chan_pos)?;
+                let msg = lower_expr(&scope, value)?;
+                wraps.push(Wrap::Send { chan: ch, msg });
+            }
+            StmtKind::If { cond, then, els } => {
+                let c = lower_expr(&scope, cond)?;
+                let join = ctx.mint_join(&scope.func.clone());
+                let then_p = lower_seq(ctx, &then.stmts, scope.clone(), Cont::Join(join))?;
+                let else_p = match els {
+                    Some(e) => lower_seq(ctx, &e.stmts, scope.clone(), Cont::Join(join))?,
+                    None => signal(Cont::Join(join)),
+                };
+                wraps.push(Wrap::Join {
+                    join,
+                    body: b::case_nat(c, else_p, Var::fresh("_pred"), then_p),
+                });
+            }
+            StmtKind::Loop { body } => {
+                let body_p = lower_seq(ctx, &body.stmts, scope.clone(), Cont::Done)?;
+                wraps.push(Wrap::Spawn(b::replicate(body_p)));
+            }
+            StmtKind::Go { call } => {
+                let spawned = lower_call(ctx, call, &scope, Cont::Done)?;
+                wraps.push(Wrap::Spawn(spawned));
+            }
+            StmtKind::Call(call) => {
+                let join = ctx.mint_join(&scope.func.clone());
+                let body = lower_call(ctx, call, &scope, Cont::Join(join))?;
+                wraps.push(Wrap::Join { join, body });
+            }
         }
     }
+    let mut p = signal(cont);
+    for w in wraps.into_iter().rev() {
+        p = match w {
+            Wrap::Recv { chan, var } => b::input(b::name_expr(chan), var, p),
+            Wrap::Send { chan, msg } => b::output(b::name_expr(chan), msg, p),
+            Wrap::Spawn(q) => b::par(q, p),
+            Wrap::Join { join, body } => {
+                b::par(body, b::input(b::name_expr(join), Var::fresh("_join"), p))
+            }
+        };
+    }
+    Ok(p)
 }
 
 fn lower_call<'a>(
     ctx: &mut Ctx<'a>,
     call: &'a Call,
     caller: &Scope,
-    cont: Rc<Cont<'a>>,
+    cont: Cont,
 ) -> Result<Process, LangError> {
     let callee = *ctx.funcs.get(call.func.as_str()).ok_or_else(|| {
         LangError::new(
@@ -345,6 +436,12 @@ fn lower_call<'a>(
                 "recursive call to `{}` (calls are inlined; recursion is not supported)",
                 call.func
             ),
+        ));
+    }
+    if caller.stack.len() >= MAX_INLINE_DEPTH {
+        return Err(LangError::new(
+            call.pos,
+            format!("calls inlined deeper than {MAX_INLINE_DEPTH} levels"),
         ));
     }
     if call.args.len() != callee.params.len() {
@@ -551,5 +648,105 @@ mod tests {
     fn no_main_is_an_error() {
         let e = lower_src("func helper() {}").unwrap_err();
         assert!(e.message.contains("main"), "{e:?}");
+    }
+
+    /// A program of `n` sequential `if`s over a sink channel.
+    fn seq_ifs(n: usize) -> String {
+        let mut src = String::from("func main() {\n//nuspi::sink::{}\nout := make(chan)\n");
+        for _ in 0..n {
+            src.push_str("if 1 { out <- 1 } else { out <- 0 }\n");
+        }
+        src.push_str("out <- 2\n}\n");
+        src
+    }
+
+    #[test]
+    fn sequential_ifs_lower_linearly_not_exponentially() {
+        // Each `if` lowers its continuation once behind a join channel,
+        // so doubling the number of `if`s roughly doubles the process
+        // (duplicating the tail into both branches would square it).
+        let small = lower_src(&seq_ifs(9)).unwrap().process.to_string().len();
+        let large = lower_src(&seq_ifs(18)).unwrap().process.to_string().len();
+        assert!(
+            large < small * 3,
+            "18 ifs render to {large} bytes vs {small} for 9: not linear"
+        );
+    }
+
+    #[test]
+    fn joins_are_internal_only() {
+        let l = lower_src(&seq_ifs(2)).unwrap();
+        // Join channels are restricted (not free) …
+        assert!(
+            !l.process
+                .free_names()
+                .iter()
+                .any(|n| n.to_string().contains("#seq")),
+            "join leaked as a free name"
+        );
+        // … but never policy secrets and never source-mapped.
+        assert!(
+            l.secrets.iter().all(|s| !s.contains("#seq")),
+            "{:?}",
+            l.secrets
+        );
+        assert!(l.sites.keys().all(|k| !k.contains("#seq")));
+    }
+
+    #[test]
+    fn flat_sequences_lower_without_recursion() {
+        // One statement per lowering stack frame would abort on a long
+        // flat program; the sequence walk is iterative, so this is just
+        // a big (under-budget) process.
+        let n = MAX_LOWERED_STMTS - 10;
+        let mut src = String::from("func main() {\n//nuspi::sink::{}\nout := make(chan)\n");
+        for _ in 0..n - 2 {
+            src.push_str("out <- 0\n");
+        }
+        src.push_str("}\n");
+        assert!(lower_src(&src).is_ok());
+    }
+
+    #[test]
+    fn oversized_flat_programs_are_structured_errors() {
+        let n = MAX_LOWERED_STMTS + 10;
+        let mut src = String::from("func main() {\n");
+        for _ in 0..n {
+            src.push_str("x := 1\n");
+        }
+        src.push_str("}\n");
+        let e = lower_src(&src).unwrap_err();
+        assert!(e.message.contains("lowered statements"), "{e:?}");
+    }
+
+    #[test]
+    fn doubling_call_dags_hit_the_expansion_budget() {
+        // f15 calls f14 twice, … — 2^15 leaf expansions. The budget
+        // turns the blow-up into a structured error instead of an
+        // exponential process.
+        let mut src = String::from("func f0(ch) { ch <- 0\nch <- 0 }\n");
+        for i in 1..=15 {
+            src.push_str(&format!(
+                "func f{i}(ch) {{ f{}(ch)\nf{}(ch) }}\n",
+                i - 1,
+                i - 1
+            ));
+        }
+        src.push_str("func main() { ch := make(chan)\nf15(ch) }\n");
+        let e = lower_src(&src).unwrap_err();
+        assert!(e.message.contains("lowered statements"), "{e:?}");
+    }
+
+    #[test]
+    fn deep_inline_chains_are_structured_errors() {
+        // A 100-hop call chain: no recursion, but each hop is one more
+        // nested lowering frame — rejected at MAX_INLINE_DEPTH.
+        let mut src = String::from("func f0(ch) { ch <- 0 }\n");
+        for i in 1..=100 {
+            src.push_str(&format!("func f{i}(ch) {{ f{}(ch) }}\n", i - 1));
+        }
+        src.push_str("func main() { ch := make(chan)\nf100(ch) }\n");
+        let e = lower_src(&src).unwrap_err();
+        assert!(e.message.contains("inlined deeper"), "{e:?}");
     }
 }

@@ -169,11 +169,28 @@ pub fn lex(src: &str) -> Result<Lexed, LangError> {
                     comment.push(c);
                     bump!();
                 }
-                if let Some(rest) = comment.strip_prefix("nuspi::") {
-                    annotations.push(parse_annotation(rest.trim_end(), pos)?);
+                // Anything that reads as a `nuspi::` annotation modulo
+                // surrounding whitespace or letter case is an annotation
+                // *attempt*: near-misses must be errors, never plain
+                // comments, or a typo would silently weaken the policy.
+                let body = comment.trim_start();
+                match body.get(..7) {
+                    Some(prefix) if prefix.eq_ignore_ascii_case("nuspi::") => {
+                        if prefix != "nuspi::" {
+                            return Err(LangError::new(
+                                pos,
+                                format!(
+                                    "annotation prefix must be lowercase `nuspi::` \
+                                     (found `{prefix}`)"
+                                ),
+                            ));
+                        }
+                        annotations.push(parse_annotation(body[prefix.len()..].trim(), pos)?);
+                    }
+                    // Ordinary comments (and `// expect: …` verdict
+                    // headers) are formatting.
+                    _ => {}
                 }
-                // Ordinary comments (and `// expect: …` verdict headers)
-                // are formatting.
             }
             '"' => {
                 bump!();
@@ -385,6 +402,27 @@ mod tests {
         assert!(err.message.contains("unknown annotation"), "{err:?}");
         let err = lex("//nuspi::label::{low}\n").unwrap_err();
         assert!(err.message.contains("unknown security label"), "{err:?}");
+    }
+
+    #[test]
+    fn near_miss_annotations_are_never_plain_comments() {
+        // Leading whitespace is tolerated: still a well-formed attempt.
+        let out = lex("// nuspi::secret\nx := 1").unwrap();
+        assert_eq!(out.annotations.len(), 1);
+        assert_eq!(out.annotations[0].kind, AnnKind::Secret);
+        // Case drift in the prefix is a structured error, not a silently
+        // dropped comment.
+        let err = lex("//Nuspi::secret\n").unwrap_err();
+        assert!(err.message.contains("lowercase `nuspi::`"), "{err:?}");
+        let err = lex("// NUSPI::sink::{}\n").unwrap_err();
+        assert!(err.message.contains("lowercase `nuspi::`"), "{err:?}");
+        // A typo after the prefix keeps being an error.
+        let err = lex("// nuspi::sekret\n").unwrap_err();
+        assert!(err.message.contains("unknown annotation"), "{err:?}");
+        // Prose that merely mentions the prefix mid-comment stays a
+        // comment.
+        let out = lex("// see nuspi::secret for details\nx := 1").unwrap();
+        assert!(out.annotations.is_empty());
     }
 
     #[test]

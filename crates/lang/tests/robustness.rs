@@ -85,6 +85,27 @@ fn corpus() -> Vec<(&'static str, String)> {
         ")".repeat(500)
     );
     cases.push(("deep parens", parens));
+
+    // Expansion bombs: all parse fine, and must die in lowering with a
+    // structured error — never an exponential process or a stack abort.
+    let flat = format!("func main() {{\n{}}}\n", "x := 1\n".repeat(30_000));
+    cases.push(("oversized flat program", flat));
+    let mut dag = String::from("func f0(ch) { ch <- 0\nch <- 0 }\n");
+    for i in 1..=20 {
+        dag.push_str(&format!(
+            "func f{i}(ch) {{ f{}(ch)\nf{}(ch) }}\n",
+            i - 1,
+            i - 1
+        ));
+    }
+    dag.push_str("func main() { ch := make(chan)\nf20(ch) }\n");
+    cases.push(("doubling call dag", dag));
+    let mut chain = String::from("func f0(ch) { ch <- 0 }\n");
+    for i in 1..=100 {
+        chain.push_str(&format!("func f{i}(ch) {{ f{}(ch) }}\n", i - 1));
+    }
+    chain.push_str("func main() { ch := make(chan)\nf100(ch) }\n");
+    cases.push(("deep call chain", chain));
     cases
 }
 
@@ -108,6 +129,37 @@ fn adversarial_corpus_yields_structured_errors() {
         let d = err.to_diagnostic();
         assert_eq!(d.code, "L001", "{name}");
     }
+}
+
+#[test]
+fn long_flat_programs_check_end_to_end() {
+    // A flat 2000-send body: iterative sequence lowering (no stack
+    // frame per statement) and a process the whole pipeline digests,
+    // lints, and solves without distress.
+    let src = format!(
+        "func main() {{\n//nuspi::sink::{{}}\nout := make(chan)\n{}}}\n",
+        "out <- 0\n".repeat(2_000)
+    );
+    let report = check("flat.nu", &src);
+    assert_eq!(report.verdict, Verdict::Secure, "{:?}", report.diags.len());
+}
+
+#[test]
+fn sequential_ifs_check_in_linear_time() {
+    // 18 sequential ifs once lowered to a 2^18-path process; with the
+    // join-channel sequencing the report is small and immediate.
+    let mut src = String::from("func main() {\n//nuspi::sink::{}\nout := make(chan)\n");
+    for _ in 0..18 {
+        src.push_str("if 1 { out <- 1 } else { out <- 0 }\n");
+    }
+    src.push_str("}\n");
+    let report = check("ifs.nu", &src);
+    assert_eq!(report.verdict, Verdict::Secure, "{:?}", report.diags.len());
+    assert!(
+        report.diags.len() < 64,
+        "diagnostic blow-up: {}",
+        report.diags.len()
+    );
 }
 
 #[test]

@@ -13,8 +13,9 @@
 //! program, two runs are byte-identical, the 1-shard and 4-shard solver
 //! layouts are byte-identical, every insecure rung anchors a witness to
 //! the exact file:line:column of both the labeled origin and the
-//! violating sink, and resubmitting a formatting-only edit to the
-//! engine is a cache hit.
+//! violating sink, resubmitting a formatting-only edit that keeps every
+//! declaration in place is an engine cache hit, and an edit that moves
+//! declarations to other lines misses and is re-anchored.
 
 use nuspi::engine::{AnalysisEngine, Request};
 use nuspi::lang::{check_to_json, check_with, Verdict};
@@ -149,23 +150,33 @@ fn no_stale_golden_files() {
     }
 }
 
-/// Reformats a program without touching its token sequence: a comment
-/// banner is prepended, tabs become four spaces, and every line gains
-/// trailing blanks. Lines and columns move; the lowered process is
-/// α-identical because minted names derive from declaration order.
-fn reformat(src: &str) -> String {
-    let mut out = String::from("// reformatted copy; must still hit the cache\n\n");
+/// Reformats a program without touching its token sequence *or* any
+/// token's line/column: every line gains trailing blanks and a comment
+/// banner is appended at the end. The lowered process is α-identical
+/// (minted names derive from declaration order) and every declaration
+/// site stays put, so the engine must serve the cached body.
+fn reformat_in_place(src: &str) -> String {
+    let mut out = String::new();
     for line in src.lines() {
-        out.push_str(&line.replace('\t', "    "));
+        out.push_str(line);
         out.push_str("  \n");
     }
+    out.push_str("\n// reformatted copy; must still hit the cache\n");
     out
+}
+
+/// Reformats a program by prepending a two-line banner: the token
+/// sequence (and hence the lowered α-digest) is unchanged, but every
+/// declaration moves down two lines — the report's anchors must move
+/// with it, so the engine must NOT serve the cached body.
+fn reformat_shifting_lines(src: &str) -> String {
+    format!("// shifted copy; anchors move, so the cache must miss\n\n{src}")
 }
 
 #[test]
 fn engine_analyze_source_caches_on_the_lowered_digest() {
     let engine = AnalysisEngine::with_jobs(2);
-    for (stem, rel, src, _) in ladder() {
+    for (stem, rel, src, expect) in ladder() {
         let cold = engine.submit(Request::AnalyzeSource {
             file: rel.clone(),
             source: src.clone(),
@@ -183,15 +194,50 @@ fn engine_analyze_source_caches_on_the_lowered_digest() {
         assert!(warm.cached, "{stem}: identical resubmission missed");
         assert_eq!(cold.body, warm.body, "{stem}: warm body differs");
 
-        // A formatting-only edit lowers to the same α-digest, so it is
+        // A formatting-only edit that keeps every declaration in place
+        // lowers to the same α-digest and the same source map, so it is
         // a cache hit too.
         let reformatted = engine.submit(Request::AnalyzeSource {
             file: rel.clone(),
-            source: reformat(&src),
+            source: reformat_in_place(&src),
             shards: 1,
         });
         assert!(reformatted.cached, "{stem}: reformatted source missed");
         assert_eq!(cold.body, reformatted.body, "{stem}: reformat body differs");
+
+        // A reformat that moves declarations to other lines must NOT be
+        // served the cached body: its anchors would point at the wrong
+        // lines of the new file. Same α-digest, different source map ⇒
+        // different key, freshly anchored report.
+        let shifted = engine.submit(Request::AnalyzeSource {
+            file: rel.clone(),
+            source: reformat_shifting_lines(&src),
+            shards: 1,
+        });
+        assert!(
+            !shifted.cached,
+            "{stem}: line-shifting reformat served a stale cached body"
+        );
+        if expect == Verdict::Insecure {
+            assert_ne!(
+                cold.body, shifted.body,
+                "{stem}: shifted anchors should change the report"
+            );
+            let moved = check_with(&rel, &reformat_shifting_lines(&src), 1);
+            let anchored = moved
+                .diags
+                .iter()
+                .find(|d| d.origin.is_some())
+                .expect("anchored diagnostic");
+            let o = anchored.origin.as_ref().unwrap();
+            assert!(
+                shifted
+                    .body
+                    .contains(&format!("{rel}:{}:{}", o.line, o.col)),
+                "{stem}: shifted body not re-anchored: {}",
+                shifted.body
+            );
+        }
 
         // Shards are a solver layout, not an analysis input: excluded
         // from the key, so a sharded resubmission shares the entry.
