@@ -16,7 +16,9 @@ use crate::report::{timed, timed_stable, BenchReport, Table};
 use crate::workloads;
 use nuspi_cfa::{analyze, analyze_with_attacker, solve, solve_parallel, Constraints};
 use nuspi_diagnostics::{lint, LintContext, PassRegistry};
+use nuspi_engine::jsonio::escape;
 use nuspi_engine::{AnalysisEngine, ProcessInput, Request, Response};
+use nuspi_net::{spawn, DiskStore, NetConfig, StoreConfig};
 use nuspi_protocols::{open_examples, suite, wmf};
 use nuspi_security::{
     carefulness, confinement, n_star, n_star_name, reveals, IntruderConfig, Knowledge,
@@ -24,7 +26,10 @@ use nuspi_security::{
 use nuspi_semantics::{commitments, eval, explore_tau, CommitConfig, EvalMode, ExecConfig};
 use nuspi_syntax::{builder, parse_process, Name, Process, Symbol, Value};
 use std::collections::HashSet;
-use std::time::Duration;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// One suite execution: the rendered human tables and the machine
 /// report.
@@ -332,9 +337,40 @@ pub fn suite_requests() -> Vec<Request> {
     out
 }
 
-/// Engine throughput over the protocol suite, cold vs warm cache. The
-/// warm rounds and cache counters are identical in smoke and full mode,
-/// so the exact metrics always match the committed baseline.
+/// One JSON `lint` request line per closed protocol in the suite — the
+/// wire form of [`suite_requests`]'s closed half (the open examples are
+/// engine-internal `Parsed` inputs with no JSON rendering).
+fn closed_suite_lines() -> Vec<String> {
+    suite()
+        .into_iter()
+        .map(|spec| {
+            let mut secrets: Vec<String> = spec
+                .policy
+                .secrets()
+                .map(|s| format!("\"{}\"", escape(s.as_str())))
+                .collect();
+            secrets.sort();
+            format!(
+                "{{\"op\":\"lint\",\"process\":\"{}\",\"secrets\":[{}]}}\n",
+                escape(&spec.source),
+                secrets.join(",")
+            )
+        })
+        .collect()
+}
+
+/// The q-th percentile of an ascending-sorted latency series.
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    assert!(!sorted.is_empty(), "no samples");
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Engine throughput over the protocol suite, cold vs warm cache, plus
+/// the `serve-net` phase: the same engine behind the TCP transport
+/// under concurrent closed-loop clients and a disk store. The warm
+/// rounds and the cache/store counters are identical in smoke and full
+/// mode, so the exact metrics always match the committed baseline.
 pub fn engine(smoke: bool) -> SuiteRun {
     const WARM_ROUNDS: u32 = 5;
     let requests = suite_requests();
@@ -384,6 +420,133 @@ pub fn engine(smoke: bool) -> SuiteRun {
         "warm-cache batch ({warm:?}) must beat the cold batch ({cold:?})"
     );
 
+    // serve-net: the TCP transport under concurrent clients, mixed
+    // cold/warm traffic. Round 0 races the clients over a cold engine
+    // (real computes, disk-store admissions); later rounds are
+    // memory-cache hits, so the warm percentiles measure the network
+    // round-trip and protocol framing, not the analyses.
+    const CLIENTS: usize = 4;
+    const ROUNDS: usize = 4;
+    let lines = Arc::new(closed_suite_lines());
+    let closed_cases = lines.len();
+
+    let store_dir =
+        std::env::temp_dir().join(format!("nuspi-bench-serve-net-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let mut store_cfg = StoreConfig::at(&store_dir);
+    store_cfg.fsync = false; // measure the transport, not disk syncs
+    let mut net_engine = AnalysisEngine::with_jobs(0);
+    net_engine.set_store(Arc::new(
+        DiskStore::open(store_cfg).expect("bench store opens"),
+    ));
+    let net_engine = Arc::new(net_engine);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("loopback bind");
+    let server = spawn(Arc::clone(&net_engine), listener, NetConfig::default())
+        .expect("serve-net server spawns");
+    let addr = server.local_addr();
+
+    let wall = Instant::now();
+    // Clients align on a barrier between rounds so a straggler's cold
+    // computes never pollute another client's warm samples.
+    let gate = Arc::new(std::sync::Barrier::new(CLIENTS));
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let lines = Arc::clone(&lines);
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream.set_nodelay(true).expect("nodelay");
+                let mut reader = BufReader::new(stream.try_clone().expect("clone socket"));
+                let mut samples = vec![Vec::new(); ROUNDS];
+                let mut response = String::new();
+                for bucket in &mut samples {
+                    gate.wait();
+                    for line in lines.iter() {
+                        let sent = Instant::now();
+                        stream.write_all(line.as_bytes()).expect("send request");
+                        response.clear();
+                        reader.read_line(&mut response).expect("read response");
+                        bucket.push(sent.elapsed());
+                        assert!(response.contains("\"status\":\"ok\""), "{response}");
+                    }
+                }
+                samples
+            })
+        })
+        .collect();
+    let mut cold_lat = Vec::new();
+    let mut warm_lat = Vec::new();
+    for handle in clients {
+        let mut rounds = handle.join().expect("client thread").into_iter();
+        cold_lat.append(&mut rounds.next().expect("cold round"));
+        for mut bucket in rounds {
+            warm_lat.append(&mut bucket);
+        }
+    }
+    let wall = wall.elapsed();
+
+    // Quiet warm-latency phase: one client, closed loop, warm engine —
+    // the per-request network and framing overhead without contention,
+    // stable enough for the time gate (the concurrent percentiles above
+    // are scheduler-dependent, so they are reported as info only).
+    const PASSES: usize = 6;
+    let mut quiet = Vec::new();
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone socket"));
+        let mut response = String::new();
+        for _ in 0..PASSES {
+            for line in lines.iter() {
+                let sent = Instant::now();
+                stream.write_all(line.as_bytes()).expect("send request");
+                response.clear();
+                reader.read_line(&mut response).expect("read response");
+                quiet.push(sent.elapsed());
+            }
+        }
+    } // dropping the stream closes the connection
+
+    server.drain();
+    let net = server.join();
+    let store = net_engine.stats().store.expect("store attached");
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    let rps = (CLIENTS * ROUNDS * closed_cases) as f64 / wall.as_secs_f64().max(1e-9);
+    cold_lat.sort_unstable();
+    warm_lat.sort_unstable();
+    quiet.sort_unstable();
+    let cold_p50 = percentile(&cold_lat, 0.50);
+    let mixed_p50 = percentile(&warm_lat, 0.50);
+    let mixed_p99 = percentile(&warm_lat, 0.99);
+    let quiet_p50 = percentile(&quiet, 0.50);
+    let quiet_p99 = percentile(&quiet, 0.99);
+
+    human.push_str(&format!(
+        "\nserve-net: {CLIENTS} clients x {ROUNDS} rounds x {closed_cases} closed cases over loopback TCP\n"
+    ));
+    let mut net_table = Table::new(["phase", "p50", "p99"]);
+    net_table.row([
+        format!("cold round ({CLIENTS} clients)"),
+        fmt_ms(cold_p50),
+        fmt_ms(percentile(&cold_lat, 0.99)),
+    ]);
+    net_table.row([
+        format!("warm rounds ({CLIENTS} clients)"),
+        fmt_ms(mixed_p50),
+        fmt_ms(mixed_p99),
+    ]);
+    net_table.row([
+        "warm quiet (1 client)".to_owned(),
+        fmt_ms(quiet_p50),
+        fmt_ms(quiet_p99),
+    ]);
+    human.push_str(&net_table.render());
+    human.push_str(&format!(
+        "sustained: {rps:.0} responses/s   store: {} admits, {} entries\n",
+        store.admits, store.entries
+    ));
+
     let mut report = BenchReport::new("engine", smoke);
     report.time("cold-batch", cold);
     report.time("warm-batch", warm);
@@ -393,6 +556,16 @@ pub fn engine(smoke: bool) -> SuiteRun {
     report.exact("cache/hits", stats.cache.hits);
     report.exact("cache/misses", stats.cache.misses);
     report.exact("cache/entries", stats.cache_entries as u64);
+    report.time("serve-net/quiet-p50", quiet_p50);
+    report.info("serve-net/quiet-p99", quiet_p99.as_secs_f64() * 1e3, "ms");
+    report.info("serve-net/mixed-p50", mixed_p50.as_secs_f64() * 1e3, "ms");
+    report.info("serve-net/mixed-p99", mixed_p99.as_secs_f64() * 1e3, "ms");
+    report.info("serve-net/cold-p50", cold_p50.as_secs_f64() * 1e3, "ms");
+    report.info("serve-net/rps", rps, "resp/s");
+    report.exact("serve-net/clients", CLIENTS as u64);
+    report.exact("serve-net/responses", net.responses);
+    report.exact("serve-net/store-admits", store.admits);
+    report.exact("serve-net/store-entries", store.entries);
     SuiteRun { human, report }
 }
 

@@ -13,12 +13,19 @@
 //! nuspi lint    <file> [--secret NAME]... [--json] [--shards N]
 //!                                                multi-pass diagnostics with witness traces
 //! nuspi serve   [--jobs N] [--cache-bytes N]     JSON-lines analysis service on stdin/stdout
+//! nuspi serve   --listen ADDR [--cache-dir DIR]  ... or on a TCP socket, with an optional
+//!                                                persistent response store
+//! nuspi cache   <stats|ls|verify|compact> --cache-dir DIR
+//!                                                inspect a persistent store directory
 //! ```
 //!
 //! `<file>` may be `-` for stdin. Exit status: 0 on success/secure, 1 on
 //! an insecure verdict, 2 on usage or parse errors. `serve` takes no
 //! file: it reads one JSON request per line from stdin and writes one
-//! JSON response per line to stdout until end of input.
+//! JSON response per line to stdout until end of input. With `--listen`
+//! the same protocol runs per TCP connection instead; stdin is held
+//! open as the lifetime handle — end of stdin triggers a graceful
+//! drain (stop accepting, flush in-flight responses, exit).
 
 use nuspi::{Analyzer, EvalMode, ExecConfig, Policy};
 use std::io::Read;
@@ -44,7 +51,10 @@ const USAGE: &str = "usage:
   nuspi explore <file> [--max-depth N] [--max-states N]
   nuspi explain <file> [--secret NAME]...
   nuspi lint    <file> [--secret NAME]... [--json] [--shards N]
-  nuspi serve   [--jobs N] [--cache-bytes N] [--trace FILE]";
+  nuspi serve   [--jobs N] [--cache-bytes N] [--trace FILE]
+                [--listen ADDR] [--cache-dir DIR] [--max-conns N] [--idle-ms N]
+                [--queue-depth N] [--store-bytes N] [--store-min-ms N]
+  nuspi cache   <stats|ls|verify|compact> --cache-dir DIR";
 
 struct Opts {
     file: Option<String>,
@@ -64,6 +74,13 @@ struct Opts {
     jobs: usize,
     cache_bytes: usize,
     trace: Option<String>,
+    listen: Option<String>,
+    cache_dir: Option<String>,
+    max_conns: usize,
+    idle_ms: u64,
+    queue_depth: usize,
+    store_bytes: u64,
+    store_min_ms: u64,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -85,6 +102,13 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         jobs: 0,
         cache_bytes: 0,
         trace: None,
+        listen: None,
+        cache_dir: None,
+        max_conns: 64,
+        idle_ms: 300_000,
+        queue_depth: 32,
+        store_bytes: 0,
+        store_min_ms: 0,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -113,6 +137,15 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--jobs" => o.jobs = num("--jobs")? as usize,
             "--cache-bytes" => o.cache_bytes = num("--cache-bytes")? as usize,
             "--trace" => o.trace = Some(it.next().ok_or("--trace needs a file")?.clone()),
+            "--listen" => o.listen = Some(it.next().ok_or("--listen needs an address")?.clone()),
+            "--cache-dir" => {
+                o.cache_dir = Some(it.next().ok_or("--cache-dir needs a directory")?.clone());
+            }
+            "--max-conns" => o.max_conns = (num("--max-conns")? as usize).max(1),
+            "--idle-ms" => o.idle_ms = num("--idle-ms")?,
+            "--queue-depth" => o.queue_depth = (num("--queue-depth")? as usize).max(1),
+            "--store-bytes" => o.store_bytes = num("--store-bytes")?,
+            "--store-min-ms" => o.store_min_ms = num("--store-min-ms")?,
             _ if a.starts_with("--") => return Err(format!("unknown flag {a}")),
             _ if o.file.is_none() => o.file = Some(a.clone()),
             _ => return Err(format!("unexpected argument {a}")),
@@ -144,18 +177,50 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let o = parse_opts(&args[1..])?;
     if cmd == "serve" {
         if o.file.is_some() {
-            return Err("serve takes no <file>; requests arrive on stdin".into());
+            return Err("serve takes no <file>; requests arrive on stdin or --listen".into());
         }
-        let engine = nuspi::engine::AnalysisEngine::new(nuspi::engine::EngineConfig {
+        let mut engine = nuspi::engine::AnalysisEngine::new(nuspi::engine::EngineConfig {
             jobs: o.jobs,
             cache_bytes: o.cache_bytes,
             ..Default::default()
         });
+        if let Some(dir) = &o.cache_dir {
+            let store = nuspi::net::DiskStore::open(nuspi::net::StoreConfig {
+                dir: dir.into(),
+                max_bytes: o.store_bytes,
+                min_compute: std::time::Duration::from_millis(o.store_min_ms),
+                fsync: true,
+            })
+            .map_err(|e| format!("--cache-dir {dir}: {e}"))?;
+            engine.set_store(std::sync::Arc::new(store));
+        }
         if o.trace.is_some() {
             nuspi::obs::enable();
         }
-        nuspi::engine::serve(&engine, std::io::stdin().lock(), std::io::stdout().lock())
-            .map_err(|e| format!("serve: {e}"))?;
+        if let Some(addr) = &o.listen {
+            let listener =
+                std::net::TcpListener::bind(addr).map_err(|e| format!("--listen {addr}: {e}"))?;
+            let cfg = nuspi::net::NetConfig {
+                max_connections: o.max_conns,
+                queue_depth: o.queue_depth,
+                idle_timeout: std::time::Duration::from_millis(o.idle_ms.max(1)),
+                ..Default::default()
+            };
+            let server = nuspi::net::spawn(std::sync::Arc::new(engine), listener, cfg)
+                .map_err(|e| format!("serve: {e}"))?;
+            // Stderr, so stdout stays free for a co-located pipe client
+            // and scripts can scrape the bound port (`--listen :0`).
+            eprintln!("listening on {}", server.local_addr());
+            // Stdin is the lifetime handle: EOF (pipe closed, ^D) means
+            // drain — stop accepting, flush in-flight responses, exit.
+            let _ = std::io::copy(&mut std::io::stdin().lock(), &mut std::io::sink());
+            eprintln!("draining");
+            server.drain();
+            server.join();
+        } else {
+            nuspi::engine::serve(&engine, std::io::stdin().lock(), std::io::stdout().lock())
+                .map_err(|e| format!("serve: {e}"))?;
+        }
         if let Some(path) = &o.trace {
             nuspi::obs::disable();
             std::fs::write(path, nuspi::obs::snapshot_jsonl())
@@ -166,6 +231,39 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             eprintln!("trace written to {path}");
         }
         return Ok(ExitCode::SUCCESS);
+    }
+    if cmd == "cache" {
+        let action = o
+            .file
+            .clone()
+            .ok_or("cache needs an action: stats | ls | verify | compact")?;
+        let dir = o.cache_dir.clone().ok_or("cache needs --cache-dir DIR")?;
+        let dir = std::path::Path::new(&dir);
+        let err = |e: std::io::Error| format!("cache {action}: {e}");
+        return match action.as_str() {
+            "stats" => {
+                print!("{}", nuspi::net::inspect::stats(dir).map_err(err)?);
+                Ok(ExitCode::SUCCESS)
+            }
+            "ls" => {
+                print!("{}", nuspi::net::inspect::ls(dir).map_err(err)?);
+                Ok(ExitCode::SUCCESS)
+            }
+            "verify" => {
+                let (report, ok) = nuspi::net::inspect::verify(dir).map_err(err)?;
+                print!("{report}");
+                Ok(if ok {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                })
+            }
+            "compact" => {
+                print!("{}", nuspi::net::inspect::compact(dir).map_err(err)?);
+                Ok(ExitCode::SUCCESS)
+            }
+            other => Err(format!("unknown cache action `{other}`")),
+        };
     }
     let file = o.file.clone().ok_or("missing <file>")?;
     let src = read_source(&file)?;
@@ -430,6 +528,68 @@ mod tests {
         assert!(o.file.is_none());
         // serve rejects a stray file argument instead of ignoring it.
         assert!(run(&s(&["serve", "some-file"])).is_err());
+    }
+
+    #[test]
+    fn parse_opts_reads_net_and_store_flags() {
+        let o = parse_opts(&s(&[
+            "--listen",
+            "127.0.0.1:0",
+            "--cache-dir",
+            "/tmp/x",
+            "--max-conns",
+            "8",
+            "--idle-ms",
+            "1000",
+            "--queue-depth",
+            "4",
+            "--store-bytes",
+            "65536",
+            "--store-min-ms",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(o.listen.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(o.cache_dir.as_deref(), Some("/tmp/x"));
+        assert_eq!(o.max_conns, 8);
+        assert_eq!(o.idle_ms, 1000);
+        assert_eq!(o.queue_depth, 4);
+        assert_eq!(o.store_bytes, 65536);
+        assert_eq!(o.store_min_ms, 2);
+        assert!(parse_opts(&s(&["--listen"])).is_err());
+        assert!(parse_opts(&s(&["--cache-dir"])).is_err());
+    }
+
+    #[test]
+    fn cache_subcommand_inspects_a_store() {
+        let dir = std::env::temp_dir().join(format!("nuspi-cli-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // An empty store is valid once opened (header-only log).
+        {
+            use nuspi::engine::TierTwoCache as _;
+            let store = nuspi::net::DiskStore::open(nuspi::net::StoreConfig::at(&dir)).unwrap();
+            store.store(42, "body", std::time::Duration::from_millis(1));
+        }
+        let d = dir.to_str().unwrap();
+        assert_eq!(
+            run(&s(&["cache", "stats", "--cache-dir", d])).unwrap(),
+            ExitCode::SUCCESS
+        );
+        assert_eq!(
+            run(&s(&["cache", "verify", "--cache-dir", d])).unwrap(),
+            ExitCode::SUCCESS
+        );
+        assert_eq!(
+            run(&s(&["cache", "ls", "--cache-dir", d])).unwrap(),
+            ExitCode::SUCCESS
+        );
+        assert_eq!(
+            run(&s(&["cache", "compact", "--cache-dir", d])).unwrap(),
+            ExitCode::SUCCESS
+        );
+        assert!(run(&s(&["cache", "bogus", "--cache-dir", d])).is_err());
+        assert!(run(&s(&["cache", "stats"])).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub use nuspi_cfa as cfa;
 pub use nuspi_diagnostics as diagnostics;
 pub use nuspi_engine as engine;
 pub use nuspi_lang as lang;
+pub use nuspi_net as net;
 pub use nuspi_obs as obs;
 pub use nuspi_protocols as protocols;
 pub use nuspi_security as security;

@@ -91,6 +91,47 @@ pub struct EngineConfig {
 /// The default cache byte budget.
 pub const DEFAULT_CACHE_BYTES: usize = 32 << 20;
 
+/// Meters of a tier-two (persistent) response store, snapshotted into
+/// [`EngineStats::store`] when one is attached.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreMeters {
+    /// Lookups answered from the store.
+    pub hits: u64,
+    /// Lookups that found nothing (or a record that failed its
+    /// checksum).
+    pub misses: u64,
+    /// Bodies admitted and appended to the log.
+    pub admits: u64,
+    /// Bodies rejected by the admission policy (compute time below the
+    /// minimum, or already present).
+    pub rejects: u64,
+    /// Entries evicted by log compaction.
+    pub evicted: u64,
+    /// Compaction passes run.
+    pub compactions: u64,
+    /// Corrupt or truncated records skipped during the startup scan.
+    pub corrupt_skipped: u64,
+    /// Live entries in the in-memory index.
+    pub entries: u64,
+    /// Bytes currently occupied by the on-disk log.
+    pub log_bytes: u64,
+}
+
+/// A second cache tier behind the in-memory LRU: consulted on a memory
+/// miss, written after a cacheable compute. Implementations must be
+/// content-addressed on the same α-invariant key the memory tier uses,
+/// so a loaded body is byte-identical to recomputing it.
+pub trait TierTwoCache: Send + Sync {
+    /// Looks `key` up, returning the stored body verbatim.
+    fn load(&self, key: u128) -> Option<Arc<str>>;
+    /// Offers a freshly computed body for persistence. `compute` is the
+    /// wall-clock cost of producing it, for admission policies that
+    /// only persist expensive bodies.
+    fn store(&self, key: u128, body: &str, compute: Duration);
+    /// A snapshot of the store's meters.
+    fn meters(&self) -> StoreMeters;
+}
+
 #[derive(Default)]
 struct Counters {
     requests: AtomicU64,
@@ -197,6 +238,8 @@ pub struct EngineStats {
     pub uncacheable: u64,
     /// Reuse accounting of the persistent incremental solver.
     pub incremental: IncrementalMeters,
+    /// Meters of the tier-two store, when one is attached.
+    pub store: Option<StoreMeters>,
 }
 
 impl EngineStats {
@@ -220,6 +263,7 @@ pub struct AnalysisEngine {
     cache: Arc<Mutex<ByteLru>>,
     counters: Arc<Counters>,
     incremental: Arc<IncrementalState>,
+    store: Option<Arc<dyn TierTwoCache>>,
 }
 
 /// A dispatched request: either already answered (cache hit, or
@@ -254,7 +298,16 @@ impl AnalysisEngine {
             counters: Arc::new(Counters::default()),
             incremental: Arc::new(IncrementalState::new(jobs)),
             cfg,
+            store: None,
         }
+    }
+
+    /// Attaches a tier-two (persistent) store behind the memory cache.
+    /// Memory misses consult it before computing; cacheable computes
+    /// are offered to it. Attach before serving traffic — the store is
+    /// part of the engine's lookup path, not hot-swappable.
+    pub fn set_store(&mut self, store: Arc<dyn TierTwoCache>) {
+        self.store = Some(store);
     }
 
     /// An engine with default budgets and `jobs` workers.
@@ -304,6 +357,19 @@ impl AnalysisEngine {
                     cached: true,
                 });
             }
+            // Memory miss: consult the tier-two store. A hit is
+            // promoted into the memory LRU so repeats stay in tier one.
+            if let Some(store) = &self.store {
+                if let Some(body) = store.load(key) {
+                    lock(&self.cache).insert(key, Arc::clone(&body));
+                    self.counters.completed.fetch_add(1, Ordering::Relaxed);
+                    return Pending::Ready(Response {
+                        id,
+                        body,
+                        cached: true,
+                    });
+                }
+            }
         } else {
             self.counters.uncacheable.fetch_add(1, Ordering::Relaxed);
         }
@@ -312,6 +378,7 @@ impl AnalysisEngine {
                 let (tx, rx) = channel::<Arc<str>>();
                 let cache = Arc::clone(&self.cache);
                 let counters = Arc::clone(&self.counters);
+                let store = self.store.clone();
                 // Clock reads only happen with the recorder on, so the
                 // disabled path stays allocation- and syscall-free.
                 let enqueued = nuspi_obs::enabled().then(std::time::Instant::now);
@@ -319,7 +386,7 @@ impl AnalysisEngine {
                     if let Some(t) = enqueued {
                         nuspi_obs::record_duration("engine.queue_wait_us", t.elapsed());
                     }
-                    let body = execute(run, op, key, &cache, &counters);
+                    let body = execute(run, op, key, &cache, &counters, store.as_deref());
                     let _ = tx.send(body); // receiver may have timed out; fine
                 }));
                 Pending::Waiting {
@@ -333,7 +400,14 @@ impl AnalysisEngine {
             // submitting thread: the AST is not `Send`. Deadlines
             // cannot preempt an inline run.
             Runner::Inline(run) => {
-                let body = execute(run, op, key, &self.cache, &self.counters);
+                let body = execute(
+                    run,
+                    op,
+                    key,
+                    &self.cache,
+                    &self.counters,
+                    self.store.as_deref(),
+                );
                 self.counters.completed.fetch_add(1, Ordering::Relaxed);
                 Pending::Ready(Response {
                     id,
@@ -404,6 +478,7 @@ impl AnalysisEngine {
             deadline_expirations: self.counters.deadline_expirations.load(Ordering::Relaxed),
             uncacheable: self.counters.uncacheable.load(Ordering::Relaxed),
             incremental: self.incremental.meters(),
+            store: self.store.as_ref().map(|s| s.meters()),
         }
     }
 }
@@ -416,14 +491,21 @@ fn execute<F: FnOnce() -> String>(
     key: Option<u128>,
     cache: &Mutex<ByteLru>,
     counters: &Counters,
+    store: Option<&dyn TierTwoCache>,
 ) -> Arc<str> {
     let _sp = nuspi_obs::span!("engine.exec", op = op);
-    let started = nuspi_obs::enabled().then(std::time::Instant::now);
+    // Compute time feeds the store's admission policy, so with a store
+    // attached the clock is read even while tracing is off.
+    let started =
+        (nuspi_obs::enabled() || (store.is_some() && key.is_some())).then(std::time::Instant::now);
     let body = match catch_unwind(AssertUnwindSafe(run)) {
         Ok(body) => {
             let body: Arc<str> = Arc::from(body.as_str());
             if let Some(key) = key {
                 lock(cache).insert(key, Arc::clone(&body));
+                if let (Some(store), Some(t)) = (store, started) {
+                    store.store(key, &body, t.elapsed());
+                }
             }
             body
         }
@@ -434,7 +516,7 @@ fn execute<F: FnOnce() -> String>(
             Arc::from(error_body(op, &format!("analysis panicked: {msg}")).as_str())
         }
     };
-    if let Some(t) = started {
+    if let (Some(t), true) = (started, nuspi_obs::enabled()) {
         let busy = t.elapsed();
         nuspi_obs::record_duration("engine.exec_us", busy);
         let current = std::thread::current();

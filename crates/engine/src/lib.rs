@@ -47,9 +47,9 @@ mod serve;
 
 pub use cache::{CacheCounters, ENTRY_OVERHEAD};
 pub use engine::{
-    AnalysisEngine, EngineConfig, EngineStats, IncrementalMeters, IntruderBudgets,
-    DEFAULT_CACHE_BYTES,
+    AnalysisEngine, EngineConfig, EngineStats, IncrementalMeters, IntruderBudgets, StoreMeters,
+    TierTwoCache, DEFAULT_CACHE_BYTES,
 };
 pub use pool::WorkerPool;
 pub use request::{Envelope, ProcessInput, Request, Response};
-pub use serve::serve;
+pub use serve::{answer_line, serve};

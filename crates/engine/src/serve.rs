@@ -30,8 +30,10 @@ use std::time::Duration;
 /// One decoded input line.
 enum Decoded {
     One(Box<Envelope>),
-    /// Elements that failed to decode keep their slot as an error.
-    Batch(Vec<Result<Envelope, String>>),
+    /// Elements that failed to decode keep their slot as an error,
+    /// tagged with the element's `id` (when one parsed) so clients can
+    /// correlate in-place.
+    Batch(Vec<Result<Envelope, (Option<String>, String)>>),
     Stats {
         id: Option<String>,
     },
@@ -131,20 +133,29 @@ fn decode_envelope(v: &Json) -> Result<Envelope, String> {
     Ok(envelope)
 }
 
-fn decode_line(line: &str) -> Result<Decoded, String> {
-    let v = Json::parse(line)?;
+/// Decode errors carry the request's `id` whenever the line (or batch
+/// element) parsed far enough to have one, so the error line still
+/// correlates.
+fn decode_line(line: &str) -> Result<Decoded, (Option<String>, String)> {
+    let v = Json::parse(line).map_err(|e| (None, e))?;
+    let id = || opt_str(&v, "id");
     match v.get("op").and_then(Json::as_str) {
-        Some("stats") => Ok(Decoded::Stats {
-            id: opt_str(&v, "id"),
-        }),
+        Some("stats") => Ok(Decoded::Stats { id: id() }),
         Some("batch") => {
             let items = v
                 .get("requests")
                 .and_then(Json::as_arr)
-                .ok_or_else(|| "op `batch` requires a `requests` array".to_owned())?;
-            Ok(Decoded::Batch(items.iter().map(decode_envelope).collect()))
+                .ok_or_else(|| (id(), "op `batch` requires a `requests` array".to_owned()))?;
+            Ok(Decoded::Batch(
+                items
+                    .iter()
+                    .map(|item| decode_envelope(item).map_err(|e| (opt_str(item, "id"), e)))
+                    .collect(),
+            ))
         }
-        _ => Ok(Decoded::One(Box::new(decode_envelope(&v)?))),
+        _ => decode_envelope(&v)
+            .map(|envelope| Decoded::One(Box::new(envelope)))
+            .map_err(|e| (id(), e)),
     }
 }
 
@@ -188,6 +199,25 @@ fn stats_body(s: &EngineStats) -> String {
         s.incremental.reuse_misses,
         s.incremental.noops
     );
+    // The store section appears only with a tier-two store attached,
+    // so plain-pipe transcripts stay byte-identical to earlier builds.
+    if let Some(st) = &s.store {
+        let _ = write!(
+            out,
+            ",\"store\":{{\"hits\":{},\"misses\":{},\"admits\":{},\"rejects\":{},\
+             \"evicted\":{},\"compactions\":{},\"corrupt_skipped\":{},\"entries\":{},\
+             \"log_bytes\":{}}}",
+            st.hits,
+            st.misses,
+            st.admits,
+            st.rejects,
+            st.evicted,
+            st.compactions,
+            st.corrupt_skipped,
+            st.entries,
+            st.log_bytes
+        );
+    }
     // Tracing telemetry appears only while the recorder is on, so the
     // stats body stays byte-identical whenever tracing is off.
     if nuspi_obs::enabled() {
@@ -210,8 +240,11 @@ fn error_response(id: Option<String>, message: &str) -> Response {
 }
 
 /// Answers one input line with the responses it produces (one for a
-/// single request, N for a batch).
-fn answer(engine: &AnalysisEngine, line: &str) -> Vec<Response> {
+/// single request, N for a batch). This is the transport-independent
+/// core of the protocol: the stdin/stdout pipe ([`serve`]) and the TCP
+/// listener (`nuspi-net`) both feed lines through here, which is what
+/// keeps their transcripts byte-identical for the same request stream.
+pub fn answer_line(engine: &AnalysisEngine, line: &str) -> Vec<Response> {
     let decoded = decode_line(line);
     let _sp = if nuspi_obs::enabled() {
         let op = match &decoded {
@@ -226,7 +259,7 @@ fn answer(engine: &AnalysisEngine, line: &str) -> Vec<Response> {
         nuspi_obs::Span::disabled()
     };
     match decoded {
-        Err(e) => vec![error_response(None, &e)],
+        Err((id, e)) => vec![error_response(id, &e)],
         Ok(Decoded::Stats { id }) => vec![Response {
             id,
             body: Arc::from(stats_body(&engine.stats()).as_str()),
@@ -245,7 +278,7 @@ fn answer(engine: &AnalysisEngine, line: &str) -> Vec<Response> {
                         slots.push(None);
                         good.push(envelope);
                     }
-                    Err(e) => slots.push(Some(error_response(None, &e))),
+                    Err((id, e)) => slots.push(Some(error_response(id, &e))),
                 }
             }
             let mut answered = engine.submit_batch(good).into_iter();
@@ -271,7 +304,7 @@ pub fn serve(
         if line.trim().is_empty() {
             continue;
         }
-        for response in answer(engine, &line) {
+        for response in answer_line(engine, &line) {
             output.write_all(response.to_line().as_bytes())?;
             output.write_all(b"\n")?;
             output.flush()?;
@@ -345,6 +378,38 @@ mod tests {
         assert!(lines[0].starts_with("{\"id\":\"a\""));
         assert!(lines[1].contains("unknown op"));
         assert!(lines[2].starts_with("{\"id\":\"c\""));
+    }
+
+    #[test]
+    fn malformed_batch_elements_echo_their_id() {
+        let lines = run(
+            &engine(),
+            "{\"op\":\"batch\",\"requests\":[\
+             {\"id\":\"a\",\"op\":\"solve\",\"process\":\"0\"},\
+             {\"id\":\"b\",\"op\":\"bogus\"},\
+             {\"id\":\"c\",\"op\":\"lint\"}]}\n",
+        );
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("{\"id\":\"a\""), "{}", lines[0]);
+        assert!(lines[1].starts_with("{\"id\":\"b\""), "{}", lines[1]);
+        assert!(lines[1].contains("unknown op"), "{}", lines[1]);
+        assert!(lines[2].starts_with("{\"id\":\"c\""), "{}", lines[2]);
+        assert!(lines[2].contains("requires a `process`"), "{}", lines[2]);
+        for line in &lines {
+            Json::parse(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn malformed_single_requests_echo_their_id() {
+        let lines = run(
+            &engine(),
+            "{\"id\":\"x\",\"op\":\"nonsense\"}\n{\"id\":7,\"op\":\"nonsense\"}\n",
+        );
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"id\":\"x\""), "{}", lines[0]);
+        // Non-string ids are not echoed (the protocol's ids are strings).
+        assert!(lines[1].starts_with("{\"op\":"), "{}", lines[1]);
     }
 
     #[test]

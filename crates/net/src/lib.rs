@@ -1,0 +1,36 @@
+//! # nuspi-net — network-native serving with a persistent cache
+//!
+//! Two independent pieces behind `nuspi serve`:
+//!
+//! - [`spawn`]: a std-only TCP listener speaking the engine's
+//!   JSON-lines protocol, one thread per connection over the shared
+//!   worker pool, with bounded per-connection response queues
+//!   (backpressure), idle timeouts, a connection limit, and graceful
+//!   drain. Per-connection transcripts are byte-identical to the
+//!   stdin/stdout pipe for the same request stream — both feed
+//!   [`nuspi_engine::answer_line`].
+//!
+//! - [`DiskStore`]: a persistent tier behind the engine's in-memory
+//!   LRU — an append-only, checksummed log keyed by the α-invariant
+//!   `canonical_digest`-derived cache key, with a sharded in-memory
+//!   index rebuilt by scanning the log on startup, admission by
+//!   minimum compute time, and size-bounded eviction via log
+//!   compaction. Because cached bodies are pure functions of the
+//!   α-equivalence class (the byte-identity invariant the round-trip
+//!   suite pins), serving stored bytes verbatim is always correct.
+//!
+//! The [`inspect`] module implements `nuspi cache
+//! stats`/`ls`/`verify`/`compact` over a quiesced store directory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod inspect;
+mod net;
+mod store;
+
+pub use net::{spawn, NetConfig, NetCounters, NetServer};
+pub use store::{
+    log_path, record_checksum, scan_log, DiskStore, LogScan, ScannedRecord, StoreConfig, MAGIC,
+    RECORD_HEADER,
+};

@@ -1,0 +1,473 @@
+//! The TCP JSON-lines listener: thread-per-connection over the shared
+//! [`AnalysisEngine`], speaking exactly the pipe protocol.
+//!
+//! Every connection is an independent JSON-lines session: requests in,
+//! responses out, in request order, demultiplexed per socket. Lines
+//! are answered through [`nuspi_engine::answer_line`] — the same
+//! function the stdin/stdout transport uses — so for a fixed request
+//! stream the per-connection transcript is byte-identical to the pipe
+//! transport, at any worker count or connection count.
+//!
+//! Flow control is a chain of bounded stages: a slow client blocks its
+//! connection's writer thread on the socket, the writer's bounded
+//! response queue fills, the reader thread blocks on the queue, and
+//! the kernel's TCP window throttles the sender. The engine's worker
+//! pool is never held hostage by one slow consumer.
+//!
+//! Shutdown is cooperative: [`NetServer::drain`] stops the accept
+//! loop, readers stop taking new lines, in-flight responses flush, and
+//! [`NetServer::join`] returns once every connection thread is done.
+
+use nuspi_engine::{answer_line, AnalysisEngine};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Listener construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct NetConfig {
+    /// Concurrent connections accepted; further clients get an error
+    /// line and are closed.
+    pub max_connections: usize,
+    /// Bound of each connection's response queue (lines buffered
+    /// between the answering reader and the flushing writer).
+    pub queue_depth: usize,
+    /// A connection silent for this long is closed.
+    pub idle_timeout: Duration,
+    /// Granularity of the accept loop and of drain/idle checks.
+    pub poll: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            max_connections: 64,
+            queue_depth: 32,
+            idle_timeout: Duration::from_secs(300),
+            poll: Duration::from_millis(25),
+        }
+    }
+}
+
+/// A snapshot of the listener's meters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetCounters {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Connections refused at the connection limit.
+    pub rejected: u64,
+    /// Connections fully closed (any reason).
+    pub closed: u64,
+    /// Connections closed by the idle timeout.
+    pub idle_closed: u64,
+    /// Response lines written across all connections.
+    pub responses: u64,
+}
+
+#[derive(Default)]
+struct Cells {
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    closed: AtomicU64,
+    idle_closed: AtomicU64,
+    responses: AtomicU64,
+}
+
+struct Shared {
+    engine: Arc<AnalysisEngine>,
+    cfg: NetConfig,
+    drain: AtomicBool,
+    active: AtomicUsize,
+    cells: Cells,
+}
+
+/// A running listener. Dropping it without [`NetServer::join`] leaves
+/// the accept thread running for the life of the process — call
+/// [`NetServer::drain`] then [`NetServer::join`] for a clean stop.
+pub struct NetServer {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// The bound address (useful with `--listen 127.0.0.1:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Begins a graceful drain: stop accepting, let connections flush
+    /// their in-flight responses and close.
+    pub fn drain(&self) {
+        self.shared.drain.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for the accept loop and every connection to finish, and
+    /// returns the final meters — unlike a [`NetServer::counters`]
+    /// snapshot, the totals here are settled: no writer thread is
+    /// still mid-increment. Implies nothing about drain — call
+    /// [`NetServer::drain`] first, or this blocks until all clients
+    /// disconnect on their own.
+    pub fn join(mut self) -> NetCounters {
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        self.counters()
+    }
+
+    /// Live connection count.
+    pub fn active(&self) -> usize {
+        self.shared.active.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of the listener's meters.
+    pub fn counters(&self) -> NetCounters {
+        let c = &self.shared.cells;
+        NetCounters {
+            accepted: c.accepted.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            closed: c.closed.load(Ordering::Relaxed),
+            idle_closed: c.idle_closed.load(Ordering::Relaxed),
+            responses: c.responses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Starts serving `listener` with `engine`. The listener is switched
+/// to non-blocking accept so drain can interrupt it; connections
+/// themselves use blocking I/O with read timeouts.
+pub fn spawn(
+    engine: Arc<AnalysisEngine>,
+    listener: TcpListener,
+    cfg: NetConfig,
+) -> io::Result<NetServer> {
+    listener.set_nonblocking(true)?;
+    let local_addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        engine,
+        cfg,
+        drain: AtomicBool::new(false),
+        active: AtomicUsize::new(0),
+        cells: Cells::default(),
+    });
+    let accept_shared = Arc::clone(&shared);
+    let accept_handle = std::thread::Builder::new()
+        .name("nuspi-net-accept".to_owned())
+        .spawn(move || accept_loop(&listener, &accept_shared))?;
+    Ok(NetServer {
+        local_addr,
+        shared,
+        accept_handle: Some(accept_handle),
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    let mut next_id = 0u64;
+    while !shared.drain.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Request/response lines are small; Nagle's algorithm
+                // against delayed ACKs would stall closed-loop clients
+                // for ~40ms per exchange.
+                let _ = stream.set_nodelay(true);
+                conns.retain(|h| !h.is_finished());
+                if shared.active.load(Ordering::Relaxed) >= shared.cfg.max_connections {
+                    shared.cells.rejected.fetch_add(1, Ordering::Relaxed);
+                    nuspi_obs::counter("net.rejected", 1);
+                    reject(stream);
+                    continue;
+                }
+                shared.active.fetch_add(1, Ordering::Relaxed);
+                shared.cells.accepted.fetch_add(1, Ordering::Relaxed);
+                nuspi_obs::counter("net.accepted", 1);
+                let conn_shared = Arc::clone(shared);
+                let id = next_id;
+                next_id += 1;
+                let handle = std::thread::Builder::new()
+                    .name(format!("nuspi-net-conn-{id}"))
+                    .spawn(move || {
+                        connection(stream, &conn_shared);
+                        conn_shared.active.fetch_sub(1, Ordering::Relaxed);
+                        conn_shared.cells.closed.fetch_add(1, Ordering::Relaxed);
+                        nuspi_obs::counter("net.closed", 1);
+                    });
+                match handle {
+                    Ok(h) => conns.push(h),
+                    Err(_) => {
+                        // Spawn failure: undo the accounting, drop the
+                        // socket; the client sees a reset.
+                        shared.active.fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(shared.cfg.poll);
+            }
+            Err(_) => std::thread::sleep(shared.cfg.poll),
+        }
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+}
+
+fn reject(mut stream: TcpStream) {
+    let line = "{\"op\":\"serve\",\"status\":\"error\",\
+                \"error\":\"server at connection limit\"}\n";
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// One connection: a reader loop answering lines through the shared
+/// engine, and a writer thread flushing responses in order through a
+/// bounded queue.
+fn connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    // Short read timeouts turn the blocking read into a poll so the
+    // idle deadline and the drain flag are checked between partial
+    // reads; `read_until` keeps partial data in `buf` across timeouts.
+    let _ = stream.set_read_timeout(Some(shared.cfg.poll.max(Duration::from_millis(1))));
+    let (tx, rx) = sync_channel::<QueueItem>(shared.cfg.queue_depth.max(1));
+    let depth = Arc::new(AtomicUsize::new(0));
+    let writer_shared = Arc::clone(shared);
+    let writer_depth = Arc::clone(&depth);
+    let writer = std::thread::Builder::new()
+        .name("nuspi-net-write".to_owned())
+        .spawn(move || writer_loop(write_half, &rx, &writer_shared, &writer_depth));
+    let Ok(writer) = writer else {
+        return;
+    };
+    reader_loop(&stream, &tx, shared, &depth);
+    drop(tx); // queue closes; the writer flushes what is left and exits
+    let _ = writer.join();
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+type QueueItem = String;
+
+fn reader_loop(
+    stream: &TcpStream,
+    tx: &SyncSender<QueueItem>,
+    shared: &Arc<Shared>,
+    depth: &Arc<AtomicUsize>,
+) {
+    let mut reader = BufReader::new(stream);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut last_activity = Instant::now();
+    loop {
+        if shared.drain.load(Ordering::SeqCst) {
+            return; // stop taking lines; in-flight responses still flush
+        }
+        if last_activity.elapsed() > shared.cfg.idle_timeout {
+            shared.cells.idle_closed.fetch_add(1, Ordering::Relaxed);
+            nuspi_obs::counter("net.idle_closed", 1);
+            return;
+        }
+        match reader.read_until(b'\n', &mut buf) {
+            Ok(0) => {
+                // EOF. A final unterminated line still gets answered.
+                if !buf.is_empty() {
+                    answer_into_queue(shared, &buf, tx, depth);
+                }
+                return;
+            }
+            Ok(_) if buf.last() == Some(&b'\n') => {
+                last_activity = Instant::now();
+                let line = std::mem::take(&mut buf);
+                if !answer_into_queue(shared, &line, tx, depth) {
+                    return; // writer gone: client hung up
+                }
+            }
+            Ok(_) => { /* partial line; keep accumulating */ }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Timeout poll; any bytes read so far stay in `buf`.
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return, // connection error
+        }
+    }
+}
+
+/// Answers one raw line and enqueues its response lines in order.
+/// Returns `false` when the writer side is gone.
+fn answer_into_queue(
+    shared: &Arc<Shared>,
+    raw: &[u8],
+    tx: &SyncSender<QueueItem>,
+    depth: &Arc<AtomicUsize>,
+) -> bool {
+    let Ok(text) = std::str::from_utf8(raw) else {
+        return enqueue(
+            tx,
+            depth,
+            "{\"op\":\"serve\",\"status\":\"error\",\
+             \"error\":\"request line is not valid UTF-8\"}"
+                .to_owned(),
+        );
+    };
+    let line = text.trim_end_matches(['\n', '\r']);
+    if line.trim().is_empty() {
+        return true;
+    }
+    for response in answer_line(&shared.engine, line) {
+        if !enqueue(tx, depth, response.to_line()) {
+            return false;
+        }
+    }
+    true
+}
+
+fn enqueue(tx: &SyncSender<QueueItem>, depth: &Arc<AtomicUsize>, line: String) -> bool {
+    if nuspi_obs::enabled() {
+        nuspi_obs::record_us("net.queue_depth", depth.load(Ordering::Relaxed) as u64);
+    }
+    // Fast path keeps the depth gauge honest; the slow path blocks,
+    // which is the backpressure working as intended.
+    match tx.try_send(line) {
+        Ok(()) => {
+            depth.fetch_add(1, Ordering::Relaxed);
+            true
+        }
+        Err(TrySendError::Full(line)) => {
+            nuspi_obs::counter("net.queue_full", 1);
+            match tx.send(line) {
+                Ok(()) => {
+                    depth.fetch_add(1, Ordering::Relaxed);
+                    true
+                }
+                Err(_) => false,
+            }
+        }
+        Err(TrySendError::Disconnected(_)) => false,
+    }
+}
+
+fn writer_loop(
+    stream: TcpStream,
+    rx: &Receiver<QueueItem>,
+    shared: &Arc<Shared>,
+    depth: &Arc<AtomicUsize>,
+) {
+    let mut out = io::BufWriter::new(stream);
+    while let Ok(line) = rx.recv() {
+        depth.fetch_sub(1, Ordering::Relaxed);
+        if out.write_all(line.as_bytes()).is_err()
+            || out.write_all(b"\n").is_err()
+            || out.flush().is_err()
+        {
+            return; // client gone; reader notices via the closed queue
+        }
+        shared.cells.responses.fetch_add(1, Ordering::Relaxed);
+        nuspi_obs::counter("net.responses", 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Arc<AnalysisEngine> {
+        Arc::new(AnalysisEngine::with_jobs(2))
+    }
+
+    fn start(engine: Arc<AnalysisEngine>, cfg: NetConfig) -> NetServer {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        spawn(engine, listener, cfg).unwrap()
+    }
+
+    fn request_lines(stream: &mut TcpStream, lines: &str) -> Vec<String> {
+        stream.write_all(lines.as_bytes()).unwrap();
+        stream.shutdown(Shutdown::Write).unwrap();
+        let expect = lines.lines().filter(|l| !l.trim().is_empty()).count();
+        let reader = BufReader::new(stream);
+        reader.lines().map_while(Result::ok).take(expect).collect()
+    }
+
+    #[test]
+    fn answers_a_session_and_drains_cleanly() {
+        let server = start(engine(), NetConfig::default());
+        let mut c = TcpStream::connect(server.local_addr()).unwrap();
+        let got = request_lines(
+            &mut c,
+            "{\"id\":\"r1\",\"op\":\"solve\",\"process\":\"c<n>.0\"}\n",
+        );
+        assert_eq!(got.len(), 1);
+        assert!(got[0].starts_with("{\"id\":\"r1\""), "{}", got[0]);
+        assert!(got[0].contains("\"status\":\"ok\""), "{}", got[0]);
+        server.drain();
+        let settled = server.join();
+        assert_eq!(settled.accepted, 1);
+        assert_eq!(settled.responses, 1);
+        assert_eq!(settled.closed, 1);
+    }
+
+    #[test]
+    fn connection_limit_rejects_with_an_error_line() {
+        let cfg = NetConfig {
+            max_connections: 1,
+            ..NetConfig::default()
+        };
+        let server = start(engine(), cfg);
+        // Hold one connection open by keeping its write side alive.
+        let holder = TcpStream::connect(server.local_addr()).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while server.active() < 1 {
+            assert!(Instant::now() < deadline, "first connection never landed");
+            std::thread::yield_now();
+        }
+        let extra = TcpStream::connect(server.local_addr()).unwrap();
+        let mut line = String::new();
+        BufReader::new(extra).read_line(&mut line).unwrap();
+        assert!(line.contains("connection limit"), "{line}");
+        assert_eq!(server.counters().rejected, 1);
+        drop(holder);
+        server.drain();
+        server.join();
+    }
+
+    #[test]
+    fn idle_connections_are_closed() {
+        let cfg = NetConfig {
+            idle_timeout: Duration::from_millis(50),
+            poll: Duration::from_millis(5),
+            ..NetConfig::default()
+        };
+        let server = start(engine(), cfg);
+        let c = TcpStream::connect(server.local_addr()).unwrap();
+        // Never send anything; the server should hang up on us.
+        let mut reader = BufReader::new(c);
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).unwrap();
+        assert_eq!(n, 0, "server closed the idle connection");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while server.counters().idle_closed < 1 {
+            assert!(Instant::now() < deadline, "idle close never counted");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        server.drain();
+        server.join();
+    }
+
+    #[test]
+    fn unterminated_final_line_is_still_answered() {
+        let server = start(engine(), NetConfig::default());
+        let mut c = TcpStream::connect(server.local_addr()).unwrap();
+        c.write_all(b"{\"op\":\"solve\",\"process\":\"0\"}")
+            .unwrap();
+        c.shutdown(Shutdown::Write).unwrap();
+        let mut line = String::new();
+        BufReader::new(&c).read_line(&mut line).unwrap();
+        assert!(line.contains("\"status\":\"ok\""), "{line}");
+        server.drain();
+        server.join();
+    }
+}

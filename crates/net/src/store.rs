@@ -1,0 +1,734 @@
+//! The persistent response store: an append-only log of
+//! `(key, body)` records behind a sharded in-memory index.
+//!
+//! ## On-disk format
+//!
+//! One file, `store.log`, inside the configured directory:
+//!
+//! ```text
+//! magic: b"NUSPIST1"                                    (8 bytes)
+//! record*: key u128 LE | len u32 LE | checksum u64 LE | body bytes
+//! ```
+//!
+//! `key` is the engine's α-invariant cache key (derived from
+//! `canonical_digest`), `body` is the response body verbatim (UTF-8,
+//! no id, no braces — exactly what the memory tier caches), and
+//! `checksum` is a [`StableHasher`] over the key and the body bytes,
+//! so a record is self-validating: a load whose checksum fails is a
+//! miss, never a wrong answer.
+//!
+//! ## Crash safety
+//!
+//! The log is append-only and records are self-framing, so the only
+//! damage a crash can do is a partial final record. The startup scan
+//! stops at the first record that is short or fails its checksum and
+//! truncates the file there — everything before the tear is intact
+//! (each record was flushed, and with `fsync` on, synced, before its
+//! index entry existed), everything after it is discarded and counted
+//! in `corrupt_skipped`. Compaction writes a fresh log to a temp file,
+//! syncs it, then atomically renames over the old one.
+//!
+//! ## Concurrency
+//!
+//! Lookups take one shard lock to copy the index entry, then the
+//! reader handle to fetch bytes. Compaction can move a record between
+//! those two steps; the per-read checksum catches the stale offset and
+//! the lookup retries against the fresh index. Lock order is always
+//! writer → shards → reader, so the two paths cannot deadlock.
+
+use nuspi_engine::{StoreMeters, TierTwoCache};
+use nuspi_syntax::StableHasher;
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::hash::Hasher;
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// The log's magic header.
+pub const MAGIC: &[u8; 8] = b"NUSPIST1";
+/// Bytes of fixed framing per record (key + len + checksum).
+pub const RECORD_HEADER: u64 = 16 + 4 + 8;
+/// Index shards (must be a power of two).
+const SHARDS: usize = 16;
+/// Compaction drains the log to this fraction of `max_bytes`.
+const COMPACT_TARGET_NUM: u64 = 3;
+const COMPACT_TARGET_DEN: u64 = 4;
+
+/// Store construction parameters.
+#[derive(Clone, Debug)]
+pub struct StoreConfig {
+    /// Directory holding `store.log` (created if missing).
+    pub dir: PathBuf,
+    /// Log size that triggers compaction. `0` means unbounded.
+    pub max_bytes: u64,
+    /// Admission threshold: bodies computed faster than this are not
+    /// persisted (they are cheaper to recompute than to store).
+    pub min_compute: Duration,
+    /// Whether appends `sync_data` before indexing (on by default;
+    /// turning it off trades crash durability for throughput).
+    pub fsync: bool,
+}
+
+impl StoreConfig {
+    /// Defaults rooted at `dir`: unbounded log, zero admission
+    /// threshold, fsync on.
+    pub fn at(dir: impl Into<PathBuf>) -> StoreConfig {
+        StoreConfig {
+            dir: dir.into(),
+            max_bytes: 0,
+            min_compute: Duration::ZERO,
+            fsync: true,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct IndexEntry {
+    offset: u64, // of the body bytes, past the record header
+    len: u32,
+    checksum: u64,
+    tick: u64, // admission order; compaction evicts oldest first
+}
+
+struct WriterState {
+    file: File,
+    log_len: u64,
+    tick: u64,
+}
+
+#[derive(Default)]
+struct MeterCells {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    admits: AtomicU64,
+    rejects: AtomicU64,
+    evicted: AtomicU64,
+    compactions: AtomicU64,
+    corrupt_skipped: AtomicU64,
+}
+
+/// The persistent store. Cheap to share: wrap in an [`Arc`] and hand a
+/// clone to the engine via `set_store` — all methods take `&self`.
+pub struct DiskStore {
+    path: PathBuf,
+    cfg: StoreConfig,
+    shards: Vec<Mutex<HashMap<u128, IndexEntry>>>,
+    reader: Mutex<File>,
+    writer: Mutex<WriterState>,
+    meters: MeterCells,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The record checksum: a stable (endian-independent, seed-fixed) hash
+/// of the key and the body bytes.
+pub fn record_checksum(key: u128, body: &[u8]) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u128(key);
+    h.write(body);
+    h.finish()
+}
+
+fn shard_of(key: u128) -> usize {
+    (key as usize) & (SHARDS - 1)
+}
+
+/// One record seen by a log scan.
+#[derive(Clone, Debug)]
+pub struct ScannedRecord {
+    /// The record's cache key.
+    pub key: u128,
+    /// Offset of the body bytes within the log.
+    pub offset: u64,
+    /// Body length in bytes.
+    pub len: u32,
+    /// Stored checksum (already verified against the body).
+    pub checksum: u64,
+}
+
+/// The result of scanning a log from the top.
+#[derive(Clone, Debug, Default)]
+pub struct LogScan {
+    /// Every intact record, in log order (later duplicates of a key
+    /// supersede earlier ones).
+    pub records: Vec<ScannedRecord>,
+    /// Bytes of intact data (header + records) from the top.
+    pub intact_bytes: u64,
+    /// Bytes past the first tear (crash-torn or corrupt tail).
+    pub torn_bytes: u64,
+}
+
+impl LogScan {
+    /// Index of live records: the last intact record per key.
+    pub fn live(&self) -> HashMap<u128, &ScannedRecord> {
+        let mut live = HashMap::new();
+        for r in &self.records {
+            live.insert(r.key, r);
+        }
+        live
+    }
+}
+
+/// Path of the log inside `dir`.
+pub fn log_path(dir: &Path) -> PathBuf {
+    dir.join("store.log")
+}
+
+/// Scans a log file, verifying every record's checksum, stopping at
+/// the first short or corrupt record. Never modifies the file.
+pub fn scan_log(path: &Path) -> io::Result<LogScan> {
+    let file = File::open(path)?;
+    let total = file.metadata()?.len();
+    let mut reader = BufReader::new(file);
+    let mut magic = [0u8; 8];
+    if reader.read_exact(&mut magic).is_err() || &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: not a nuspi store log (bad magic)", path.display()),
+        ));
+    }
+    let mut scan = LogScan {
+        intact_bytes: 8,
+        ..LogScan::default()
+    };
+    let mut offset = 8u64;
+    loop {
+        let mut header = [0u8; RECORD_HEADER as usize];
+        match read_exact_or_eof(&mut reader, &mut header) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => break, // clean EOF or torn header
+        }
+        let key = u128::from_le_bytes(header[0..16].try_into().unwrap());
+        let len = u32::from_le_bytes(header[16..20].try_into().unwrap());
+        let checksum = u64::from_le_bytes(header[20..28].try_into().unwrap());
+        let body_offset = offset + RECORD_HEADER;
+        if body_offset + u64::from(len) > total {
+            break; // torn body
+        }
+        let mut body = vec![0u8; len as usize];
+        if reader.read_exact(&mut body).is_err() {
+            break;
+        }
+        if record_checksum(key, &body) != checksum || std::str::from_utf8(&body).is_err() {
+            break; // corrupt record: stop trusting the log here
+        }
+        scan.records.push(ScannedRecord {
+            key,
+            offset: body_offset,
+            len,
+            checksum,
+        });
+        offset = body_offset + u64::from(len);
+        scan.intact_bytes = offset;
+    }
+    scan.torn_bytes = total - scan.intact_bytes;
+    Ok(scan)
+}
+
+/// `read_exact` that distinguishes clean EOF (nothing read) from a
+/// short read.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..])? {
+            0 if filled == 0 => return Ok(false),
+            0 => return Err(io::ErrorKind::UnexpectedEof.into()),
+            n => filled += n,
+        }
+    }
+    Ok(true)
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) the store rooted at `cfg.dir`,
+    /// scanning the log to rebuild the index. A torn or corrupt tail
+    /// is truncated away and counted in `corrupt_skipped`.
+    pub fn open(cfg: StoreConfig) -> io::Result<DiskStore> {
+        fs::create_dir_all(&cfg.dir)?;
+        let path = log_path(&cfg.dir);
+        if !path.exists() || fs::metadata(&path)?.len() == 0 {
+            let mut f = OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(&path)?;
+            f.write_all(MAGIC)?;
+            f.sync_data()?;
+        }
+        let scan = scan_log(&path)?;
+        let shards: Vec<Mutex<HashMap<u128, IndexEntry>>> =
+            (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect();
+        let mut tick = 0u64;
+        let mut superseded = 0u64;
+        for r in &scan.records {
+            let entry = IndexEntry {
+                offset: r.offset,
+                len: r.len,
+                checksum: r.checksum,
+                tick,
+            };
+            if lock(&shards[shard_of(r.key)])
+                .insert(r.key, entry)
+                .is_some()
+            {
+                superseded += 1;
+            }
+            tick += 1;
+        }
+        let meters = MeterCells::default();
+        if scan.torn_bytes > 0 {
+            meters.corrupt_skipped.fetch_add(1, Ordering::Relaxed);
+            nuspi_obs::counter("store.corrupt_skipped", 1);
+            // Physically drop the tear so future appends start clean.
+            OpenOptions::new()
+                .write(true)
+                .open(&path)?
+                .set_len(scan.intact_bytes)?;
+        }
+        let _ = superseded; // duplicates are legal: last record wins
+        let mut writer_file = OpenOptions::new().append(true).open(&path)?;
+        writer_file.seek(SeekFrom::End(0))?;
+        let store = DiskStore {
+            reader: Mutex::new(File::open(&path)?),
+            writer: Mutex::new(WriterState {
+                file: writer_file,
+                log_len: scan.intact_bytes,
+                tick,
+            }),
+            shards,
+            path,
+            cfg,
+            meters,
+        };
+        Ok(store)
+    }
+
+    /// The log's current byte length.
+    pub fn log_bytes(&self) -> u64 {
+        lock(&self.writer).log_len
+    }
+
+    /// Live entries in the index.
+    pub fn entries(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).len()).sum()
+    }
+
+    fn index_entry(&self, key: u128) -> Option<IndexEntry> {
+        lock(&self.shards[shard_of(key)]).get(&key).copied()
+    }
+
+    /// Forces a compaction pass: rewrites the log keeping only live
+    /// entries (dropping superseded duplicates and, when over the
+    /// byte target, the oldest live entries). Returns entries evicted.
+    pub fn compact(&self, target_bytes: u64) -> io::Result<u64> {
+        let mut writer = lock(&self.writer);
+        self.compact_locked(&mut writer, target_bytes)
+    }
+
+    /// Compaction with the writer lock held. Takes every shard lock,
+    /// then the reader — the same order `put` uses, so no deadlock.
+    fn compact_locked(&self, writer: &mut WriterState, target_bytes: u64) -> io::Result<u64> {
+        let t = std::time::Instant::now();
+        let mut guards: Vec<MutexGuard<'_, HashMap<u128, IndexEntry>>> =
+            self.shards.iter().map(lock).collect();
+        // Gather live entries, oldest first.
+        let mut live: Vec<(u128, IndexEntry)> = guards
+            .iter()
+            .flat_map(|g| g.iter().map(|(k, e)| (*k, *e)))
+            .collect();
+        live.sort_by_key(|(_, e)| e.tick);
+        // Evict oldest entries until the projected log fits the target.
+        let mut projected: u64 = 8 + live
+            .iter()
+            .map(|(_, e)| RECORD_HEADER + u64::from(e.len))
+            .sum::<u64>();
+        let mut evicted = 0u64;
+        let mut keep_from = 0usize;
+        while target_bytes > 0 && projected > target_bytes && keep_from < live.len() {
+            projected -= RECORD_HEADER + u64::from(live[keep_from].1.len);
+            evicted += 1;
+            keep_from += 1;
+        }
+        let keep = &live[keep_from..];
+        // Rewrite to a temp file, then atomically swap it in.
+        let tmp_path = self.path.with_extension("log.tmp");
+        let mut corrupt = 0u64;
+        let mut fresh: Vec<(u128, IndexEntry)> = Vec::with_capacity(keep.len());
+        {
+            let mut out = BufWriter::new(
+                OpenOptions::new()
+                    .create(true)
+                    .write(true)
+                    .truncate(true)
+                    .open(&tmp_path)?,
+            );
+            out.write_all(MAGIC)?;
+            let mut offset = 8u64;
+            let mut reader = lock(&self.reader);
+            let mut tick = writer.tick;
+            for (key, entry) in keep {
+                let mut body = vec![0u8; entry.len as usize];
+                let read_ok = reader.seek(SeekFrom::Start(entry.offset)).is_ok()
+                    && reader.read_exact(&mut body).is_ok()
+                    && record_checksum(*key, &body) == entry.checksum;
+                if !read_ok {
+                    corrupt += 1;
+                    continue;
+                }
+                out.write_all(&key.to_le_bytes())?;
+                out.write_all(&entry.len.to_le_bytes())?;
+                out.write_all(&entry.checksum.to_le_bytes())?;
+                out.write_all(&body)?;
+                fresh.push((
+                    *key,
+                    IndexEntry {
+                        offset: offset + RECORD_HEADER,
+                        len: entry.len,
+                        checksum: entry.checksum,
+                        tick,
+                    },
+                ));
+                offset += RECORD_HEADER + u64::from(entry.len);
+                tick += 1;
+            }
+            writer.tick = tick;
+            let out = out.into_inner().map_err(io::IntoInnerError::into_error)?;
+            out.sync_data()?;
+            drop(reader);
+            fs::rename(&tmp_path, &self.path)?;
+            // Reopen both handles on the new file.
+            *lock(&self.reader) = File::open(&self.path)?;
+            let mut new_writer = OpenOptions::new().append(true).open(&self.path)?;
+            new_writer.seek(SeekFrom::End(0))?;
+            writer.file = new_writer;
+            writer.log_len = offset;
+        }
+        for g in guards.iter_mut() {
+            g.clear();
+        }
+        for (key, entry) in fresh {
+            guards[shard_of(key)].insert(key, entry);
+        }
+        self.meters.evicted.fetch_add(evicted, Ordering::Relaxed);
+        self.meters
+            .corrupt_skipped
+            .fetch_add(corrupt, Ordering::Relaxed);
+        self.meters.compactions.fetch_add(1, Ordering::Relaxed);
+        nuspi_obs::counter("store.compact", 1);
+        nuspi_obs::record_duration("store.compact_us", t.elapsed());
+        Ok(evicted)
+    }
+}
+
+impl TierTwoCache for DiskStore {
+    fn load(&self, key: u128) -> Option<Arc<str>> {
+        // A compaction between copying the index entry and reading the
+        // bytes can leave a stale offset; the checksum catches it and
+        // we retry against the refreshed index.
+        for _ in 0..3 {
+            let Some(entry) = self.index_entry(key) else {
+                break;
+            };
+            let mut body = vec![0u8; entry.len as usize];
+            let read_ok = {
+                let mut reader = lock(&self.reader);
+                reader.seek(SeekFrom::Start(entry.offset)).is_ok()
+                    && reader.read_exact(&mut body).is_ok()
+            };
+            if read_ok && record_checksum(key, &body) == entry.checksum {
+                if let Ok(s) = String::from_utf8(body) {
+                    self.meters.hits.fetch_add(1, Ordering::Relaxed);
+                    nuspi_obs::counter("store.hit", 1);
+                    return Some(Arc::from(s));
+                }
+            }
+        }
+        self.meters.misses.fetch_add(1, Ordering::Relaxed);
+        nuspi_obs::counter("store.miss", 1);
+        None
+    }
+
+    fn store(&self, key: u128, body: &str, compute: Duration) {
+        if compute < self.cfg.min_compute {
+            self.meters.rejects.fetch_add(1, Ordering::Relaxed);
+            nuspi_obs::counter("store.reject", 1);
+            return;
+        }
+        let bytes = body.as_bytes();
+        let len = match u32::try_from(bytes.len()) {
+            Ok(len) => len,
+            Err(_) => {
+                self.meters.rejects.fetch_add(1, Ordering::Relaxed);
+                return; // a >4 GiB body has no business in the log
+            }
+        };
+        let mut writer = lock(&self.writer);
+        // Dedupe under the writer lock: α-equivalent concurrent
+        // computes race to store the same (key, body); only the first
+        // appends.
+        if lock(&self.shards[shard_of(key)]).contains_key(&key) {
+            self.meters.rejects.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let checksum = record_checksum(key, bytes);
+        let offset = writer.log_len;
+        let append = (|| -> io::Result<()> {
+            writer.file.write_all(&key.to_le_bytes())?;
+            writer.file.write_all(&len.to_le_bytes())?;
+            writer.file.write_all(&checksum.to_le_bytes())?;
+            writer.file.write_all(bytes)?;
+            writer.file.flush()?;
+            if self.cfg.fsync {
+                let t = std::time::Instant::now();
+                writer.file.sync_data()?;
+                nuspi_obs::record_duration("store.fsync_us", t.elapsed());
+            }
+            Ok(())
+        })();
+        if append.is_err() {
+            // A torn append is exactly what the startup scan tolerates;
+            // poison nothing, just stop indexing this record.
+            self.meters.rejects.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        writer.log_len = offset + RECORD_HEADER + u64::from(len);
+        let tick = writer.tick;
+        writer.tick += 1;
+        lock(&self.shards[shard_of(key)]).insert(
+            key,
+            IndexEntry {
+                offset: offset + RECORD_HEADER,
+                len,
+                checksum,
+                tick,
+            },
+        );
+        self.meters.admits.fetch_add(1, Ordering::Relaxed);
+        nuspi_obs::counter("store.admit", 1);
+        if self.cfg.max_bytes > 0 && writer.log_len > self.cfg.max_bytes {
+            let target = self.cfg.max_bytes * COMPACT_TARGET_NUM / COMPACT_TARGET_DEN;
+            let _ = self.compact_locked(&mut writer, target);
+        }
+    }
+
+    fn meters(&self) -> StoreMeters {
+        StoreMeters {
+            hits: self.meters.hits.load(Ordering::Relaxed),
+            misses: self.meters.misses.load(Ordering::Relaxed),
+            admits: self.meters.admits.load(Ordering::Relaxed),
+            rejects: self.meters.rejects.load(Ordering::Relaxed),
+            evicted: self.meters.evicted.load(Ordering::Relaxed),
+            compactions: self.meters.compactions.load(Ordering::Relaxed),
+            corrupt_skipped: self.meters.corrupt_skipped.load(Ordering::Relaxed),
+            entries: self.entries() as u64,
+            log_bytes: self.log_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "nuspi-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trips_bodies_across_reopen() {
+        let dir = tmp_dir("reopen");
+        {
+            let store = DiskStore::open(StoreConfig::at(&dir)).unwrap();
+            store.store(
+                7,
+                "\"op\":\"solve\",\"status\":\"ok\"",
+                Duration::from_millis(5),
+            );
+            store.store(
+                9,
+                "\"op\":\"lint\",\"status\":\"ok\"",
+                Duration::from_millis(5),
+            );
+            assert_eq!(store.entries(), 2);
+            assert_eq!(
+                store.load(7).unwrap().as_ref(),
+                "\"op\":\"solve\",\"status\":\"ok\""
+            );
+        }
+        let store = DiskStore::open(StoreConfig::at(&dir)).unwrap();
+        assert_eq!(store.entries(), 2);
+        assert_eq!(
+            store.load(9).unwrap().as_ref(),
+            "\"op\":\"lint\",\"status\":\"ok\""
+        );
+        assert_eq!(store.meters().hits, 1);
+        assert!(store.load(8).is_none());
+        assert_eq!(store.meters().misses, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn admission_threshold_rejects_cheap_bodies() {
+        let dir = tmp_dir("admit");
+        let mut cfg = StoreConfig::at(&dir);
+        cfg.min_compute = Duration::from_millis(10);
+        let store = DiskStore::open(cfg).unwrap();
+        store.store(1, "cheap", Duration::from_millis(1));
+        store.store(2, "costly", Duration::from_millis(20));
+        assert_eq!(store.entries(), 1);
+        assert!(store.load(1).is_none());
+        assert_eq!(store.load(2).unwrap().as_ref(), "costly");
+        let m = store.meters();
+        assert_eq!((m.admits, m.rejects), (1, 1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_keys_append_once() {
+        let dir = tmp_dir("dup");
+        let store = DiskStore::open(StoreConfig::at(&dir)).unwrap();
+        store.store(5, "body", Duration::from_millis(1));
+        let len_after_first = store.log_bytes();
+        store.store(5, "body", Duration::from_millis(1));
+        assert_eq!(store.log_bytes(), len_after_first);
+        assert_eq!(store.meters().rejects, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_tail_is_truncated_not_served() {
+        let dir = tmp_dir("tear");
+        {
+            let store = DiskStore::open(StoreConfig::at(&dir)).unwrap();
+            store.store(1, "intact-one", Duration::from_millis(1));
+            store.store(2, "torn-record", Duration::from_millis(1));
+        }
+        // Tear the last record: chop bytes off the end of the log.
+        let path = log_path(&dir);
+        let len = fs::metadata(&path).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(len - 5)
+            .unwrap();
+        let store = DiskStore::open(StoreConfig::at(&dir)).unwrap();
+        assert_eq!(store.entries(), 1);
+        assert!(store.load(2).is_none(), "torn record must never be served");
+        assert_eq!(store.load(1).unwrap().as_ref(), "intact-one");
+        assert_eq!(store.meters().corrupt_skipped, 1);
+        // The file was physically truncated back to the intact prefix.
+        assert_eq!(fs::metadata(&path).unwrap().len(), store.log_bytes());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flipped_body_bit_fails_checksum_and_stops_the_scan() {
+        let dir = tmp_dir("flip");
+        {
+            let store = DiskStore::open(StoreConfig::at(&dir)).unwrap();
+            store.store(1, "aaaa", Duration::from_millis(1));
+            store.store(2, "bbbb", Duration::from_millis(1));
+        }
+        let path = log_path(&dir);
+        // Flip a byte inside the *second* record's body (the log is
+        // magic + two records; the last 4 bytes are the second body).
+        let mut bytes = fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 2] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        let store = DiskStore::open(StoreConfig::at(&dir)).unwrap();
+        assert_eq!(store.entries(), 1);
+        assert_eq!(store.load(1).unwrap().as_ref(), "aaaa");
+        assert!(store.load(2).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_evicts_oldest_and_preserves_the_rest() {
+        let dir = tmp_dir("compact");
+        let store = DiskStore::open(StoreConfig::at(&dir)).unwrap();
+        let body = "x".repeat(100);
+        for key in 0..10u128 {
+            store.store(key, &body, Duration::from_millis(1));
+        }
+        let full = store.log_bytes();
+        let evicted = store.compact(full / 2).unwrap();
+        assert!(evicted >= 5, "evicted {evicted}");
+        assert!(store.log_bytes() <= full / 2);
+        // Newest entries survive, oldest are gone.
+        assert!(store.load(9).is_some());
+        assert!(store.load(0).is_none());
+        let m = store.meters();
+        assert_eq!(m.compactions, 1);
+        assert_eq!(m.evicted, evicted);
+        // Survivors are still served after a reopen.
+        drop(store);
+        let store = DiskStore::open(StoreConfig::at(&dir)).unwrap();
+        assert_eq!(store.load(9).unwrap().as_ref(), body.as_str());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn automatic_compaction_keeps_the_log_bounded() {
+        let dir = tmp_dir("auto");
+        let mut cfg = StoreConfig::at(&dir);
+        cfg.max_bytes = 4096;
+        cfg.fsync = false;
+        let store = DiskStore::open(cfg).unwrap();
+        let body = "y".repeat(200);
+        for key in 0..100u128 {
+            store.store(key, &body, Duration::from_millis(1));
+        }
+        assert!(
+            store.log_bytes() <= 4096 + 200 + RECORD_HEADER,
+            "log stayed near budget: {}",
+            store.log_bytes()
+        );
+        assert!(store.meters().compactions >= 1);
+        assert!(store.load(99).is_some(), "newest entry survives");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_load_and_compact_never_serve_wrong_bytes() {
+        let dir = tmp_dir("race");
+        let mut cfg = StoreConfig::at(&dir);
+        cfg.fsync = false;
+        let store = Arc::new(DiskStore::open(cfg).unwrap());
+        for key in 0..50u128 {
+            store.store(key, &format!("body-{key:04}"), Duration::from_millis(1));
+        }
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for round in 0..200u128 {
+                        let key = round % 50;
+                        if let Some(body) = store.load(key) {
+                            assert_eq!(body.as_ref(), format!("body-{key:04}"));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..10 {
+            store.compact(0).unwrap();
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

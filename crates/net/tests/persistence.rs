@@ -1,0 +1,128 @@
+//! The persistence contract, end to end through the engine: a server
+//! "restart" (new engine + new store over the same directory) serves
+//! previously computed bodies verbatim from disk, and a corrupted log
+//! tail is truncated on startup, never served.
+
+use nuspi_engine::{AnalysisEngine, Request};
+use nuspi_net::{log_path, DiskStore, StoreConfig};
+use std::fs::OpenOptions;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "nuspi-persist-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn engine_with_store(dir: &PathBuf) -> AnalysisEngine {
+    let mut engine = AnalysisEngine::with_jobs(2);
+    engine.set_store(Arc::new(DiskStore::open(StoreConfig::at(dir)).unwrap()));
+    engine
+}
+
+fn requests() -> Vec<Request> {
+    vec![
+        Request::audit("(new k) (new m) c<{m, new r}:k>.0", &["m", "k"]),
+        Request::lint("(new s) net<s>.0", &["s"]),
+        Request::solve("a<m>.0 | a(x).b<x>.0"),
+    ]
+}
+
+#[test]
+fn restart_serves_previous_bodies_from_disk() {
+    let dir = tmp_dir("restart");
+
+    // First life: cold computes, persisted on the way out.
+    let cold: Vec<_> = {
+        let engine = engine_with_store(&dir);
+        let responses = engine.submit_requests(requests());
+        let stats = engine.stats();
+        let store = stats.store.expect("store attached");
+        assert_eq!(store.admits, 3, "{store:?}");
+        assert_eq!(store.hits, 0);
+        responses.into_iter().map(|r| r.body).collect()
+    }; // engine dropped: workers join, store closes
+
+    // Second life: same directory, fresh engine, empty memory cache.
+    let engine = engine_with_store(&dir);
+    let warm = engine.submit_requests(requests());
+    let stats = engine.stats();
+    let store = stats.store.expect("store attached");
+    assert_eq!(store.hits, 3, "every request hit the disk store");
+    assert_eq!(store.admits, 0, "nothing recomputed, nothing re-admitted");
+    assert_eq!(stats.cache.misses, 3, "memory tier was cold");
+    for (old, new) in cold.iter().zip(&warm) {
+        assert!(new.cached, "served from the store, flagged cached");
+        assert_eq!(old.as_ref(), new.body.as_ref(), "bodies byte-identical");
+    }
+
+    // Third submission in the same life: promoted to the memory tier.
+    let hot = engine.submit_requests(requests());
+    let stats = engine.stats();
+    assert_eq!(stats.cache.hits, 3, "repeats hit memory, not disk");
+    assert_eq!(stats.store.unwrap().hits, 3, "disk hits did not grow");
+    for (old, new) in cold.iter().zip(&hot) {
+        assert_eq!(old.as_ref(), new.body.as_ref());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_tail_is_never_served_and_recomputes_identically() {
+    let dir = tmp_dir("tail");
+    let bodies: Vec<_> = {
+        let engine = engine_with_store(&dir);
+        engine
+            .submit_requests(requests())
+            .into_iter()
+            .map(|r| r.body)
+            .collect()
+    };
+
+    // Tear the log mid-way through the last record, as a crash would.
+    let path = log_path(&dir);
+    let len = std::fs::metadata(&path).unwrap().len();
+    OpenOptions::new()
+        .write(true)
+        .open(&path)
+        .unwrap()
+        .set_len(len - 7)
+        .unwrap();
+
+    let engine = engine_with_store(&dir);
+    let warm = engine.submit_requests(requests());
+    let stats = engine.stats();
+    let store = stats.store.expect("store attached");
+    assert_eq!(store.corrupt_skipped, 1, "the tear was noticed once");
+    assert_eq!(store.hits, 2, "intact records served");
+    assert_eq!(store.misses, 1, "torn record missed, not served");
+    assert_eq!(store.admits, 1, "the recompute was re-persisted");
+    // The recomputed body is byte-identical to the pre-crash one — the
+    // α-invariance guarantee that makes verbatim disk serving safe.
+    for (old, new) in bodies.iter().zip(&warm) {
+        assert_eq!(old.as_ref(), new.body.as_ref());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn admission_threshold_flows_through_the_engine() {
+    let dir = tmp_dir("admission");
+    let mut engine = AnalysisEngine::with_jobs(1);
+    let mut cfg = StoreConfig::at(&dir);
+    // Nothing these tiny processes compute takes a minute.
+    cfg.min_compute = Duration::from_secs(60);
+    engine.set_store(Arc::new(DiskStore::open(cfg).unwrap()));
+    engine.submit_requests(requests());
+    let store = engine.stats().store.unwrap();
+    assert_eq!(store.admits, 0);
+    assert_eq!(store.rejects, 3);
+    assert_eq!(store.entries, 0, "log stayed empty");
+    let _ = std::fs::remove_dir_all(&dir);
+}

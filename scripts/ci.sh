@@ -87,6 +87,80 @@ rm -f "$trace_file"
 [ "$(echo "$serve_out" | sed -n 1p)" = "$(echo "$traced_out" | sed -n 1p)" ] \
   || { echo "trace: response bytes changed under tracing"; exit 1; }
 
+echo "==> nuspi serve --listen network smoke test (persistent cache)"
+net_dir=$(mktemp -d)
+net_out=$(mktemp -d)
+net_log=$(mktemp)
+net_fifo=$(mktemp -u)
+mkfifo "$net_fifo"
+scrape_port() {  # the server prints "listening on 127.0.0.1:PORT" on stderr
+  local log=$1 port="" _i
+  for _i in $(seq 1 100); do
+    port=$(sed -n 's/^listening on 127\.0\.0\.1://p' "$log" | head -1)
+    [ -n "$port" ] && break
+    sleep 0.1
+  done
+  echo "$port"
+}
+./target/release/nuspi serve --listen 127.0.0.1:0 --cache-dir "$net_dir" --jobs 2 \
+  <"$net_fifo" 2>"$net_log" &
+net_pid=$!
+exec 9>"$net_fifo"  # hold the server's stdin open; closing fd 9 drains it
+port=$(scrape_port "$net_log")
+[ -n "$port" ] || { echo "net: server never reported its port"; exit 1; }
+
+# Four concurrent clients over /dev/tcp, same audit, distinct ids.
+client_pids=""
+for k in 1 2 3 4; do
+  (
+    exec 3<>"/dev/tcp/127.0.0.1/$port"
+    printf '{"id":"n%d","op":"audit","process":"(new k) (new m) c<{m, new r}:k>.0","secrets":["m","k"]}\n' "$k" >&3
+    IFS= read -r line <&3
+    printf '%s\n' "$line" >"$net_out/client$k.out"
+  ) &
+  client_pids="$client_pids $!"
+done
+for p in $client_pids; do wait "$p"; done
+for k in 1 2 3 4; do
+  grep -q '"secure":true' "$net_out/client$k.out" || { echo "net: client $k verdict missing"; exit 1; }
+  [ "$(sed "s/n$k/nX/" "$net_out/client$k.out")" = "$(sed 's/n1/nX/' "$net_out/client1.out")" ] \
+    || { echo "net: client $k transcript diverged"; exit 1; }
+done
+
+exec 9>&-  # stdin EOF: graceful drain
+wait "$net_pid" || { echo "net: server exited nonzero on drain"; exit 1; }
+grep -q '^draining$' "$net_log" || { echo "net: drain never announced"; exit 1; }
+
+# Restart over the same cache dir: the body must come back verbatim from
+# disk (a store hit, not a recompute), byte-identical to the first life.
+# Fresh fifo and log — the first life's "listening on" line is stale.
+net_fifo2=$(mktemp -u)
+net_log2=$(mktemp)
+mkfifo "$net_fifo2"
+./target/release/nuspi serve --listen 127.0.0.1:0 --cache-dir "$net_dir" --jobs 2 \
+  <"$net_fifo2" 2>"$net_log2" &
+net_pid=$!
+exec 9>"$net_fifo2"
+port=$(scrape_port "$net_log2")
+[ -n "$port" ] || { echo "net: restarted server never reported its port"; exit 1; }
+exec 3<>"/dev/tcp/127.0.0.1/$port"
+printf '{"id":"n1","op":"audit","process":"(new k) (new m) c<{m, new r}:k>.0","secrets":["m","k"]}\n' >&3
+IFS= read -r warm_line <&3
+printf '{"id":"s","op":"stats"}\n' >&3
+IFS= read -r stats_line <&3
+exec 3<&- 3>&-
+[ "$warm_line" = "$(cat "$net_out/client1.out")" ] \
+  || { echo "net: restart response not byte-identical to first life"; exit 1; }
+echo "$stats_line" | grep -q '"store":{"hits":1' || { echo "net: disk store hit not reported"; exit 1; }
+exec 9>&-
+wait "$net_pid" || { echo "net: restarted server exited nonzero on drain"; exit 1; }
+
+echo "==> nuspi cache inspection"
+./target/release/nuspi cache verify --cache-dir "$net_dir" || { echo "cache: verify failed"; exit 1; }
+./target/release/nuspi cache stats --cache-dir "$net_dir" | grep -q 'live entries: 1' \
+  || { echo "cache: stats miscounted"; exit 1; }
+rm -rf "$net_dir" "$net_out" "$net_log" "$net_fifo" "$net_log2" "$net_fifo2"
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
