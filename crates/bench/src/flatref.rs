@@ -93,7 +93,7 @@ fn apply(p: &Process, est: &mut FiniteEstimate) {
             apply(a, est);
             apply(b, est);
         }
-        Process::Restrict { body, .. } => apply(body, est),
+        Process::Restrict { body, .. } | Process::Hide { body, .. } => apply(body, est),
         Process::Replicate(q) => apply(q, est),
         _ => panic!("saturate_flat: process is not flat"),
     }

@@ -21,7 +21,8 @@ use nuspi_engine::{AnalysisEngine, ProcessInput, Request, Response};
 use nuspi_net::{spawn, DiskStore, NetConfig, StoreConfig};
 use nuspi_protocols::{open_examples, suite, wmf};
 use nuspi_security::{
-    carefulness, confinement, n_star, n_star_name, reveals, IntruderConfig, Knowledge,
+    carefulness, confinement, graded_flows_with, n_star, n_star_name, reveals, AbstractLevel,
+    IntruderConfig, Knowledge, Policy, SecLattice,
 };
 use nuspi_semantics::{commitments, eval, explore_tau, CommitConfig, EvalMode, ExecConfig};
 use nuspi_syntax::{builder, parse_process, Name, Process, Symbol, Value};
@@ -158,6 +159,39 @@ pub fn solver(smoke: bool) -> SuiteRun {
         sol.stats().productions as u64,
     );
     human.push_str(&scen.render());
+    human.push('\n');
+
+    // The lattice-4 scenario column: the same corpus re-analysed under
+    // a diamond-4 graded policy. Grammar solving is lattice-free, so
+    // the graded cost is exactly the post-solve `AbstractLevel`
+    // classification fixpoint; the violation count is a determinism
+    // canary like the production counts above.
+    let lat = SecLattice::diamond4();
+    let mut lat4 = Table::new(["scenario", "level fixpoint", "solve+grade", "violations"]);
+    for name in ["interleaved-100x4", "interleaved-1000x4"] {
+        let p = workloads::scenario(name).expect("registered scenario");
+        let mut policy = Policy::with_lattice(lat.clone());
+        policy.grade("v0", lat.secret());
+        let sol = solve(Constraints::generate(&p));
+        let t_classify = timed_stable(b, || {
+            let _ = AbstractLevel::compute(&sol, &policy);
+        });
+        let t_graded = timed_stable(b, || {
+            let sol = solve(Constraints::generate(&p));
+            let _ = AbstractLevel::compute(&sol, &policy);
+        });
+        let violations = graded_flows_with(&policy, sol).violations.len() as u64;
+        lat4.row([
+            format!("lattice4/{name}"),
+            fmt_ms(t_classify),
+            fmt_ms(t_graded),
+            violations.to_string(),
+        ]);
+        report.time(&format!("lattice4/{name}/classify"), t_classify);
+        report.time(&format!("lattice4/{name}/solve-grade"), t_graded);
+        report.exact(&format!("lattice4/{name}/violations"), violations);
+    }
+    human.push_str(&lat4.render());
     human.push('\n');
 
     // Work-stealing scaling: sequential vs the parallel solver at 1, 2,
@@ -302,8 +336,8 @@ fn edit_one_payload(name: &str) -> Process {
     parse_process(&edited).expect("edited corpus parses")
 }
 
-/// The 21-case lint batch the engine bench and the round-trip suite use:
-/// the 17 closed protocols plus the 4 tracked open examples.
+/// The 25-case lint batch the engine bench and the round-trip suite use:
+/// the 21 closed protocols plus the 4 tracked open examples.
 pub fn suite_requests() -> Vec<Request> {
     let mut out = Vec::new();
     for spec in suite() {
@@ -579,18 +613,30 @@ pub fn lint_suite(smoke: bool) -> SuiteRun {
         "protocol",
         "bare solve",
         "full lint",
+        "lattice-4 lint",
         "syntactic only",
         "lint/solve",
     ]);
     let specs = suite();
     report.exact("protocols", specs.len() as u64);
+    let lat = SecLattice::diamond4();
     for spec in specs {
         let secret = spec.policy.secrets().collect();
+        // The lattice-4 column lints the same protocol under a graded
+        // diamond-4 policy with the same secrets: everything the binary
+        // run does, plus the AbstractLevel fixpoint and the E009 pass.
+        let mut graded_policy = Policy::with_lattice(lat.clone());
+        for s in spec.policy.secrets() {
+            graded_policy.add_secret(s);
+        }
         let t_solve = timed_stable(b, || {
             let _ = analyze_with_attacker(&spec.process, &secret);
         });
         let t_lint = timed_stable(b, || {
             let _ = lint(&spec.process, &spec.policy);
+        });
+        let t_lint4 = timed_stable(b, || {
+            let _ = lint(&spec.process, &graded_policy);
         });
         let t_syn = timed_stable(b, || {
             let ctx = LintContext::new(&spec.process, &spec.policy);
@@ -600,11 +646,13 @@ pub fn lint_suite(smoke: bool) -> SuiteRun {
             spec.name.to_owned(),
             fmt_ms(t_solve),
             fmt_ms(t_lint),
+            fmt_ms(t_lint4),
             format!("{:.4}ms", t_syn.as_secs_f64() * 1e3),
             format!("{:.2}x", t_lint.as_secs_f64() / t_solve.as_secs_f64()),
         ]);
         report.time(&format!("solve/{}", spec.name), t_solve);
         report.time(&format!("lint/{}", spec.name), t_lint);
+        report.time(&format!("lint4/{}", spec.name), t_lint4);
         report.time(&format!("syntactic/{}", spec.name), t_syn);
         report.info(
             &format!("ratio/{}", spec.name),
@@ -654,6 +702,18 @@ const LANG_LADDER: &[(&str, &str)] = &[
     (
         "09_secret_leak",
         include_str!("../../../examples/lang/09_secret_leak.nu"),
+    ),
+    (
+        "10_graded",
+        include_str!("../../../examples/lang/10_graded.nu"),
+    ),
+    (
+        "11_graded_leak",
+        include_str!("../../../examples/lang/11_graded_leak.nu"),
+    ),
+    (
+        "12_hidden_leak",
+        include_str!("../../../examples/lang/12_hidden_leak.nu"),
     ),
 ];
 

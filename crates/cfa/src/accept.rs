@@ -201,7 +201,7 @@ impl Checker<'_> {
                 self.process(a);
                 self.process(b);
             }
-            Process::Restrict { body, .. } => self.process(body),
+            Process::Restrict { body, .. } | Process::Hide { body, .. } => self.process(body),
             Process::Replicate(q) => self.process(q),
             Process::Match { lhs, rhs, then } => {
                 self.expr(lhs);

@@ -154,7 +154,7 @@ fn collect_arities(p: &Process, out: &mut HashSet<usize>) {
             collect_arities(a, out);
             collect_arities(b, out);
         }
-        Process::Restrict { body, .. } => collect_arities(body, out),
+        Process::Restrict { body, .. } | Process::Hide { body, .. } => collect_arities(body, out),
         Process::Replicate(q) => collect_arities(q, out),
         Process::Match { lhs, rhs, then } => {
             expr(lhs, out);

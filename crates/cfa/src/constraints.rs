@@ -226,7 +226,7 @@ impl Constraints {
                 self.gen_process(a);
                 self.gen_process(b);
             }
-            Process::Restrict { body, .. } => self.gen_process(body),
+            Process::Restrict { body, .. } | Process::Hide { body, .. } => self.gen_process(body),
             Process::Replicate(q) => self.gen_process(q),
             Process::Match { lhs, rhs, then } => {
                 self.gen_expr(lhs);

@@ -20,7 +20,8 @@ fn bound_vars_into(p: &Process, out: &mut Vec<Var>) {
         Process::Nil => {}
         Process::Output { then, .. }
         | Process::Match { then, .. }
-        | Process::Restrict { body: then, .. } => bound_vars_into(then, out),
+        | Process::Restrict { body: then, .. }
+        | Process::Hide { body: then, .. } => bound_vars_into(then, out),
         Process::Input { var, then, .. } => {
             out.push(*var);
             bound_vars_into(then, out);

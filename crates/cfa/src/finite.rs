@@ -288,7 +288,7 @@ impl FiniteChecker<'_> {
                 self.process(a);
                 self.process(b);
             }
-            Process::Restrict { body, .. } => self.process(body),
+            Process::Restrict { body, .. } | Process::Hide { body, .. } => self.process(body),
             Process::Replicate(q) => self.process(q),
             Process::Match { lhs, rhs, then } => {
                 self.expr(lhs);
@@ -397,7 +397,7 @@ fn collect_vars(p: &Process) -> std::collections::HashSet<Var> {
                 walk(a, out);
                 walk(b, out);
             }
-            Process::Restrict { body, .. } => walk(body, out),
+            Process::Restrict { body, .. } | Process::Hide { body, .. } => walk(body, out),
             Process::Replicate(q) => walk(q, out),
             Process::Match { lhs, rhs, then } => {
                 expr(lhs, out);

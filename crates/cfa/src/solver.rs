@@ -966,7 +966,7 @@ mod tests {
                     walk(a, name, out);
                     walk(b, name, out);
                 }
-                P::Restrict { body, .. } => walk(body, name, out),
+                P::Restrict { body, .. } | P::Hide { body, .. } => walk(body, name, out),
                 P::Replicate(q) => walk(q, name, out),
                 P::Output { then, .. } => walk(then, name, out),
                 P::Match { then, .. } => walk(then, name, out),

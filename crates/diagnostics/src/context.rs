@@ -100,6 +100,10 @@ impl LintContext {
     }
 
     /// Builds a context with an explicit configuration.
+    ///
+    /// The policy is augmented with the process's `hide`-bound names
+    /// (secret by construction, no entry required) — a no-op for
+    /// `hide`-free processes, which keeps their diagnostics byte-stable.
     pub fn with_config(process: &Process, policy: &Policy, config: LintConfig) -> LintContext {
         let ordinals = process
             .labels()
@@ -108,8 +112,8 @@ impl LintContext {
             .map(|(i, l)| (l, i))
             .collect();
         LintContext {
+            policy: policy.with_hidden_of(process),
             process: process.clone(),
-            policy: policy.clone(),
             config,
             ordinals,
             semantic: OnceCell::new(),
@@ -150,7 +154,10 @@ impl LintContext {
     /// not call this.
     pub fn semantic(&self) -> &SemanticCtx {
         self.semantic.get_or_init(|| {
-            let secret = self.policy.secrets().collect();
+            // The attacker's opaque set: bare secrets plus graded names
+            // above the clearance. Identical to `secrets()` on ungraded
+            // policies, so binary-lattice transcripts do not move.
+            let secret = self.policy.opaque_names().into_iter().collect();
             let (traced, provenance) = analyze_with_attacker_traced(&self.process, &secret);
             let traced_kinds = AbstractKind::compute(&traced.solution, &self.policy);
             let (decision, decision_kinds) = if self.config.shards > 1 {

@@ -11,7 +11,14 @@
 //! | E006 | an encryption/decryption key may expose `n*` | Definition 7 |
 //! | E007 | `n*` may reach a control position | Definition 7 |
 //! | E008 | a comparison may depend on `n*` | Definition 7 |
+//! | E009 | a value graded above the clearance may reach an observable channel | lattice flow |
+//! | W106 | a `hide`-bound name escapes its scope | no-extrusion rule |
 //! | N005 | the carefulness exploration was truncated | — |
+//!
+//! `E009` runs only on *graded* policies (a non-default lattice, explicit
+//! levels, or a raised clearance) and `W106` only when the process has a
+//! `hide` binder — so the historical binary corpus emits byte-identical
+//! reports.
 //!
 //! Verdicts are read off the decision solution of the shared
 //! [`SemanticCtx`](crate::context::SemanticCtx); witnesses always come
@@ -22,7 +29,9 @@ use crate::context::LintContext;
 use crate::diag::{Diagnostic, Severity, Span, WitnessStep};
 use crate::registry::{Pass, PassKind};
 use nuspi_cfa::{accept, attacker::attacker_confounder, attacker::attacker_name, FlowVar, Prod};
-use nuspi_security::{carefulness, invariance, n_star, AbstractSort, InvarianceViolation};
+use nuspi_security::{
+    carefulness, invariance, n_star, AbstractLevel, AbstractSort, InvarianceViolation,
+};
 use nuspi_syntax::Symbol;
 
 /// Every built-in semantic pass.
@@ -31,6 +40,8 @@ pub fn passes() -> Vec<Box<dyn Pass>> {
         Box::new(Confinement),
         Box::new(Carefulness),
         Box::new(Invariance),
+        Box::new(HiddenEscape),
+        Box::new(GradedFlow),
     ]
 }
 
@@ -357,6 +368,196 @@ impl Invariance {
     }
 }
 
+/// W106 — a `hide`-bound name escapes its scope: the estimate shows it
+/// reaching the κ of an observable channel (or the attacker's
+/// knowledge), contradicting the no-extrusion commitment rule's intent.
+/// A warning, not an error: the dynamic semantics *blocks* the
+/// extrusion, but the program text attempts it, which is almost always
+/// a protocol bug (and `E001`/`E002` fire alongside, since hidden names
+/// are secret by construction).
+struct HiddenEscape;
+
+impl Pass for HiddenEscape {
+    fn name(&self) -> &'static str {
+        "hidden-escape"
+    }
+    fn description(&self) -> &'static str {
+        "hide binders whose name the estimate lets reach observable channels"
+    }
+    fn kind(&self) -> PassKind {
+        PassKind::Semantic
+    }
+    fn run(&self, ctx: &LintContext) -> Vec<Diagnostic> {
+        let hidden = ctx.process().hidden_names();
+        if hidden.is_empty() {
+            return Vec::new(); // hide-free processes never pay for this pass
+        }
+        let mut out = Vec::new();
+        let sem = ctx.semantic();
+        let sol = sem.decision_solution();
+        for chan in sol.channels() {
+            if !ctx.policy().is_public(chan) {
+                continue;
+            }
+            let Some(id) = sol.var_id(FlowVar::Kappa(chan)) else {
+                continue;
+            };
+            for h in &hidden {
+                if !sol.prods_of_id(id).contains(&Prod::Name(*h)) {
+                    continue;
+                }
+                let mut witness = vec![WitnessStep {
+                    rule: "no-extrusion rule for `hide`",
+                    detail: format!(
+                        "`{h}` is hide-bound, yet the estimate derives it in κ({chan}); \
+                         at runtime the commitment is dropped, but the program attempts \
+                         the extrusion"
+                    ),
+                }];
+                witness.extend(ctx.witness_from_flow(FlowVar::Kappa(chan), &Prod::Name(*h)));
+                let message = if chan == attacker_name() {
+                    format!("hidden name `{h}` escapes its scope: it may become derivable by the attacker")
+                } else {
+                    format!(
+                        "hidden name `{h}` escapes its scope: it may flow on public channel `{chan}`"
+                    )
+                };
+                out.push(Diagnostic {
+                    code: "W106",
+                    pass: self.name(),
+                    severity: Severity::Warning,
+                    span: Span::Name(*h),
+                    message,
+                    witness,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// E009 — the lattice form of the confinement check: a value graded
+/// outside the attacker's clearance down-set may flow on an observable
+/// channel. Runs only on graded policies; on the default two-point
+/// lattice `E001`/`E002` already say everything there is to say.
+struct GradedFlow;
+
+impl Pass for GradedFlow {
+    fn name(&self) -> &'static str {
+        "graded-flow"
+    }
+    fn description(&self) -> &'static str {
+        "lattice flow: no value graded above the clearance on observable channels"
+    }
+    fn kind(&self) -> PassKind {
+        PassKind::Semantic
+    }
+    fn run(&self, ctx: &LintContext) -> Vec<Diagnostic> {
+        let policy = ctx.policy();
+        if !policy.is_graded() {
+            return Vec::new(); // binary policies keep the historical report
+        }
+        let lat = policy.lattice();
+        let clearance = policy.clearance();
+        let mut out = Vec::new();
+        let sem = ctx.semantic();
+        let sol = sem.decision_solution();
+        let levels = AbstractLevel::compute(sol, policy);
+        let traced_levels = if sem.decision.is_some() {
+            AbstractLevel::compute(sem.traced_solution(), policy)
+        } else {
+            levels.clone()
+        };
+        for chan in sol.channels() {
+            let observable = lat.leq(policy.level_of(chan), clearance) || chan == attacker_name();
+            if !observable {
+                continue; // κ of an unobservable channel is unconstrained
+            }
+            let Some(id) = sol.var_id(FlowVar::Kappa(chan)) else {
+                continue;
+            };
+            for l in levels.escaping(id) {
+                let fv = FlowVar::Kappa(chan);
+                let mut witness = vec![WitnessStep {
+                    rule: "lattice flow judgment (ℓ ⊑ clearance)",
+                    detail: format!(
+                        "violated edge: {} ⋢ {} — the level is outside the \
+                         attacker's clearance down-set",
+                        lat.show(l),
+                        lat.show(clearance)
+                    ),
+                }];
+                if let Some(prod) = graded_witness_prod(ctx, &traced_levels, fv, clearance) {
+                    let rendered = sem.traced_solution().render_production(&prod, 4);
+                    witness.push(WitnessStep {
+                        rule: "level classification (Definition 2, graded)",
+                        detail: format!("level({rendered}) escapes the clearance"),
+                    });
+                    witness.extend(ctx.witness_from_flow(fv, &prod));
+                }
+                let message = if chan == attacker_name() {
+                    format!(
+                        "a value graded {} may become derivable by the attacker \
+                         (clearance {})",
+                        lat.show(l),
+                        lat.show(clearance)
+                    )
+                } else {
+                    format!(
+                        "value graded {} may flow on observable channel `{chan}` \
+                         (clearance {})",
+                        lat.show(l),
+                        lat.show(clearance)
+                    )
+                };
+                out.push(Diagnostic {
+                    code: "E009",
+                    pass: self.name(),
+                    severity: Severity::Error,
+                    span: Span::Channel(chan),
+                    message,
+                    witness,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Picks the production of `κ(chan)` (traced solution) whose level set
+/// escapes the clearance, stably — the graded analogue of
+/// [`secret_witness_prod`].
+fn graded_witness_prod(
+    ctx: &LintContext,
+    traced_levels: &AbstractLevel,
+    fv: FlowVar,
+    clearance: nuspi_security::Level,
+) -> Option<Prod> {
+    let sem = ctx.semantic();
+    let sol = sem.traced_solution();
+    let policy = ctx.policy();
+    let observable = policy.lattice().downset(clearance);
+    let mut candidates: Vec<&Prod> = sol
+        .prods_of(fv)
+        .iter()
+        .filter(|p| {
+            !traced_levels
+                .facts_of_prod(p, policy)
+                .minus(observable)
+                .is_empty()
+        })
+        .collect();
+    candidates.sort_by_cached_key(|p| {
+        let interesting = match p {
+            Prod::Name(_) => true,
+            Prod::Enc { confounder, .. } => *confounder != attacker_confounder(),
+            _ => false,
+        };
+        (!interesting, sol.render_production(p, 4))
+    });
+    candidates.first().map(|p| (*p).clone())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -430,6 +631,72 @@ mod tests {
     fn invariance_pass_is_inert_without_n_star() {
         let d = lint_all("(new m) c<m>.0", &["m"]);
         assert!(!d.iter().any(|d| matches!(d.code, "E006" | "E007" | "E008")));
+    }
+
+    #[test]
+    fn hidden_escape_yields_w106_and_binary_errors() {
+        let d = lint_all("(hide h) c<h>.0", &[]);
+        assert!(codes(&d).contains(&"W106"), "{d:?}");
+        // Hidden names are secret by construction, so the binary checks
+        // fire with no policy entry.
+        assert!(codes(&d).contains(&"E001"), "{d:?}");
+        let hit = d.iter().find(|d| d.code == "W106").unwrap();
+        assert!(hit.message.contains("escapes its scope"), "{hit:?}");
+        assert!(!hit.witness.is_empty());
+    }
+
+    #[test]
+    fn contained_hidden_name_is_clean() {
+        let d = lint_all("(hide h) (c<h>.0 | c(x).0)", &[]);
+        // The hidden name circulates only inside its scope... but the
+        // attacker taps the public channel c, so the estimate still sees
+        // an escape. A genuinely contained hide uses a secret channel:
+        let d2 = lint_all("(new s) (hide h) (s<h>.0 | s(x).0)", &["s"]);
+        assert!(!codes(&d2).contains(&"W106"), "{d2:?}");
+        assert!(codes(&d).contains(&"W106"), "{d:?}");
+    }
+
+    #[test]
+    fn hide_free_process_never_emits_w106() {
+        let d = lint_all("(new m) c<m>.0", &["m"]);
+        assert!(!codes(&d).contains(&"W106"));
+    }
+
+    #[test]
+    fn graded_policy_yields_e009_naming_the_lattice_edge() {
+        use nuspi_security::SecLattice;
+        let p = parse_process("(new db) c<db>.0").unwrap();
+        let mut policy = Policy::with_lattice(SecLattice::diamond4());
+        let lat = policy.lattice().clone();
+        policy.grade("db", lat.level("confidential", "trusted").unwrap());
+        let ctx = LintContext::new(&p, &policy);
+        let d = PassRegistry::with_defaults().run(&ctx);
+        let hit = d.iter().find(|d| d.code == "E009").expect("E009");
+        assert!(
+            hit.message.contains("conf:confidential,integ:trusted"),
+            "{hit:?}"
+        );
+        assert!(hit.witness[0].detail.contains('⋢'), "{hit:?}");
+    }
+
+    #[test]
+    fn ungraded_policy_never_emits_e009() {
+        let d = lint_all("(new m) c<m>.0", &["m"]);
+        assert!(!codes(&d).contains(&"E009"));
+    }
+
+    #[test]
+    fn raised_clearance_silences_e009() {
+        use nuspi_security::SecLattice;
+        let p = parse_process("(new db) c<db>.0").unwrap();
+        let mut policy = Policy::with_lattice(SecLattice::diamond4());
+        let lat = policy.lattice().clone();
+        let conf = lat.level("confidential", "trusted").unwrap();
+        policy.grade("db", conf);
+        policy.set_clearance(conf);
+        let ctx = LintContext::new(&p, &policy);
+        let d = PassRegistry::with_defaults().run(&ctx);
+        assert!(!d.iter().any(|d| d.severity == Severity::Error), "{d:?}");
     }
 
     #[test]

@@ -57,15 +57,18 @@ impl Pass for UnusedRestriction {
     fn run(&self, ctx: &LintContext) -> Vec<Diagnostic> {
         let mut out = Vec::new();
         visit(ctx.process(), &mut |p| {
-            if let Process::Restrict { name, body } = p {
-                if !body.free_names().contains(name) {
-                    out.push(warn(
-                        "W101",
-                        self.name(),
-                        Span::Name(name.canonical()),
-                        format!("restricted name `{name}` is never used in its scope"),
-                    ));
-                }
+            let (name, body, kind) = match p {
+                Process::Restrict { name, body } => (name, body, "restricted"),
+                Process::Hide { name, body } => (name, body, "hidden"),
+                _ => return,
+            };
+            if !body.free_names().contains(name) {
+                out.push(warn(
+                    "W101",
+                    self.name(),
+                    Span::Name(name.canonical()),
+                    format!("{kind} name `{name}` is never used in its scope"),
+                ));
             }
         });
         out
@@ -117,7 +120,7 @@ fn shadow_walk(p: &Process, scope: &mut Vec<Symbol>, out: &mut Vec<Diagnostic>) 
             shadow_walk(a, scope, out);
             shadow_walk(b, scope, out);
         }
-        Process::Restrict { name, body } => {
+        Process::Restrict { name, body } | Process::Hide { name, body } => {
             scope.push(name.canonical());
             shadow_walk(body, scope, out);
             scope.pop();
@@ -279,7 +282,7 @@ fn visit(p: &Process, f: &mut impl FnMut(&Process)) {
             visit(a, f);
             visit(b, f);
         }
-        Process::Restrict { body, .. } => visit(body, f),
+        Process::Restrict { body, .. } | Process::Hide { body, .. } => visit(body, f),
         Process::Replicate(q) => visit(q, f),
         Process::CaseNat { zero, succ, .. } => {
             visit(zero, f);
@@ -348,7 +351,7 @@ pub(crate) fn collect_symbols(p: &Process, out: &mut HashSet<Symbol>) {
             expr(msg, out);
         }
         Process::Input { chan, .. } => expr(chan, out),
-        Process::Restrict { name, .. } => {
+        Process::Restrict { name, .. } | Process::Hide { name, .. } => {
             out.insert(name.canonical());
         }
         Process::Match { lhs, rhs, .. } => {

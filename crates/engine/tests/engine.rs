@@ -1,6 +1,6 @@
-//! End-to-end engine tests over the full protocol suite: the 17 closed
+//! End-to-end engine tests over the full protocol suite: the 21 closed
 //! protocols plus the 4 open examples in their tracked `(νn*) P[n*/x]`
-//! form — the same 21 cases the lint goldens pin down.
+//! form — the same 25 cases the lint goldens pin down.
 //!
 //! The contracts under test are the ones `nuspi serve` sells:
 //!
@@ -20,7 +20,7 @@ use nuspi_protocols::{open_examples, suite};
 use nuspi_security::{n_star, n_star_name};
 use nuspi_syntax::{builder, parse_process, Process, Value};
 
-/// The 21-case request list: a lint over every suite case. Closed
+/// The 25-case request list: a lint over every suite case. Closed
 /// protocols go in as source text (pooled execution); the tracked open
 /// examples only exist as ASTs, so they go in parsed (inline execution).
 fn suite_requests() -> Vec<Request> {
@@ -53,7 +53,7 @@ fn suite_requests() -> Vec<Request> {
             shards: 1,
         });
     }
-    assert_eq!(out.len(), 21, "the suite grew; update the tests");
+    assert_eq!(out.len(), 25, "the suite grew; update the tests");
     out
 }
 
@@ -98,9 +98,9 @@ fn three_repeated_batches_reach_the_hit_rate_target() {
     }
 
     let stats = engine.stats();
-    assert_eq!(stats.requests, 63);
-    assert_eq!(stats.cache.misses, 21);
-    assert_eq!(stats.cache.hits, 42);
+    assert_eq!(stats.requests, 75);
+    assert_eq!(stats.cache.misses, 25);
+    assert_eq!(stats.cache.hits, 50);
     assert!(
         stats.hit_rate() >= 0.6,
         "hit rate {} below the 60% target",

@@ -22,7 +22,7 @@ use crate::lower::lower;
 use crate::parser::parse;
 use crate::srcmap::{Role, SourceMap};
 use nuspi_diagnostics::{lint_with, Diagnostic, LintConfig, Severity, Span};
-use nuspi_security::Policy;
+use nuspi_security::{Policy, SecLattice};
 use nuspi_syntax::Process;
 use std::fmt::Write as _;
 
@@ -49,7 +49,25 @@ pub struct Compiled {
 pub fn compile(file: &str, src: &str) -> Result<Compiled, LangError> {
     let program = parse(src)?;
     let lowered = lower(&program)?;
-    let policy = Policy::with_secrets(lowered.secrets.iter().map(String::as_str));
+    // A binary-lattice policy unless some declaration carries a graded
+    // label; then the policy moves to the 4-point diamond and the graded
+    // names get explicit levels (the lexer validated every label).
+    let policy = if lowered.graded.is_empty() {
+        Policy::with_secrets(lowered.secrets.iter().map(String::as_str))
+    } else {
+        let lat = SecLattice::diamond4();
+        let mut p = Policy::with_lattice(lat.clone());
+        for s in &lowered.secrets {
+            p.add_secret(s.as_str());
+        }
+        for (base, conf, integ) in &lowered.graded {
+            let level = lat
+                .level(conf, integ)
+                .expect("graded labels are validated by the lexer");
+            p.grade(base.as_str(), level);
+        }
+        p
+    };
     let map = lowered.source_map(file);
     Ok(Compiled {
         process: lowered.process,
@@ -576,6 +594,81 @@ mod tests {
         );
         let doc = check_to_json(&r);
         assert!(doc.contains("\"verdict\": \"invalid\""), "{doc}");
+    }
+
+    #[test]
+    fn graded_leak_is_insecure_with_a_lattice_edge_diagnostic() {
+        let src = "func main() {\n\
+                   //nuspi::sink::{}\n\
+                   out := make(chan)\n\
+                   //nuspi::label::{conf:secret,integ:tainted}\n\
+                   key := 7\n\
+                   out <- key\n\
+                   }";
+        let r = check("graded.nu", src);
+        assert_eq!(r.verdict, Verdict::Insecure, "{:?}", r.diags);
+        let e009 = r
+            .diags
+            .iter()
+            .find(|d| d.diag.code == "E009")
+            .expect("graded-flow diagnostic");
+        assert!(
+            e009.diag.message.contains("conf:secret,integ:tainted"),
+            "{:?}",
+            e009.diag.message
+        );
+        assert!(
+            e009.diag
+                .witness
+                .iter()
+                .any(|w| w.detail.contains("violated edge") && w.detail.contains("⋢")),
+            "{:?}",
+            e009.diag.witness
+        );
+        let o = e009.origin.as_ref().expect("origin anchor");
+        assert_eq!(o.ident, "key");
+        assert_eq!(o.label.as_deref(), Some("conf:secret,integ:tainted"));
+    }
+
+    #[test]
+    fn bottom_graded_value_is_secure() {
+        let src = "func main() {\n\
+                   //nuspi::sink::{}\n\
+                   out := make(chan)\n\
+                   //nuspi::label::{conf:public,integ:trusted}\n\
+                   tag := 7\n\
+                   out <- tag\n\
+                   }";
+        let r = check("tag.nu", src);
+        assert_eq!(r.verdict, Verdict::Secure, "{:?}", r.diags);
+    }
+
+    #[test]
+    fn hidden_name_reaching_a_sink_is_flagged_from_source() {
+        let src = "func main() {\n\
+                   //nuspi::sink::{}\n\
+                   out := make(chan)\n\
+                   //nuspi::hide\n\
+                   h := 0\n\
+                   out <- h\n\
+                   }";
+        let r = check("hide.nu", src);
+        assert_eq!(r.verdict, Verdict::Insecure, "{:?}", r.diags);
+        assert!(
+            r.diags.iter().any(|d| d.diag.code == "W106"),
+            "expected a hidden-escape warning: {:?}",
+            r.diags.iter().map(|d| d.diag.code).collect::<Vec<_>>()
+        );
+        // The hidden declaration anchors as an origin even though the
+        // policy has no entry for it.
+        let w = r
+            .diags
+            .iter()
+            .find(|d| d.diag.code == "W106")
+            .expect("W106");
+        let o = w.origin.as_ref().expect("origin anchor");
+        assert_eq!(o.ident, "h");
+        assert_eq!(o.role, Role::Hidden);
     }
 
     #[test]

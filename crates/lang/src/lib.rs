@@ -11,6 +11,11 @@
 //! //nuspi::sink::{}        the next channel is an observable sink
 //! //nuspi::label::{high}   the next declaration is high-labeled data
 //! //nuspi::secret          the next declaration is a confidential name
+//! //nuspi::hide            the next declaration is hide-bound: secret by
+//!                          construction, forbidden from leaving its scope
+//! //nuspi::label::{conf:secret,integ:tainted}
+//!                          graded label on the 4-point diamond lattice
+//!                          (an omitted axis defaults to its bottom)
 //! ```
 //!
 //! The lowering records a [`SourceMap`] from every νSPI name it mints

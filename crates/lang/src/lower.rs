@@ -16,7 +16,11 @@
 //! - `//nuspi::label::{high}` / `//nuspi::secret` declarations mint a
 //!   restricted, policy-secret name and bind the identifier to it; the
 //!   initializer (if any) is checked for undeclared variables but the
-//!   annotation overrides its value.
+//!   annotation overrides its value. Graded labels
+//!   (`//nuspi::label::{conf:secret,integ:tainted}`) mint a restricted
+//!   name carrying a diamond-lattice level instead of a bare secret
+//!   entry, and `//nuspi::hide` declarations are bound by `hide` —
+//!   secret by construction, with no policy entry at all.
 //! - `ch <- e` / `x := <-ch` become `Output` / `Input`.
 //! - `if` becomes `CaseNat`. The statement-level continuation is
 //!   lowered exactly *once* and sequenced behind a fresh restricted
@@ -78,6 +82,9 @@ pub struct Lowered {
     pub process: Process,
     /// Canonical base names that are policy-secret, sorted.
     pub secrets: Vec<String>,
+    /// Graded declarations `(base, conf, integ)` on the 4-point diamond
+    /// lattice, sorted by base. Empty for binary-lattice programs.
+    pub graded: Vec<(String, String, String)>,
     /// Declaration sites for every minted name.
     pub sites: BTreeMap<String, Site>,
     /// Statements expanded during lowering — an upper bound on the
@@ -141,7 +148,11 @@ struct Ctx<'a> {
     counters: HashMap<String, u32>,
     /// Minted names to hoist as `new`-restrictions, in mint order.
     restricted: Vec<Name>,
+    /// Minted names to hoist as `hide` binders, in mint order.
+    hidden: Vec<Name>,
     secrets: Vec<String>,
+    /// Graded declarations: `(base, conf label, integ label)`.
+    graded: Vec<(String, String, String)>,
     sites: BTreeMap<String, Site>,
     /// Statements expanded so far, against [`MAX_LOWERED_STMTS`].
     lowered_stmts: usize,
@@ -174,7 +185,9 @@ pub fn lower(program: &Program) -> Result<Lowered, LangError> {
         funcs,
         counters: HashMap::new(),
         restricted: Vec::new(),
+        hidden: Vec::new(),
         secrets: Vec::new(),
+        graded: Vec::new(),
         sites: BTreeMap::new(),
         lowered_stmts: 0,
     };
@@ -185,42 +198,54 @@ pub fn lower(program: &Program) -> Result<Lowered, LangError> {
         stack: Rc::new(vec![name]),
     };
     let body = lower_seq(&mut ctx, &main.body.stmts, scope, Cont::Done)?;
-    let process = b::restrict_all(ctx.restricted, body);
+    // `hide` binders sit inside the `new` prefix; for hide-free programs
+    // `hide_all` is the identity, so their lowering is byte-unchanged.
+    let process = b::restrict_all(ctx.restricted, b::hide_all(ctx.hidden, body));
     let mut secrets = ctx.secrets;
     secrets.sort();
     secrets.dedup();
+    let mut graded = ctx.graded;
+    graded.sort();
     Ok(Lowered {
         process,
         secrets,
+        graded,
         sites: ctx.sites,
         stmts: ctx.lowered_stmts,
     })
 }
 
 impl<'a> Ctx<'a> {
-    /// Mints a restricted, policy-secret name for a declaration of
-    /// `ident` in `func`, mangled by declaration order.
-    fn mint(
-        &mut self,
-        func: &str,
-        ident: &str,
-        role: Role,
-        label: Option<String>,
-        pos: Pos,
-    ) -> Name {
+    /// Mints a bound name for a declaration of `ident` in `func`,
+    /// mangled by declaration order. Ordinary declarations are
+    /// `new`-restricted and policy-secret; graded declarations are
+    /// restricted but carry a lattice level instead of a bare secret
+    /// entry; `hide` declarations are hide-bound and need *no* policy
+    /// entry — the binder itself makes them secret.
+    fn mint(&mut self, func: &str, ident: &str, ann: &Classified, pos: Pos) -> Name {
         let key = format!("{func}.{ident}");
         let n = self.counters.entry(key.clone()).or_insert(0);
         *n += 1;
         let base = if *n == 1 { key } else { format!("{key}.{n}") };
         let name = Name::global(base.as_str());
-        self.restricted.push(name);
-        self.secrets.push(base.clone());
+        if ann.role() == Role::Hidden {
+            self.hidden.push(name);
+        } else {
+            self.restricted.push(name);
+            match &ann.graded {
+                Some((conf, integ)) => {
+                    self.graded
+                        .push((base.clone(), conf.clone(), integ.clone()))
+                }
+                None => self.secrets.push(base.clone()),
+            }
+        }
         self.sites.insert(
             base,
             Site {
                 ident: ident.to_owned(),
-                role,
-                label,
+                role: ann.role(),
+                label: ann.label.clone(),
                 line: pos.line,
                 col: pos.col,
             },
@@ -273,23 +298,50 @@ impl<'a> Ctx<'a> {
     }
 }
 
-/// The declaration role + label a statement's annotations give it:
-/// `(is_sink, origin_role, label)`.
-fn classify(s: &Stmt) -> (bool, Option<Role>, Option<String>) {
-    let mut sink = false;
-    let mut role = None;
-    let mut label = None;
+/// The declaration classification a statement's annotations give it.
+struct Classified {
+    /// `//nuspi::sink::{}` was present.
+    sink: bool,
+    /// The origin role an annotation declares, if any.
+    origin: Option<Role>,
+    /// The label as written (for anchors and messages).
+    label: Option<String>,
+    /// The diamond-lattice grading, when the label was graded.
+    graded: Option<(String, String)>,
+}
+
+impl Classified {
+    /// The role a minted declaration gets: the annotated origin role,
+    /// or `Channel` plumbing.
+    fn role(&self) -> Role {
+        self.origin.unwrap_or(Role::Channel)
+    }
+}
+
+fn classify(s: &Stmt) -> Classified {
+    let mut c = Classified {
+        sink: false,
+        origin: None,
+        label: None,
+        graded: None,
+    };
     for a in &s.annotations {
         match &a.kind {
-            AnnKind::Sink => sink = true,
-            AnnKind::Secret => role = Some(Role::Secret),
+            AnnKind::Sink => c.sink = true,
+            AnnKind::Secret => c.origin = Some(Role::Secret),
+            AnnKind::Hide => c.origin = Some(Role::Hidden),
             AnnKind::Label(l) => {
-                role = Some(Role::High);
-                label = Some(l.clone());
+                c.origin = Some(Role::High);
+                c.label = Some(l.clone());
+            }
+            AnnKind::Graded { conf, integ } => {
+                c.origin = Some(Role::High);
+                c.label = Some(format!("conf:{conf},integ:{integ}"));
+                c.graded = Some((conf.clone(), integ.clone()));
             }
         }
     }
-    (sink, role, label)
+    c
 }
 
 /// One process layer contributed by a single statement; collected
@@ -320,29 +372,23 @@ fn lower_seq<'a>(
     while let Some((s, rest)) = stmts.split_first() {
         stmts = rest;
         ctx.spend(s.pos)?;
-        let (is_sink, origin, label) = classify(s);
+        let ann = classify(s);
         match &s.kind {
             StmtKind::MakeChan { name } => {
-                let chan = if is_sink {
+                let chan = if ann.sink {
                     ctx.sink(name, s.pos)
                 } else {
-                    ctx.mint(
-                        &scope.func.clone(),
-                        name,
-                        origin.unwrap_or(Role::Channel),
-                        label,
-                        s.pos,
-                    )
+                    ctx.mint(&scope.func.clone(), name, &ann, s.pos)
                 };
                 scope.vars.insert(name.clone(), Binding::Chan(chan));
             }
             StmtKind::Let { name, value } => {
-                let binding = match origin {
-                    Some(role) => {
+                let binding = match ann.origin {
+                    Some(_) => {
                         // Check the initializer for undeclared identifiers,
                         // then let the annotation override its value.
                         check_expr(&scope, value)?;
-                        let n = ctx.mint(&scope.func.clone(), name, role, label, s.pos);
+                        let n = ctx.mint(&scope.func.clone(), name, &ann, s.pos);
                         Binding::Val(b::name_expr(n))
                     }
                     None => Binding::Val(lower_expr(&scope, value)?),
@@ -356,9 +402,9 @@ fn lower_seq<'a>(
             } => {
                 let ch = channel(&scope, chan, *chan_pos)?;
                 let v = Var::fresh(name.as_str());
-                let binding = match origin {
-                    Some(role) => {
-                        let n = ctx.mint(&scope.func.clone(), name, role, label, s.pos);
+                let binding = match ann.origin {
+                    Some(_) => {
+                        let n = ctx.mint(&scope.func.clone(), name, &ann, s.pos);
                         Binding::Val(b::name_expr(n))
                     }
                     None => Binding::BoundVar(v),
@@ -642,6 +688,61 @@ mod tests {
         assert_eq!(l.sites["main.key"].role, Role::Secret);
         assert!(l.secrets.contains(&"main.pin".to_owned()));
         assert!(l.secrets.contains(&"main.key".to_owned()));
+    }
+
+    #[test]
+    fn hide_declarations_are_hide_bound_with_no_policy_entry() {
+        let l = lower_src(
+            "func main() {\n\
+             //nuspi::hide\n\
+             h := make(chan)\n\
+             h <- 0\n\
+             }",
+        )
+        .unwrap();
+        // The binder itself makes `h` secret: no policy entry needed.
+        assert!(l.secrets.is_empty(), "{:?}", l.secrets);
+        assert_eq!(l.sites["main.h"].role, Role::Hidden);
+        let hidden: Vec<String> = l
+            .process
+            .hidden_names()
+            .into_iter()
+            .map(|s| s.as_str().to_owned())
+            .collect();
+        assert_eq!(hidden, ["main.h"]);
+        assert!(!l
+            .process
+            .free_names()
+            .iter()
+            .any(|n| n.to_string().contains("main.h")));
+    }
+
+    #[test]
+    fn graded_declarations_carry_levels_not_secret_entries() {
+        let l = lower_src(
+            "func main() {\n\
+             //nuspi::label::{conf:secret,integ:tainted}\n\
+             key := 1\n\
+             ch := make(chan)\n\
+             ch <- key\n\
+             }",
+        )
+        .unwrap();
+        assert_eq!(
+            l.graded,
+            vec![(
+                "main.key".to_owned(),
+                "secret".to_owned(),
+                "tainted".to_owned()
+            )]
+        );
+        // The channel is an ordinary secret; the graded datum is not.
+        assert_eq!(l.secrets, vec!["main.ch".to_owned()]);
+        assert_eq!(
+            l.sites["main.key"].label.as_deref(),
+            Some("conf:secret,integ:tainted")
+        );
+        assert_eq!(l.sites["main.key"].role, Role::High);
     }
 
     #[test]

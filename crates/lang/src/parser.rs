@@ -411,7 +411,7 @@ fn attach_annotations(
                 ))
             }
             (
-                AnnKind::Label(_) | AnnKind::Secret,
+                AnnKind::Label(_) | AnnKind::Graded { .. } | AnnKind::Secret | AnnKind::Hide,
                 StmtKind::Let { .. } | StmtKind::MakeChan { .. } | StmtKind::Recv { .. },
             ) => true,
             _ => false,

@@ -18,10 +18,13 @@ pub enum Role {
     Sink,
     /// An ordinary `make(chan)` channel: restricted and policy-secret.
     Channel,
-    /// A `//nuspi::label::{high}` datum.
+    /// A `//nuspi::label::{high}` (or graded `conf:…`/`integ:…`) datum.
     High,
     /// A `//nuspi::secret` datum.
     Secret,
+    /// A `//nuspi::hide` local: bound by `hide`, secret by
+    /// construction, forbidden from crossing its scope.
+    Hidden,
 }
 
 impl Role {
@@ -32,13 +35,14 @@ impl Role {
             Role::Channel => "channel",
             Role::High => "high",
             Role::Secret => "secret",
+            Role::Hidden => "hidden",
         }
     }
 
     /// Whether this site is a labeled/confidential *origin* of data
     /// (as opposed to plumbing or a sink).
     pub fn is_origin(self) -> bool {
-        matches!(self, Role::High | Role::Secret)
+        matches!(self, Role::High | Role::Secret | Role::Hidden)
     }
 }
 

@@ -92,14 +92,29 @@ pub struct Token {
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum AnnKind {
     /// `//nuspi::label::{high}` — the declared datum carries the named
-    /// security label (only `high` exists in the binary lattice).
+    /// security label (`high` is the binary lattice's only label).
     Label(String),
+    /// `//nuspi::label::{conf:secret,integ:tainted}` — the declared
+    /// datum is graded on the 4-point diamond lattice; an omitted axis
+    /// defaults to that axis's bottom.
+    Graded {
+        /// Confidentiality axis label (diamond: `public`,
+        /// `confidential`, `restricted`, `secret`).
+        conf: String,
+        /// Integrity axis label (diamond: `trusted`, `internal`,
+        /// `external`, `tainted`).
+        integ: String,
+    },
     /// `//nuspi::sink::{}` — the declared channel is an observable sink
     /// (a free, public νSPI name).
     Sink,
     /// `//nuspi::secret` — the declared local is a confidential fresh
     /// name (`new`-restricted and policy-secret).
     Secret,
+    /// `//nuspi::hide` — the declared local is bound by `hide` instead
+    /// of `new`: secret by construction, and the no-extrusion rule
+    /// forbids it from ever crossing its scope.
+    Hide,
 }
 
 /// One parsed `//nuspi::…` annotation comment.
@@ -343,29 +358,87 @@ pub fn lex(src: &str) -> Result<Lexed, LangError> {
 fn parse_annotation(rest: &str, pos: Pos) -> Result<Annotation, LangError> {
     let kind = if rest == "secret" {
         AnnKind::Secret
+    } else if rest == "hide" {
+        AnnKind::Hide
     } else if rest == "sink::{}" {
         AnnKind::Sink
     } else if let Some(label) = rest
         .strip_prefix("label::{")
         .and_then(|r| r.strip_suffix('}'))
     {
-        if label != "high" {
+        if label == "high" {
+            AnnKind::Label(label.to_owned())
+        } else if label.contains(':') {
+            parse_graded_label(label, pos)?
+        } else {
             return Err(LangError::new(
                 pos,
-                format!("unknown security label `{label}` (the binary lattice has only `high`)"),
+                format!(
+                    "unknown security label `{label}` (the binary lattice has only `high`; \
+                     graded labels are written `conf:…`/`integ:…` pairs)"
+                ),
             ));
         }
-        AnnKind::Label(label.to_owned())
     } else {
         return Err(LangError::new(
             pos,
             format!(
                 "unknown annotation `//nuspi::{rest}` \
-                 (expected `label::{{high}}`, `sink::{{}}`, or `secret`)"
+                 (expected `label::{{…}}`, `sink::{{}}`, `secret`, or `hide`)"
             ),
         ));
     };
     Ok(Annotation { kind, pos })
+}
+
+/// Parses a graded label body: comma-separated `conf:<level>` /
+/// `integ:<level>` pairs, each axis at most once, levels drawn from the
+/// 4-point diamond lattice. An omitted axis defaults to its bottom.
+fn parse_graded_label(label: &str, pos: Pos) -> Result<AnnKind, LangError> {
+    let lat = nuspi_security::SecLattice::diamond4();
+    let mut conf: Option<String> = None;
+    let mut integ: Option<String> = None;
+    for item in label.split(',') {
+        let item = item.trim();
+        let (axis, level) = item.split_once(':').ok_or_else(|| {
+            LangError::new(
+                pos,
+                format!("graded label item `{item}` is not an `axis:level` pair"),
+            )
+        })?;
+        let (axis, level) = (axis.trim(), level.trim());
+        let (slot, points) = match axis {
+            "conf" => (&mut conf, lat.conf()),
+            "integ" => (&mut integ, lat.integ()),
+            other => {
+                return Err(LangError::new(
+                    pos,
+                    format!("unknown grading axis `{other}` (expected `conf` or `integ`)"),
+                ))
+            }
+        };
+        if points.index_of(level).is_none() {
+            let known: Vec<&str> = points.labels().collect();
+            return Err(LangError::new(
+                pos,
+                format!(
+                    "unknown security label `{level}` on the `{axis}` axis \
+                     (diamond levels: {})",
+                    known.join(", ")
+                ),
+            ));
+        }
+        if slot.replace(level.to_owned()).is_some() {
+            return Err(LangError::new(
+                pos,
+                format!("grading axis `{axis}` is given twice"),
+            ));
+        }
+    }
+    Ok(AnnKind::Graded {
+        conf: conf.unwrap_or_else(|| lat.conf().label(lat.conf().bottom()).to_owned()),
+        integ: integ.unwrap_or_else(|| lat.integ().label(lat.integ().bottom()).to_owned()),
+    })
 }
 
 #[cfg(test)]
@@ -423,6 +496,55 @@ mod tests {
         // comment.
         let out = lex("// see nuspi::secret for details\nx := 1").unwrap();
         assert!(out.annotations.is_empty());
+    }
+
+    #[test]
+    fn graded_labels_lex_with_axis_defaults() {
+        let out = lex("//nuspi::label::{conf:secret,integ:tainted}\nx := 1").unwrap();
+        assert_eq!(
+            out.annotations[0].kind,
+            AnnKind::Graded {
+                conf: "secret".into(),
+                integ: "tainted".into()
+            }
+        );
+        // An omitted axis defaults to its bottom.
+        let out = lex("//nuspi::label::{conf:restricted}\n").unwrap();
+        assert_eq!(
+            out.annotations[0].kind,
+            AnnKind::Graded {
+                conf: "restricted".into(),
+                integ: "trusted".into()
+            }
+        );
+        let out = lex("//nuspi::label::{integ:external}\n").unwrap();
+        assert_eq!(
+            out.annotations[0].kind,
+            AnnKind::Graded {
+                conf: "public".into(),
+                integ: "external".into()
+            }
+        );
+    }
+
+    #[test]
+    fn graded_label_typos_are_structured_errors() {
+        let err = lex("//nuspi::label::{conf:sekrit}\n").unwrap_err();
+        assert!(err.message.contains("unknown security label"), "{err:?}");
+        assert!(err.message.contains("diamond levels"), "{err:?}");
+        let err = lex("//nuspi::label::{axis:up}\n").unwrap_err();
+        assert!(err.message.contains("unknown grading axis"), "{err:?}");
+        let err = lex("//nuspi::label::{conf:secret,conf:public}\n").unwrap_err();
+        assert!(err.message.contains("given twice"), "{err:?}");
+        // A level from the wrong axis does not cross over.
+        let err = lex("//nuspi::label::{integ:secret}\n").unwrap_err();
+        assert!(err.message.contains("`integ` axis"), "{err:?}");
+    }
+
+    #[test]
+    fn hide_annotation_lexes() {
+        let out = lex("//nuspi::hide\nh := make(chan)").unwrap();
+        assert_eq!(out.annotations[0].kind, AnnKind::Hide);
     }
 
     #[test]

@@ -30,8 +30,10 @@ pub mod denning_sacco;
 pub mod kerberos;
 pub mod motivating;
 pub mod ns;
+pub mod ns_lowe;
 pub mod otway_rees;
 mod spec;
+pub mod splice;
 pub mod wmf;
 pub mod yahalom;
 
@@ -51,6 +53,8 @@ pub fn suite() -> Vec<ProtocolSpec> {
         wmf::wmf_public_key(),
         ns::needham_schroeder(),
         ns::needham_schroeder_nonce_leak(),
+        ns_lowe::ns_lowe(),
+        ns_lowe::ns_lowe_no_identity(),
         otway_rees::otway_rees(),
         otway_rees::otway_rees_key_in_clear(),
         otway_rees::otway_rees_untagged(),
@@ -62,6 +66,8 @@ pub fn suite() -> Vec<ProtocolSpec> {
         denning_sacco::denning_sacco_public_ticket(),
         kerberos::kerberos(),
         kerberos::kerberos_debug_tap(),
+        splice::splice_as(),
+        splice::splice_as_ticket_in_clear(),
     ]
 }
 
@@ -83,8 +89,8 @@ mod tests {
     fn suite_is_split_between_honest_and_flawed() {
         let all = suite().len();
         assert_eq!(honest_suite().len() + flawed_suite().len(), all);
-        assert_eq!(honest_suite().len(), 7);
-        assert_eq!(flawed_suite().len(), 10);
+        assert_eq!(honest_suite().len(), 9);
+        assert_eq!(flawed_suite().len(), 12);
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! The Needham–Schroeder–Lowe handshake (symmetric rendition, single
+//! session).
+//!
+//! ```text
+//! Message 1   A → B : {N_A, A}K_AB
+//! Message 2   B → A : {N_A, N_B, B}K_AB      (Lowe: B names itself)
+//! Message 3   A → B : {N_B}K_AB
+//! payload     A → B : {M}K_AB
+//! ```
+//!
+//! Lowe's amendment binds the responder's identity into message 2, so
+//! the initiator can tell *which* session a challenge belongs to. The
+//! flawed sibling drops that identity: the initiator can no longer
+//! distinguish its session with `B` from a parallel session with the
+//! compromised party `C`, and ships the payload under the intruder's
+//! key — the concrete outcome of Lowe's man-in-the-middle.
+
+use crate::spec::ProtocolSpec;
+
+/// A single honest Needham–Schroeder–Lowe session over a pre-shared
+/// pair key, ending with a payload under that key.
+pub fn ns_lowe() -> ProtocolSpec {
+    ProtocolSpec::build(
+        "ns-lowe",
+        "Needham-Schroeder-Lowe: identity-bound nonce handshake, secret payload",
+        "
+        (new kab) (new m) (
+          (new na) cAB<{na, a, new r1}:kab>.
+          cBA(resp). case resp of {n, nb, bb}:kab in
+          [n is na] [bb is b]
+          cAB2<{nb, new r2}:kab>.
+          cMSG<{m, new r3}:kab>.0
+          |
+          cAB(req). case req of {na2, aa}:kab in
+          [aa is a]
+          (new nb) cBA<{na2, nb, b, new r4}:kab>.
+          cAB2(z). case z of {w}:kab in [w is nb]
+          cMSG(mm). case mm of {p}:kab in 0
+        )",
+        &["kab", "m", "na", "nb"],
+        &["cAB", "cBA", "cAB2", "cMSG"],
+        "m",
+        true,
+    )
+}
+
+/// Flawed variant: message 2 omits the responder identity (the exact
+/// link Lowe's fix adds). The initiator cannot tell its session with
+/// `B` apart from one with the compromised party `C`, and the payload
+/// goes out under `C`'s key `kc` — a free, attacker-known name — so the
+/// secret is derivable by the intruder.
+pub fn ns_lowe_no_identity() -> ProtocolSpec {
+    ProtocolSpec::build(
+        "ns-lowe-no-identity",
+        "NS-Lowe without the identity link: payload keyed for the intruder (rejected)",
+        "
+        (new kab) (new m) (
+          (new na) cAB<{na, a, new r1}:kab>.
+          cBA(resp). case resp of {n, nb}:kab in
+          [n is na]
+          cAB2<{nb, new r2}:kab>.
+          cMSG<{m, new r3}:kc>.0
+          |
+          cAB(req). case req of {na2, aa}:kab in
+          (new nb) cBA<{na2, nb, new r4}:kab>.
+          cAB2(z). case z of {w}:kab in [w is nb]
+          cMSG(mm). case mm of {p}:kc in 0
+        )",
+        &["kab", "m", "na", "nb"],
+        &["cAB", "cBA", "cAB2", "cMSG"],
+        "m",
+        false,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuspi_semantics::{explore_tau, Barb, ExecConfig};
+    use nuspi_syntax::Symbol;
+
+    #[test]
+    fn parses_and_closes() {
+        assert!(ns_lowe().process.is_closed());
+        assert!(ns_lowe_no_identity().process.is_closed());
+    }
+
+    #[test]
+    fn honest_session_delivers_the_payload() {
+        let spec = ns_lowe();
+        let mut delivered = false;
+        let cfg = ExecConfig {
+            max_depth: 16,
+            max_states: 6000,
+            ..ExecConfig::default()
+        };
+        explore_tau(&spec.process, &cfg, |_, cs| {
+            if cs
+                .iter()
+                .any(|c| Barb::Out(Symbol::intern("cMSG")).matches(c.action))
+            {
+                delivered = true;
+                return false;
+            }
+            true
+        });
+        assert!(delivered, "session must reach the payload message");
+    }
+}

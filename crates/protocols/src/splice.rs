@@ -1,0 +1,110 @@
+//! The SPLICE/AS authentication protocol (simplified symmetric
+//! rendition, single session; timestamps abstracted as nonces).
+//!
+//! ```text
+//! Message 1   C → AS : C, S, N_1
+//! Message 2   AS → C : {N_1, S, K_CS, {K_CS, C}K_SA}K_CA
+//! Message 3   C → S  : {K_CS, C}K_SA
+//! payload     C → S  : {M}K_CS
+//! ```
+//!
+//! The authentication server issues a session key to the client under
+//! their long-term key `K_CA` together with a ticket for the server
+//! under `K_SA`. The flawed sibling ships the ticket *in clear* beside
+//! the encrypted half — the unsigned-ticket weakness behind the
+//! Hwang–Chen attack on SPLICE/AS — which hands the session key to the
+//! intruder.
+
+use crate::spec::ProtocolSpec;
+
+/// A single honest SPLICE/AS session: key distribution through the
+/// authentication server, then a payload under the session key.
+pub fn splice_as() -> ProtocolSpec {
+    ProtocolSpec::build(
+        "splice-as",
+        "SPLICE/AS: server-issued session key with a sealed ticket, secret payload",
+        "
+        (new kca) (new ksa) (new m) (
+          (new n1) cCA<(c, (s, n1))>.
+          cAC(resp). case resp of {n, ss, kcs, tk}:kca in
+          [n is n1] [ss is s]
+          cCS<tk>.
+          cMSG<{m, new r1}:kcs>.0
+          |
+          cCA(req). let (cc, rest) = req in let (ss2, n2) = rest in
+          (new kcs) cAC<{n2, ss2, kcs, {kcs, cc, new r2}:ksa, new r3}:kca>.0
+          |
+          cCS(tk2). case tk2 of {kcs2, cc2}:ksa in
+          cMSG(mm). case mm of {p}:kcs2 in 0
+        )",
+        &["kca", "ksa", "kcs", "m"],
+        &["cCA", "cAC", "cCS", "cMSG"],
+        "m",
+        true,
+    )
+}
+
+/// Flawed variant: the server sends the ticket in clear beside the
+/// client's half instead of sealing it under `K_SA`. The session key is
+/// readable straight off the wire, so the payload encrypted under it is
+/// derivable by the intruder.
+pub fn splice_as_ticket_in_clear() -> ProtocolSpec {
+    ProtocolSpec::build(
+        "splice-as-ticket-in-clear",
+        "SPLICE/AS shipping the ticket unsealed: session key on the wire (rejected)",
+        "
+        (new kca) (new ksa) (new m) (
+          (new n1) cCA<(c, (s, n1))>.
+          cAC(resp). let (enc, tk) = resp in
+          case enc of {n, ss, kcs}:kca in
+          [n is n1] [ss is s]
+          cCS<tk>.
+          cMSG<{m, new r1}:kcs>.0
+          |
+          cCA(req). let (cc, rest) = req in let (ss2, n2) = rest in
+          (new kcs) cAC<({n2, ss2, kcs, new r3}:kca, (kcs, cc))>.0
+          |
+          cCS(tk2). let (kcs2, cc2) = tk2 in
+          cMSG(mm). case mm of {p}:kcs2 in 0
+        )",
+        &["kca", "ksa", "kcs", "m"],
+        &["cCA", "cAC", "cCS", "cMSG"],
+        "kcs",
+        false,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuspi_semantics::{explore_tau, Barb, ExecConfig};
+    use nuspi_syntax::Symbol;
+
+    #[test]
+    fn parses_and_closes() {
+        assert!(splice_as().process.is_closed());
+        assert!(splice_as_ticket_in_clear().process.is_closed());
+    }
+
+    #[test]
+    fn honest_session_delivers_the_payload() {
+        let spec = splice_as();
+        let mut delivered = false;
+        let cfg = ExecConfig {
+            max_depth: 16,
+            max_states: 6000,
+            ..ExecConfig::default()
+        };
+        explore_tau(&spec.process, &cfg, |_, cs| {
+            if cs
+                .iter()
+                .any(|c| Barb::Out(Symbol::intern("cMSG")).matches(c.action))
+            {
+                delivered = true;
+                return false;
+            }
+            true
+        });
+        assert!(delivered, "session must reach the payload message");
+    }
+}

@@ -59,6 +59,8 @@ impl CarefulnessReport {
 
 /// Runs the carefulness monitor over the bounded state space of `p`.
 pub fn carefulness(p: &Process, policy: &Policy, cfg: &ExecConfig) -> CarefulnessReport {
+    // `hide`-bound names are secret by construction (cf. `confinement`).
+    let policy = &policy.with_hidden_of(p);
     let mut violations = Vec::new();
     let mut state_index = 0;
     let stats = explore_tau(p, cfg, |_state, commitments| {
@@ -166,6 +168,29 @@ mod tests {
         let r = carefulness(&p, &pol(&["k", "m"]), &cfg());
         assert!(!r.is_careful());
         assert!(r.violations.iter().any(|v| v.channel.as_str() == "d"));
+    }
+
+    #[test]
+    fn hidden_name_never_extrudes_dynamically() {
+        // The no-extrusion commitment rule *drops* any output whose value
+        // carries the hidden name, so the monitor observes no leak here —
+        // the static checks (confinement, W106) are what report the
+        // attempted escape.
+        let p = parse_process("(hide h) c<h>.0").unwrap();
+        let r = carefulness(&p, &Policy::new(), &cfg());
+        assert!(r.is_careful(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn hidden_name_leaked_inside_the_scope_is_flagged() {
+        // Internal communication on a public channel stays within the
+        // hide scope, so it commits — and its output premise carries the
+        // hidden name in clear, which the monitor flags with no policy
+        // entry for `h`.
+        let p = parse_process("(hide h) (c<h>.0 | c(x).0)").unwrap();
+        let r = carefulness(&p, &Policy::new(), &cfg());
+        assert!(!r.is_careful());
+        assert_eq!(r.violations[0].channel.as_str(), "c");
     }
 
     #[test]

@@ -93,9 +93,13 @@ impl ConfinementReport {
 /// re-inject — the `⊇` half of Definition 4's `κ(n) = Val_P`. This is
 /// what surfaces reflection and type-flaw attacks statically.
 pub fn confinement(p: &Process, policy: &Policy) -> ConfinementReport {
+    // Hidden names are secret by construction; fold them into the policy
+    // so the attacker treats them as opaque and the kind fixpoint grades
+    // them secret. Processes without `hide` see the policy unchanged.
+    let policy = policy.with_hidden_of(p);
     let secret = policy.secrets().collect();
     let attacked = analyze_with_attacker(p, &secret);
-    confinement_with(p, policy, attacked.solution)
+    confinement_with(p, &policy, attacked.solution)
 }
 
 /// Checks confinement against a caller-provided solution (which must be
@@ -225,6 +229,26 @@ mod tests {
             parse_process("cAS(a). cBS<a>.0 | cAB(b). cAB<b>.0 | spy(x). spy<x>.0").unwrap();
         let composed = builder::par(p, attacker);
         let report = confinement(&composed, &wmf_policy());
+        assert!(report.is_confined(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn hidden_name_needs_no_policy_entry() {
+        // `hide h` declares secrecy by construction: leaking h breaks
+        // confinement under the empty policy.
+        let p = parse_process("(hide h) c<h>.0").unwrap();
+        let report = confinement(&p, &Policy::new());
+        assert!(!report.is_confined());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, ConfinementViolation::SecretOnPublicChannel { .. })));
+    }
+
+    #[test]
+    fn hidden_name_under_secret_key_is_confined() {
+        let p = parse_process("(new k) (hide h) c<{h, new r}:k>.0").unwrap();
+        let report = confinement(&p, &pol(&["k"]));
         assert!(report.is_confined(), "{:?}", report.violations);
     }
 

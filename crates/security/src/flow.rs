@@ -1,0 +1,423 @@
+//! The `level` operator: Definition 2 lifted to the product lattice.
+//!
+//! `level : Val′ → Conf × Integ` grades a value: the level of a compound
+//! is the join of its parts — *except* under encryption with a key the
+//! attacker cannot resolve, which re-publicises the ciphertext to lattice
+//! bottom (the protection is the key). Confounders are discarded by
+//! decryption and do not contribute.
+//!
+//! The abstract version ([`AbstractLevel`]) runs the same grading over
+//! the CFA's grammar: for each nonterminal it computes the *set* of
+//! levels its language may inhabit, as a monotone fixpoint over the
+//! productions with [`LevelSet`] (a `u64` bitset) as the abstract domain.
+//! On the two-point lattice with clearance at bottom this is exactly the
+//! binary [`crate::kind::AbstractKind`] analysis — `may_secret` is "some
+//! level outside the clearance down-set", `may_public` is "some level
+//! inside it" — a correspondence the test suite checks production by
+//! production.
+//!
+//! [`graded_flows`] is the lattice form of the confinement check
+//! (Definition 4): no value may flow on an attacker-observable channel at
+//! a level outside the attacker's clearance down-set. Ungraded policies
+//! never take this path — [`crate::confinement`] remains the binary fast
+//! path with byte-identical output.
+
+use crate::lattice::{Level, LevelSet, SecLattice};
+use crate::policy::Policy;
+use nuspi_cfa::{analyze_with_attacker, FlowVar, Prod, Solution, VarId};
+use nuspi_syntax::{Process, Symbol, Value};
+use std::fmt;
+
+/// `level(w)`: the lattice grade of a closed value.
+pub fn level(w: &Value, policy: &Policy) -> Level {
+    let lat = policy.lattice();
+    match w {
+        Value::Name(n) => policy.level_of(n.canonical()),
+        Value::Zero => lat.bottom(),
+        Value::Suc(inner) => level(inner, policy),
+        Value::Pair(a, b) => lat.join(level(a, policy), level(b, policy)),
+        Value::Enc { payload, key, .. } => {
+            let protected = !lat.leq(level(key, policy), policy.clearance());
+            if protected || payload.is_empty() {
+                lat.bottom()
+            } else {
+                payload
+                    .iter()
+                    .fold(lat.bottom(), |acc, w| lat.join(acc, level(w, policy)))
+            }
+        }
+    }
+}
+
+/// The abstract level analysis: a fixpoint assigning a [`LevelSet`] to
+/// every flow variable of a solution. Runs *after* the solver on the
+/// solved grammar — the solver itself never sees levels, which is what
+/// keeps its transcripts independent of the policy's lattice.
+#[derive(Clone, Debug)]
+pub struct AbstractLevel {
+    facts: Vec<LevelSet>,
+    observable: LevelSet,
+}
+
+impl AbstractLevel {
+    /// Runs the fixpoint over the solved grammar.
+    pub fn compute(sol: &Solution, policy: &Policy) -> AbstractLevel {
+        let observable = policy.lattice().downset(policy.clearance());
+        let n = sol.flow_vars().count();
+        let mut facts = vec![LevelSet::empty(); n];
+        loop {
+            let mut changed = false;
+            for (id, _) in sol.flow_vars() {
+                let mut here = facts[id.index()];
+                for p in sol.prods_of_id(id) {
+                    here = here.union(prod_levels(p, &facts, policy, observable));
+                }
+                if here != facts[id.index()] {
+                    facts[id.index()] = here;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        AbstractLevel { facts, observable }
+    }
+
+    /// The level set of a nonterminal.
+    pub fn facts(&self, id: VarId) -> LevelSet {
+        self.facts.get(id.index()).copied().unwrap_or_default()
+    }
+
+    /// The level set of a single production, evaluated against the
+    /// computed fixpoint — lets callers single out *which* production of
+    /// a flagged κ entry escapes the clearance.
+    pub fn facts_of_prod(&self, p: &Prod, policy: &Policy) -> LevelSet {
+        prod_levels(p, &self.facts, policy, self.observable)
+    }
+
+    /// Levels of the nonterminal that escape the attacker's clearance
+    /// down-set, in pinned display order.
+    pub fn escaping(&self, id: VarId) -> impl Iterator<Item = Level> {
+        self.facts(id).minus(self.observable).iter()
+    }
+}
+
+fn prod_levels(p: &Prod, facts: &[LevelSet], policy: &Policy, observable: LevelSet) -> LevelSet {
+    let lat = policy.lattice();
+    let get = |v: &VarId| facts.get(v.index()).copied().unwrap_or_default();
+    match p {
+        Prod::Name(n) => LevelSet::singleton(policy.level_of(*n)),
+        Prod::Zero => LevelSet::singleton(lat.bottom()),
+        Prod::Suc(a) => get(a),
+        Prod::Pair(a, b) => get(a).pairwise_join(get(b), lat),
+        Prod::Enc { args, key, .. } => {
+            let ks = get(key);
+            let mut out = LevelSet::empty();
+            if args.is_empty() {
+                // Ciphertext with no payload carries nothing: bottom,
+                // provided a key inhabits the slot at all.
+                if !ks.is_empty() {
+                    out.insert(lat.bottom());
+                }
+                return out;
+            }
+            if args.iter().any(|a| get(a).is_empty()) {
+                // Some slot is uninhabited: the language is empty.
+                return out;
+            }
+            // A key the attacker cannot resolve protects the payload:
+            // the ciphertext grades at bottom.
+            if !ks.minus(observable).is_empty() {
+                out.insert(lat.bottom());
+            }
+            // A resolvable key exposes the payload joins.
+            if !ks.intersect(observable).is_empty() {
+                let joined = args
+                    .iter()
+                    .fold(LevelSet::singleton(lat.bottom()), |acc, a| {
+                        acc.pairwise_join(get(a), lat)
+                    });
+                out = out.union(joined);
+            }
+            out
+        }
+    }
+}
+
+/// A value may flow on an observable channel at a level outside the
+/// attacker's clearance down-set — the lattice edge `level ⋢ clearance`
+/// names the violated constraint.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FlowViolation {
+    /// The observable channel (canonical).
+    pub channel: Symbol,
+    /// The escaping level of some value in `κ(channel)`.
+    pub level: Level,
+    /// The level of the channel itself.
+    pub channel_level: Level,
+    /// The attacker clearance the level escapes.
+    pub clearance: Level,
+}
+
+impl FlowViolation {
+    /// Renders the violated lattice edge with a policy's axis labels.
+    pub fn describe(&self, lat: &SecLattice) -> String {
+        format!(
+            "value at {} may flow on observable channel `{}` (clearance {})",
+            lat.show(self.level),
+            self.channel,
+            lat.show(self.clearance)
+        )
+    }
+}
+
+/// The outcome of the graded flow check.
+#[derive(Debug)]
+pub struct GradedReport {
+    /// The analysed estimate (process composed with the most powerful
+    /// attacker below the clearance).
+    pub solution: Solution,
+    /// The abstract level facts.
+    pub levels: AbstractLevel,
+    /// Violations in (channel, pinned level order); empty means every
+    /// flow respects the lattice.
+    pub violations: Vec<FlowViolation>,
+}
+
+impl GradedReport {
+    /// Whether every flow respects the lattice.
+    pub fn is_confined(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for FlowViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "level ({},{}) escapes clearance ({},{}) on `{}`",
+            self.level.conf,
+            self.level.integ,
+            self.clearance.conf,
+            self.clearance.integ,
+            self.channel
+        )
+    }
+}
+
+/// Checks the lattice form of confinement: solves `p` together with the
+/// most powerful attacker *below the clearance* (every name graded above
+/// it is opaque, as is every `hide`-bound name), then demands that no
+/// observable channel's κ contains a level outside the clearance
+/// down-set.
+pub fn graded_flows(p: &Process, policy: &Policy) -> GradedReport {
+    let policy = policy.with_hidden_of(p);
+    let opaque: std::collections::HashSet<Symbol> = policy.opaque_names().into_iter().collect();
+    let attacked = analyze_with_attacker(p, &opaque);
+    graded_flows_with(&policy, attacked.solution)
+}
+
+/// Graded flow check against a caller-provided solution.
+pub fn graded_flows_with(policy: &Policy, solution: Solution) -> GradedReport {
+    let lat = policy.lattice();
+    let clearance = policy.clearance();
+    let levels = AbstractLevel::compute(&solution, policy);
+    let mut violations = Vec::new();
+    let mut channels = solution.channels();
+    channels.sort_by_key(|s| s.as_str());
+    for chan in channels {
+        let channel_level = policy.level_of(chan);
+        let observable_chan =
+            lat.leq(channel_level, clearance) || chan == nuspi_cfa::attacker::attacker_name();
+        if !observable_chan {
+            continue; // κ of an unobservable channel is unconstrained
+        }
+        if let Some(id) = solution.var_id(FlowVar::Kappa(chan)) {
+            for l in levels.escaping(id) {
+                violations.push(FlowViolation {
+                    channel: chan,
+                    level: l,
+                    channel_level,
+                    clearance,
+                });
+            }
+        }
+    }
+    GradedReport {
+        solution,
+        levels,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::{kind, AbstractKind, Kind};
+    use crate::lattice::SecLattice;
+    use nuspi_cfa::analyze;
+    use nuspi_syntax::{parse_process, Name};
+
+    fn pol(secrets: &[&str]) -> Policy {
+        Policy::with_secrets(secrets.iter().copied())
+    }
+
+    fn diamond_pol() -> Policy {
+        Policy::with_lattice(SecLattice::diamond4())
+    }
+
+    #[test]
+    fn concrete_level_projects_to_kind_on_two_point() {
+        let policy = pol(&["k", "m"]);
+        let lat = policy.lattice().clone();
+        let cases = [
+            Value::name(Name::global("m")),
+            Value::name(Name::global("c")),
+            Value::numeral(3),
+            Value::pair(Value::zero(), Value::name("m")),
+            Value::enc(vec![Value::name("m")], Name::global("r"), Value::name("k")),
+            Value::enc(
+                vec![Value::name("m")],
+                Name::global("r"),
+                Value::name("pub"),
+            ),
+            Value::enc(vec![], Name::global("r"), Value::name("pub")),
+        ];
+        for w in &cases {
+            let l = level(w, &policy);
+            let k = kind(w, &policy);
+            assert_eq!(
+                k == Kind::S,
+                !lat.leq(l, policy.clearance()),
+                "level/kind disagree on {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn abstract_level_projects_to_abstract_kind() {
+        // On the two-point lattice, may_secret/may_public of AbstractKind
+        // must equal the clearance split of AbstractLevel — per
+        // nonterminal, on a corpus exercising every production form.
+        let srcs = [
+            "(new m) c<m>.0",
+            "(new k) (new m) c<{m, new r}:k>.0",
+            "(new m) c<{m, new r}:pub>.0",
+            "c<0>.0 | !c(x).c<suc(x)>.0",
+            "(new m) c<(m, 0)>.0 | c(z). let (a, b) = z in d<a>.0",
+            "(new kAS) (new kBS) (
+               ((new kAB) cAS<{kAB, new r1}:kAS>. cAB<{m, new r2}:kAB>.0
+                | cBS(t). case t of {y}:kBS in cAB(z). case z of {q}:y in 0)
+               | cAS(x). case x of {s}:kAS in cBS<{s, new r3}:kBS>.0)",
+        ];
+        let policy = pol(&["kAS", "kBS", "kAB", "k", "m"]);
+        let observable = policy.lattice().downset(policy.clearance());
+        for src in srcs {
+            let p = parse_process(src).unwrap();
+            let sol = analyze(&p);
+            let ak = AbstractKind::compute(&sol, &policy);
+            let al = AbstractLevel::compute(&sol, &policy);
+            for (id, fv) in sol.flow_vars() {
+                let kf = ak.facts(id);
+                let ls = al.facts(id);
+                assert_eq!(
+                    kf.may_secret,
+                    !ls.minus(observable).is_empty(),
+                    "{src}: may_secret mismatch at {fv:?}"
+                );
+                assert_eq!(
+                    kf.may_public,
+                    !ls.intersect(observable).is_empty(),
+                    "{src}: may_public mismatch at {fv:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn graded_flows_match_confinement_on_two_point() {
+        let confined = "(new k) (new m) c<{m, new r}:k>.0";
+        let leaky = "(new m) c<m>.0";
+        let policy = pol(&["k", "m"]);
+        let ok = graded_flows(&parse_process(confined).unwrap(), &policy);
+        assert!(ok.is_confined(), "{:?}", ok.violations);
+        let bad = graded_flows(&parse_process(leaky).unwrap(), &policy);
+        assert!(!bad.is_confined());
+        // Both the concrete channel and the attacker ether are flagged.
+        assert!(bad.violations.iter().any(|v| v.channel.as_str() == "c"));
+    }
+
+    #[test]
+    fn intermediate_level_escapes_bottom_clearance() {
+        // A confidential-graded name is not observable at bottom
+        // clearance — the binary analysis could only call it "secret",
+        // the graded one names the exact level.
+        let mut policy = diamond_pol();
+        let lat = policy.lattice().clone();
+        let conf = lat.level("confidential", "trusted").unwrap();
+        policy.grade("db", conf);
+        let p = parse_process("(new db) c<db>.0").unwrap();
+        let report = graded_flows(&p, &policy);
+        assert!(!report.is_confined());
+        let v = report
+            .violations
+            .iter()
+            .find(|v| v.channel.as_str() == "c")
+            .expect("violation on the concrete channel");
+        assert_eq!(v.level, conf);
+        assert_eq!(
+            v.describe(&lat),
+            "value at conf:confidential,integ:trusted may flow on observable \
+             channel `c` (clearance conf:public,integ:trusted)"
+        );
+    }
+
+    #[test]
+    fn clearance_above_grade_permits_the_flow() {
+        let mut policy = diamond_pol();
+        let lat = policy.lattice().clone();
+        let conf = lat.level("confidential", "trusted").unwrap();
+        policy.grade("db", conf);
+        policy.set_clearance(conf);
+        let p = parse_process("(new db) c<db>.0").unwrap();
+        let report = graded_flows(&p, &policy);
+        assert!(report.is_confined(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn incomparable_clearance_still_blocks() {
+        // restricted ⋢ confidential: raising clearance along the other
+        // wing of the diamond must not unlock the flow.
+        let mut policy = diamond_pol();
+        let lat = policy.lattice().clone();
+        policy.grade("db", lat.level("restricted", "trusted").unwrap());
+        policy.set_clearance(lat.level("confidential", "trusted").unwrap());
+        let p = parse_process("(new db) c<db>.0").unwrap();
+        let report = graded_flows(&p, &policy);
+        assert!(!report.is_confined());
+    }
+
+    #[test]
+    fn key_graded_above_clearance_protects_payload() {
+        // Encryption under a confidential key re-publicises — even
+        // though the key is not at lattice top.
+        let mut policy = diamond_pol();
+        let lat = policy.lattice().clone();
+        policy.grade("k", lat.level("confidential", "trusted").unwrap());
+        policy.grade("m", lat.level("secret", "trusted").unwrap());
+        let p = parse_process("(new k) (new m) c<{m, new r}:k>.0").unwrap();
+        let report = graded_flows(&p, &policy);
+        assert!(report.is_confined(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn hidden_name_is_opaque_to_the_attacker() {
+        // `hide` needs no policy entry: the bound name is secret by
+        // construction, so sending it in clear is a violation.
+        let policy = Policy::new();
+        let p = parse_process("(hide h) c<h>.0").unwrap();
+        let report = graded_flows(&p, &policy);
+        assert!(!report.is_confined(), "hidden name escaped unnoticed");
+    }
+}

@@ -18,6 +18,14 @@
 //! [`static_message_independence`] packages Theorem 5's premises
 //! (confinement + invariance ⟹ independence).
 //!
+//! **Graded flows.** The [`lattice`] module generalises the binary
+//! partition to a product security lattice `Conf × Integ`
+//! ([`SecLattice`]); policies grade names with [`Level`]s and carry an
+//! attacker clearance, [`AbstractLevel`] re-grades the solved CFA grammar
+//! with level *sets*, and [`graded_flows`] is the lattice form of the
+//! confinement check. The two-point instance with clearance at bottom is
+//! the binary analysis — same verdicts, same bytes.
+//!
 //! # Examples
 //!
 //! ```
@@ -40,8 +48,10 @@ mod audit;
 mod careful;
 mod confine;
 pub mod dolevyao;
+mod flow;
 mod invariance;
 mod kind;
+pub mod lattice;
 mod policy;
 mod sort;
 mod testing;
@@ -50,8 +60,12 @@ pub use audit::{audit, Audit, AuditConfig};
 pub use careful::{carefulness, CarefulnessReport, CarefulnessViolation};
 pub use confine::{confinement, confinement_with, ConfinementReport, ConfinementViolation};
 pub use dolevyao::{reveals, reveals_value, Attack, IntruderConfig, Knowledge};
+pub use flow::{
+    graded_flows, graded_flows_with, level, AbstractLevel, FlowViolation, GradedReport,
+};
 pub use invariance::{invariance, InvarianceViolation};
 pub use kind::{kind, AbstractKind, Kind, KindFacts};
+pub use lattice::{Axis, LatticeError, Level, LevelSet, SecLattice};
 pub use policy::Policy;
 pub use sort::{n_star, n_star_name, sort, AbstractSort, Sort, SortFacts};
 pub use testing::{

@@ -1,0 +1,193 @@
+//! Lattice-law property suite for the graded security lattice.
+//!
+//! Every product lattice the policy layer can be configured with must
+//! actually *be* a lattice: join/meet associative, commutative and
+//! absorptive, the order antisymmetric, and the flow judgment
+//! `ℓ ⊑ clearance` monotone under clearance raising and antitone under
+//! level raising. The suite draws random axis shapes (chains, diamonds,
+//! the stock two-point and diamond-4 lattices) and random level pairs
+//! through the in-tree testkit harness, shrinking failing seeds.
+
+use nuspi_bench::testkit::{check, ensure, shrink_u64};
+use nuspi_security::{graded_flows, Axis, Level, Policy, SecLattice};
+use nuspi_semantics::rng::Rng as _;
+use nuspi_syntax::parse_process;
+
+/// A deterministic menu of axes, indexed by seed.
+fn axis_menu(ix: u64) -> Axis {
+    match ix % 6 {
+        0 => Axis::two("conf", "public", "secret"),
+        1 => Axis::diamond("conf", "public", "confidential", "restricted", "secret"),
+        2 => Axis::chain("conf", &["c0", "c1", "c2"]).unwrap(),
+        3 => Axis::chain("integ", &["i0", "i1", "i2", "i3", "i4"]).unwrap(),
+        4 => Axis::two("integ", "trusted", "tainted"),
+        _ => Axis::diamond("integ", "trusted", "internal", "external", "tainted"),
+    }
+}
+
+/// A deterministic menu of product lattices, indexed by seed.
+fn lattice_menu(ix: u64) -> SecLattice {
+    match ix % 4 {
+        0 => SecLattice::two_point(),
+        1 => SecLattice::diamond4(),
+        _ => SecLattice::product(axis_menu(ix / 4), axis_menu(ix / 24 + 3)),
+    }
+}
+
+/// The `n`-th level of `lat` (wrapping), for seeded picking.
+fn pick_level(lat: &SecLattice, n: u64) -> Level {
+    let all: Vec<Level> = lat.levels().collect();
+    all[(n as usize) % all.len()]
+}
+
+#[test]
+fn join_and_meet_are_commutative_and_associative() {
+    check(
+        "lattice-join-meet-laws",
+        400,
+        |rng| rng.next_u64(),
+        shrink_u64,
+        |seed| {
+            let lat = lattice_menu(*seed);
+            let a = pick_level(&lat, seed / 7);
+            let b = pick_level(&lat, seed / 11 + 1);
+            let c = pick_level(&lat, seed / 13 + 2);
+            ensure(lat.join(a, b) == lat.join(b, a), || {
+                format!("join not commutative: {} vs {}", lat.show(a), lat.show(b))
+            })?;
+            ensure(lat.meet(a, b) == lat.meet(b, a), || {
+                format!("meet not commutative: {} vs {}", lat.show(a), lat.show(b))
+            })?;
+            ensure(
+                lat.join(a, lat.join(b, c)) == lat.join(lat.join(a, b), c),
+                || format!("join not associative at {}", lat.show(a)),
+            )?;
+            ensure(
+                lat.meet(a, lat.meet(b, c)) == lat.meet(lat.meet(a, b), c),
+                || format!("meet not associative at {}", lat.show(a)),
+            )?;
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn absorption_laws_hold() {
+    check(
+        "lattice-absorption",
+        400,
+        |rng| rng.next_u64(),
+        shrink_u64,
+        |seed| {
+            let lat = lattice_menu(*seed);
+            let a = pick_level(&lat, seed / 5);
+            let b = pick_level(&lat, seed / 9 + 1);
+            ensure(lat.join(a, lat.meet(a, b)) == a, || {
+                format!("a ⊔ (a ⊓ b) ≠ a for a={}, b={}", lat.show(a), lat.show(b))
+            })?;
+            ensure(lat.meet(a, lat.join(a, b)) == a, || {
+                format!("a ⊓ (a ⊔ b) ≠ a for a={}, b={}", lat.show(a), lat.show(b))
+            })?;
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn order_is_antisymmetric_and_agrees_with_join_meet() {
+    check(
+        "lattice-order-laws",
+        400,
+        |rng| rng.next_u64(),
+        shrink_u64,
+        |seed| {
+            let lat = lattice_menu(*seed);
+            let a = pick_level(&lat, seed / 3);
+            let b = pick_level(&lat, seed / 17 + 1);
+            if lat.leq(a, b) && lat.leq(b, a) {
+                ensure(a == b, || {
+                    format!(
+                        "antisymmetry: {} ≡ {} but distinct",
+                        lat.show(a),
+                        lat.show(b)
+                    )
+                })?;
+            }
+            // a ≤ b ⟺ a ⊔ b = b ⟺ a ⊓ b = a (order and operations agree).
+            ensure(lat.leq(a, b) == (lat.join(a, b) == b), || {
+                format!("≤ vs ⊔ mismatch at {}, {}", lat.show(a), lat.show(b))
+            })?;
+            ensure(lat.leq(a, b) == (lat.meet(a, b) == a), || {
+                format!("≤ vs ⊓ mismatch at {}, {}", lat.show(a), lat.show(b))
+            })?;
+            // Bounds really bound.
+            ensure(lat.leq(lat.bottom(), a) && lat.leq(a, lat.top()), || {
+                format!("bounds fail at {}", lat.show(a))
+            })?;
+            Ok(())
+        },
+    );
+}
+
+/// The flow judgment a graded policy decides: does the level of `key`
+/// escape past the clearance on the wire process `c<key>.0`?
+fn violates(lat: &SecLattice, level: Level, clearance: Level) -> bool {
+    let p = parse_process("(new key) c<key>.0").unwrap();
+    let mut policy = Policy::with_lattice(lat.clone());
+    policy.grade("key", level);
+    policy.set_clearance(clearance);
+    !graded_flows(&p, &policy).violations.is_empty()
+}
+
+#[test]
+fn flow_judgment_is_monotone_under_level_raising() {
+    check(
+        "flow-judgment-monotonicity",
+        60,
+        |rng| rng.next_u64(),
+        shrink_u64,
+        |seed| {
+            let lat = lattice_menu(*seed);
+            let level = pick_level(&lat, seed / 7);
+            let raised = lat.join(level, pick_level(&lat, seed / 19 + 1));
+            let clearance = pick_level(&lat, seed / 29 + 2);
+            // Raising a name's level can only *introduce* violations:
+            // if the raised grading is clean, the original was clean.
+            if !violates(&lat, raised, clearance) {
+                ensure(!violates(&lat, level, clearance), || {
+                    format!(
+                        "raising {} to {} removed a violation at clearance {}",
+                        lat.show(level),
+                        lat.show(raised),
+                        lat.show(clearance)
+                    )
+                })?;
+            }
+            // Raising the clearance can only *remove* violations.
+            let higher_clearance = lat.join(clearance, pick_level(&lat, seed / 31 + 3));
+            if violates(&lat, level, higher_clearance) {
+                ensure(violates(&lat, level, clearance), || {
+                    format!(
+                        "raising clearance {} to {} introduced a violation for {}",
+                        lat.show(clearance),
+                        lat.show(higher_clearance),
+                        lat.show(level)
+                    )
+                })?;
+            }
+            // And the judgment itself matches the order: a violation
+            // happens exactly when level ⋢ clearance.
+            ensure(
+                violates(&lat, level, clearance) != lat.leq(level, clearance),
+                || {
+                    format!(
+                        "flow judgment disagrees with ⊑ for {} at clearance {}",
+                        lat.show(level),
+                        lat.show(clearance)
+                    )
+                },
+            )?;
+            Ok(())
+        },
+    );
+}

@@ -227,6 +227,27 @@ pub fn commitments(p: &Process, cfg: &CommitConfig) -> Vec<Commitment> {
                 })
                 .collect()
         }
+        Process::Hide { name, body } => {
+            // `hide` (no-extrusion rule): like `Res`, the binder is
+            // freshened and actions on the hidden channel are blocked, but
+            // the scope never extrudes — a concretion whose message
+            // mentions the hidden name is dropped entirely instead of
+            // carrying the binder out.
+            let fresh = name.freshen();
+            let opened = body.rename_name(*name, fresh);
+            commitments(&opened, cfg)
+                .into_iter()
+                .filter(|c| c.action.channel() != Some(fresh))
+                .filter_map(|c| {
+                    agent_hide(fresh, c.agent).map(|agent| Commitment {
+                        action: c.action,
+                        agent,
+                        outputs: c.outputs,
+                        mode: cfg.mode,
+                    })
+                })
+                .collect()
+        }
         Process::Replicate(q) => {
             if cfg.rep_budget == 0 {
                 return Vec::new();
@@ -324,6 +345,32 @@ fn agent_restrict(m: Name, agent: Agent) -> Agent {
                     label: c.label,
                     body: builder::restrict(m, c.body),
                 })
+            }
+        }
+    }
+}
+
+/// `(hide m)A`: no scope extrusion. A concretion whose message mentions
+/// `m` is blocked (`None`); every other agent keeps the hiding on its
+/// continuation.
+fn agent_hide(m: Name, agent: Agent) -> Option<Agent> {
+    match agent {
+        Agent::Proc(p) => Some(Agent::Proc(builder::hide(m, p))),
+        Agent::Abs(a) => Some(Agent::Abs(Abstraction {
+            restricted: a.restricted,
+            var: a.var,
+            body: builder::hide(m, a.body),
+        })),
+        Agent::Conc(c) => {
+            if c.value.contains_name(m) {
+                None
+            } else {
+                Some(Agent::Conc(Concretion {
+                    restricted: c.restricted,
+                    value: c.value,
+                    label: c.label,
+                    body: builder::hide(m, c.body),
+                }))
             }
         }
     }

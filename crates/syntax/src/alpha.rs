@@ -246,6 +246,24 @@ fn hash_process(p: &Process, env: &mut Numbering, h: &mut impl Hasher, mode: Mod
                 }
             }
         }
+        Process::Hide { name, body } => {
+            // Distinct tag from Restrict: `hide x.P` and `new x.P` are
+            // different binders with different α-classes and must never
+            // collide in the content-addressed cache.
+            30u8.hash(h);
+            hash_canonical(name.canonical(), h, mode);
+            let prev = env.names.get(name).copied();
+            env.bind_name(*name);
+            hash_process(body, env, h, mode);
+            match prev {
+                Some(id) => {
+                    env.names.insert(*name, id);
+                }
+                None => {
+                    env.names.remove(name);
+                }
+            }
+        }
         Process::Match { lhs, rhs, then } => {
             25u8.hash(h);
             hash_expr(lhs, env, h, mode);
@@ -432,7 +450,8 @@ fn eq_process(p: &Process, q: &Process, map: &mut Correspondence) -> bool {
         (Process::Par(a1, b1), Process::Par(a2, b2)) => {
             eq_process(a1, a2, map) && eq_process(b1, b2, map)
         }
-        (Process::Restrict { name: n1, body: b1 }, Process::Restrict { name: n2, body: b2 }) => {
+        (Process::Restrict { name: n1, body: b1 }, Process::Restrict { name: n2, body: b2 })
+        | (Process::Hide { name: n1, body: b1 }, Process::Hide { name: n2, body: b2 }) => {
             if n1.canonical() != n2.canonical() {
                 return false;
             }

@@ -100,6 +100,19 @@ pub enum Process {
         /// The scope of the restriction.
         body: Box<Process>,
     },
+    /// Hiding `(hide n)P`; binds `name` in `body`.
+    ///
+    /// Like restriction, `hide` generates a fresh name, but it declares
+    /// *confidentiality* rather than mere freshness: the scope of a hidden
+    /// name never extrudes (the commitment semantics drops any output whose
+    /// value mentions it) and the analysis treats the name as secret at the
+    /// top of the confidentiality lattice without a policy entry.
+    Hide {
+        /// The bound name.
+        name: Name,
+        /// The scope of the hiding.
+        body: Box<Process>,
+    },
     /// Match `[E is V]P`.
     Match {
         /// Left-hand expression.
@@ -325,7 +338,7 @@ impl Process {
                 p.free_vars_into(out);
                 q.free_vars_into(out);
             }
-            Process::Restrict { body, .. } => body.free_vars_into(out),
+            Process::Restrict { body, .. } | Process::Hide { body, .. } => body.free_vars_into(out),
             Process::Match { lhs, rhs, then } => {
                 lhs.free_vars_into(out);
                 rhs.free_vars_into(out);
@@ -405,7 +418,7 @@ impl Process {
                 p.free_names_into(out);
                 q.free_names_into(out);
             }
-            Process::Restrict { name, body } => {
+            Process::Restrict { name, body } | Process::Hide { name, body } => {
                 let mut inner = HashSet::new();
                 body.free_names_into(&mut inner);
                 inner.remove(name);
@@ -438,6 +451,44 @@ impl Process {
         }
     }
 
+    /// Canonical bases of every `hide`-bound name, sorted and deduped.
+    ///
+    /// A hidden name is secret *by construction* — the security analyses
+    /// fold this set into the attacker-opaque names without requiring a
+    /// policy entry, and the `W106` lint reports hidden names that the
+    /// estimate nevertheless lets escape.
+    pub fn hidden_names(&self) -> Vec<Symbol> {
+        fn walk(p: &Process, out: &mut Vec<Symbol>) {
+            match p {
+                Process::Nil => {}
+                Process::Output { then, .. }
+                | Process::Input { then, .. }
+                | Process::Match { then, .. }
+                | Process::Let { then, .. }
+                | Process::CaseDec { then, .. } => walk(then, out),
+                Process::Par(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                Process::Hide { name, body } => {
+                    out.push(name.canonical());
+                    walk(body, out);
+                }
+                Process::Restrict { body, .. } => walk(body, out),
+                Process::Replicate(q) => walk(q, out),
+                Process::CaseNat { zero, succ, .. } => {
+                    walk(zero, out);
+                    walk(succ, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
     /// Every label occurring in the process, in traversal order.
     pub fn labels(&self) -> Vec<Label> {
         let mut out = Vec::new();
@@ -461,7 +512,7 @@ impl Process {
                 p.labels_into(out);
                 q.labels_into(out);
             }
-            Process::Restrict { body, .. } => body.labels_into(out),
+            Process::Restrict { body, .. } | Process::Hide { body, .. } => body.labels_into(out),
             Process::Match { lhs, rhs, then } => {
                 lhs.labels_into(out);
                 rhs.labels_into(out);
@@ -513,6 +564,10 @@ impl Process {
             },
             Process::Par(p, q) => Process::Par(Box::new(p.subst(x, w)), Box::new(q.subst(x, w))),
             Process::Restrict { name, body } => Process::Restrict {
+                name: *name,
+                body: Box::new(body.subst(x, w)),
+            },
+            Process::Hide { name, body } => Process::Hide {
                 name: *name,
                 body: Box::new(body.subst(x, w)),
             },
@@ -601,6 +656,16 @@ impl Process {
                     }
                 }
             }
+            Process::Hide { name, body } => {
+                if *name == from {
+                    self.clone()
+                } else {
+                    Process::Hide {
+                        name: *name,
+                        body: Box::new(body.rename_name(from, to)),
+                    }
+                }
+            }
             Process::Match { lhs, rhs, then } => Process::Match {
                 lhs: lhs.rename_name(from, to),
                 rhs: rhs.rename_name(from, to),
@@ -671,7 +736,7 @@ impl Process {
             Process::Output { chan, msg, then } => 1 + chan.size() + msg.size() + then.size(),
             Process::Input { chan, then, .. } => 1 + chan.size() + then.size(),
             Process::Par(p, q) => 1 + p.size() + q.size(),
-            Process::Restrict { body, .. } => 1 + body.size(),
+            Process::Restrict { body, .. } | Process::Hide { body, .. } => 1 + body.size(),
             Process::Match { lhs, rhs, then } => 1 + lhs.size() + rhs.size() + then.size(),
             Process::Replicate(p) => 1 + p.size(),
             Process::Let { expr, then, .. } => 1 + expr.size() + then.size(),
@@ -702,6 +767,12 @@ fn open_restriction(p: &Process, name: Symbol, x: Var) -> Option<Process> {
                 body: Box::new(b),
             })
         }
+        // `hide` is never opened — only `(νn)` restrictions are candidates —
+        // but the search descends into its scope looking for inner binders.
+        Process::Hide { name: n, body } => open_restriction(body, name, x).map(|b| Process::Hide {
+            name: *n,
+            body: Box::new(b),
+        }),
         Process::Par(a, b) => {
             if let Some(a2) = open_restriction(a, name, x) {
                 Some(Process::Par(Box::new(a2), b.clone()))
@@ -828,6 +899,16 @@ fn abstract_bound(p: &Process, n: Name, x: Var) -> Process {
                 }
             }
         }
+        Process::Hide { name, body } => {
+            if *name == n {
+                p.clone()
+            } else {
+                Process::Hide {
+                    name: *name,
+                    body: Box::new(abstract_bound(body, n, x)),
+                }
+            }
+        }
         Process::Match { lhs, rhs, then } => Process::Match {
             lhs: in_expr(lhs, n, x),
             rhs: in_expr(rhs, n, x),
@@ -922,6 +1003,19 @@ fn abstract_in_process(p: &Process, name: Symbol, x: Var) -> Process {
                 }
             } else {
                 Process::Restrict {
+                    name: *n,
+                    body: Box::new(abstract_in_process(body, name, x)),
+                }
+            }
+        }
+        Process::Hide { name: n, body } => {
+            if n.canonical() == name && n.is_source() {
+                Process::Hide {
+                    name: *n,
+                    body: body.clone(),
+                }
+            } else {
+                Process::Hide {
                     name: *n,
                     body: Box::new(abstract_in_process(body, name, x)),
                 }

@@ -137,6 +137,20 @@ pub fn restrict_all(names: impl IntoIterator<Item = Name>, body: Process) -> Pro
         .fold(body, |acc, n| restrict(n, acc))
 }
 
+/// Hiding `(hide n)P`.
+pub fn hide(name: Name, body: Process) -> Process {
+    Process::Hide {
+        name,
+        body: Box::new(body),
+    }
+}
+
+/// Nested hidings `(hide n₁)…(hide nₖ)P`.
+pub fn hide_all(names: impl IntoIterator<Item = Name>, body: Process) -> Process {
+    let names: Vec<Name> = names.into_iter().collect();
+    names.into_iter().rev().fold(body, |acc, n| hide(n, acc))
+}
+
 /// Match `[E is V]P`.
 pub fn guard(lhs: Expr, rhs: Expr, then: Process) -> Process {
     Process::Match {

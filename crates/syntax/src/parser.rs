@@ -6,6 +6,7 @@
 //!     | E(x).P                              input
 //!     | P | P                               parallel ('|' binds loosest)
 //!     | (new n) P                           restriction (also 'nu')
+//!     | (hide n) P                          hiding (no extrusion)
 //!     | [E is E'] P                         match
 //!     | !P                                  replication
 //!     | let (x, y) = E in P                 pair splitting
@@ -111,6 +112,7 @@ enum Tok {
     Colon,
     Eq,
     KwNew,
+    KwHide,
     KwIs,
     KwLet,
     KwIn,
@@ -139,6 +141,7 @@ impl fmt::Display for Tok {
             Tok::Colon => write!(f, "`:`"),
             Tok::Eq => write!(f, "`=`"),
             Tok::KwNew => write!(f, "`new`"),
+            Tok::KwHide => write!(f, "`hide`"),
             Tok::KwIs => write!(f, "`is`"),
             Tok::KwLet => write!(f, "`let`"),
             Tok::KwIn => write!(f, "`in`"),
@@ -199,6 +202,7 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                 let word = &src[start..i];
                 let tok = match word {
                     "new" | "nu" => Tok::KwNew,
+                    "hide" => Tok::KwHide,
                     "is" => Tok::KwIs,
                     "let" => Tok::KwLet,
                     "in" => Tok::KwIn,
@@ -454,6 +458,18 @@ impl Parser {
                     return self.with_name(ident, |p, name| {
                         let body = p.parse_prefix()?;
                         Ok(Process::Restrict {
+                            name,
+                            body: Box::new(body),
+                        })
+                    });
+                }
+                if self.toks.get(self.pos + 1).map(|(t, _)| t) == Some(&Tok::KwHide) {
+                    self.pos += 2;
+                    let ident = self.expect_ident()?;
+                    self.expect(Tok::RParen)?;
+                    return self.with_name(ident, |p, name| {
+                        let body = p.parse_prefix()?;
+                        Ok(Process::Hide {
                             name,
                             body: Box::new(body),
                         })

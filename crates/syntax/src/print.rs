@@ -56,6 +56,7 @@ impl fmt::Display for Process {
             }
             Process::Par(p, q) => write!(f, "{} | {}", Paren(p), Paren(q)),
             Process::Restrict { name, body } => write!(f, "(new {name}) {}", Paren(body)),
+            Process::Hide { name, body } => write!(f, "(hide {name}) {}", Paren(body)),
             Process::Match { lhs, rhs, then } => {
                 write!(f, "[{lhs} is {rhs}] {}", Paren(then))
             }

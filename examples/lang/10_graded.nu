@@ -1,0 +1,14 @@
+// expect: secure
+//
+// Graded labels go beyond high/low: this token sits at
+// conf:confidential on the 4-point diamond lattice. Kept on an
+// internal channel it never crosses the attacker's clearance
+// (conf:public,integ:trusted), so the program is secure.
+func main() {
+	//nuspi::label::{conf:confidential}
+	token := 7
+	vault := make(chan)
+	vault <- token
+	x := <-vault
+	vault <- x
+}

@@ -1,0 +1,13 @@
+// expect: insecure
+//
+// The same graded token shipped to an observable sink: the level
+// conf:restricted,integ:external is not below the attacker clearance
+// conf:public,integ:trusted, so the lattice-flow check (E009) names
+// the violated edge alongside the classical confinement errors.
+func main() {
+	//nuspi::sink::{}
+	out := make(chan)
+	//nuspi::label::{conf:restricted,integ:external}
+	key := 7
+	out <- key
+}

@@ -1,0 +1,14 @@
+// expect: insecure
+//
+// A `hide`-bound name is secret by construction and its scope is a
+// hard wall: the dynamic semantics refuses to extrude it. Sending it
+// to a sink is therefore almost certainly a bug — the estimate flags
+// the attempted escape (W106) and, since hidden names are secret, the
+// classical confinement errors fire alongside.
+func main() {
+	//nuspi::sink::{}
+	out := make(chan)
+	//nuspi::hide
+	nonce := 3
+	out <- nonce
+}

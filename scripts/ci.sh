@@ -17,8 +17,14 @@ cargo test -q --test provenance_stats
 echo "==> incremental differential wall"
 cargo test -q -p nuspi-cfa --test incremental_diff
 
-echo "==> lint golden files"
+echo "==> lint golden files (incl. ns-lowe / splice-as and their broken variants)"
 cargo test -q --test lint_golden
+
+echo "==> lattice conservative-extension wall (2-point twin policies, serve transcripts)"
+cargo test -q --test lattice_wall
+
+echo "==> lattice laws (join/meet/order/flow-judgment properties)"
+cargo test -q -p nuspi-security --test lattice_laws
 
 echo "==> lang ladder golden files, determinism, parser robustness"
 cargo test -q --test lang_golden

@@ -285,6 +285,13 @@ fn freshen_restrictions(p: &nuspi::Process) -> nuspi::Process {
                 body: Box::new(freshen_restrictions(&body.rename_name(*name, fresh))),
             }
         }
+        P::Hide { name, body } => {
+            let fresh = name.freshen();
+            P::Hide {
+                name: fresh,
+                body: Box::new(freshen_restrictions(&body.rename_name(*name, fresh))),
+            }
+        }
         P::Match { lhs, rhs, then } => P::Match {
             lhs: lhs.clone(),
             rhs: rhs.clone(),
@@ -371,6 +378,129 @@ fn single_node_perturbations_change_the_digest() {
         let renamed = p.rename_name(Name::global("c"), Name::global("zz-perturbed-free-name"));
         if !alpha_equivalent(&p, &renamed) {
             assert_ne!(d, canonical_digest(&renamed), "seed {seed}: free rename");
+        }
+    }
+}
+
+/// Rebuilds `p` with every `new` binder swapped for `hide`, counting
+/// the swaps. Zero swaps means `p` is restriction-free.
+fn hide_restrictions(p: &nuspi::Process, swapped: &mut usize) -> nuspi::Process {
+    use nuspi::Process as P;
+    match p {
+        P::Restrict { name, body } => {
+            *swapped += 1;
+            P::Hide {
+                name: *name,
+                body: Box::new(hide_restrictions(body, swapped)),
+            }
+        }
+        P::Nil => P::Nil,
+        P::Output { chan, msg, then } => P::Output {
+            chan: chan.clone(),
+            msg: msg.clone(),
+            then: Box::new(hide_restrictions(then, swapped)),
+        },
+        P::Input { chan, var, then } => P::Input {
+            chan: chan.clone(),
+            var: *var,
+            then: Box::new(hide_restrictions(then, swapped)),
+        },
+        P::Par(l, r) => P::Par(
+            Box::new(hide_restrictions(l, swapped)),
+            Box::new(hide_restrictions(r, swapped)),
+        ),
+        P::Hide { name, body } => P::Hide {
+            name: *name,
+            body: Box::new(hide_restrictions(body, swapped)),
+        },
+        P::Match { lhs, rhs, then } => P::Match {
+            lhs: lhs.clone(),
+            rhs: rhs.clone(),
+            then: Box::new(hide_restrictions(then, swapped)),
+        },
+        P::Replicate(q) => P::Replicate(Box::new(hide_restrictions(q, swapped))),
+        P::Let {
+            fst,
+            snd,
+            expr,
+            then,
+        } => P::Let {
+            fst: *fst,
+            snd: *snd,
+            expr: expr.clone(),
+            then: Box::new(hide_restrictions(then, swapped)),
+        },
+        P::CaseNat {
+            expr,
+            zero,
+            pred,
+            succ,
+        } => P::CaseNat {
+            expr: expr.clone(),
+            zero: Box::new(hide_restrictions(zero, swapped)),
+            pred: *pred,
+            succ: Box::new(hide_restrictions(succ, swapped)),
+        },
+        P::CaseDec {
+            expr,
+            vars,
+            key,
+            then,
+        } => P::CaseDec {
+            expr: expr.clone(),
+            vars: vars.clone(),
+            key: key.clone(),
+            then: Box::new(hide_restrictions(then, swapped)),
+        },
+    }
+}
+
+#[test]
+fn hide_and_new_are_distinct_binders_in_the_digest() {
+    use nuspi::syntax::{alpha_equivalent, canonical_digest};
+    // Pinned pairs: the same body under the two binders must sit in
+    // different α-classes with different digests.
+    let pairs = [
+        ("(new x) c<x>.0", "(hide x) c<x>.0"),
+        (
+            "(new k) (new m) c<{m, new r}:k>.0",
+            "(hide k) (new m) c<{m, new r}:k>.0",
+        ),
+        ("(new a) (a<0>.0 | a(y).0)", "(hide a) (a<0>.0 | a(y).0)"),
+    ];
+    for (new_src, hide_src) in pairs {
+        let pn = nuspi::parse_process(new_src).unwrap();
+        let ph = nuspi::parse_process(hide_src).unwrap();
+        assert!(
+            !alpha_equivalent(&pn, &ph),
+            "{new_src} vs {hide_src}: binders must not be conflated"
+        );
+        assert_ne!(
+            canonical_digest(&pn),
+            canonical_digest(&ph),
+            "{new_src} vs {hide_src}: digest must separate hide from new"
+        );
+    }
+    // `hide` is still α-invariant on its own: freshening the binder's
+    // id (the α-step in this calculus — canonical base names carry
+    // policy meaning and stay put) keeps the digest fixed.
+    let a = nuspi::parse_process("(hide x) c<x>.0").unwrap();
+    let b = freshen_restrictions(&a);
+    assert!(alpha_equivalent(&a, &b));
+    assert_eq!(canonical_digest(&a), canonical_digest(&b));
+    // Perturbation over the random corpus: swapping every `new` for
+    // `hide` must move the digest whenever there is a binder to swap.
+    for seed in 0..200u64 {
+        let p = random_process(seed, &GenConfig::default());
+        let mut swapped = 0;
+        let q = hide_restrictions(&p, &mut swapped);
+        if swapped > 0 {
+            assert!(!alpha_equivalent(&p, &q), "seed {seed}");
+            assert_ne!(
+                canonical_digest(&p),
+                canonical_digest(&q),
+                "seed {seed}: {swapped} binder swaps left the digest unchanged"
+            );
         }
     }
 }
