@@ -1,0 +1,20 @@
+//! Thin front end for the `equiv` bench suite (see
+//! `nuspi_bench::suites`): prints the human tables and writes the
+//! machine-readable `BENCH_equiv.json` report for `bench_gate`.
+//!
+//! Run with: `cargo run --release -p nuspi-bench --bin bench_equiv`
+//! (`--smoke` shrinks the per-measurement time budget).
+
+use nuspi_bench::report::bench_dir;
+use nuspi_bench::suites;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let run = suites::run("equiv", smoke).expect("known suite");
+    print!("{}", run.human);
+    let path = run
+        .report
+        .write_to(&bench_dir())
+        .expect("write bench report");
+    eprintln!("report: {}", path.display());
+}

@@ -18,8 +18,9 @@ use nuspi_cfa::{analyze, analyze_with_attacker, solve, solve_parallel, Constrain
 use nuspi_diagnostics::{lint, LintContext, PassRegistry};
 use nuspi_engine::jsonio::escape;
 use nuspi_engine::{AnalysisEngine, ProcessInput, Request, Response};
+use nuspi_equiv::{check, independence_oracle, mutations, EquivConfig, Verdict};
 use nuspi_net::{spawn, DiskStore, NetConfig, StoreConfig};
-use nuspi_protocols::{open_examples, suite, wmf};
+use nuspi_protocols::{broken_twins, open_examples, suite, wmf};
 use nuspi_security::{
     carefulness, confinement, graded_flows_with, n_star, n_star_name, reveals, AbstractLevel,
     IntruderConfig, Knowledge, Policy, SecLattice,
@@ -49,6 +50,7 @@ pub const SUITES: &[&str] = &[
     "lang",
     "semantics",
     "security",
+    "equiv",
     "ablation",
 ];
 
@@ -61,6 +63,7 @@ pub fn run(name: &str, smoke: bool) -> Option<SuiteRun> {
         "lang" => Some(lang(smoke)),
         "semantics" => Some(semantics(smoke)),
         "security" => Some(security(smoke)),
+        "equiv" => Some(equiv(smoke)),
         "ablation" => Some(ablation(smoke)),
         _ => None,
     }
@@ -919,6 +922,206 @@ pub fn security(smoke: bool) -> SuiteRun {
 
     human.push_str(&table.render());
     human.push_str("bench_security done.\n");
+    SuiteRun { human, report }
+}
+
+/// The bounded hedged-bisimulation backend: direct twin games, the
+/// dynamic Theorem 5 oracle on honest and flawed protocols, the miner's
+/// mutant enumeration, and the engine's cached `equiv` path. Verdict
+/// codes (0 bisimilar / 1 distinguished / 2 unknown) and play meters are
+/// exact canaries — the game is deterministic by construction, so any
+/// drift is a behavioural change, not noise.
+pub fn equiv(smoke: bool) -> SuiteRun {
+    const WARM_ROUNDS: u32 = 5;
+    let b = budget(smoke);
+    let mut report = BenchReport::new("equiv", smoke);
+    let mut human = String::from("bench_equiv: bounded hedged-bisimulation games\n\n");
+    // Pinned budgets (the golden wall's): baselines survive default
+    // re-tunes, and smoke and full mode play the identical game.
+    let cfg = EquivConfig {
+        game_depth: 5,
+        max_plays: 4_000,
+        tau_depth: 20,
+        tau_states: 600,
+        max_injections: 16,
+        ..EquivConfig::default()
+    };
+    let verdict_code = |v: &Verdict| -> u64 {
+        match v {
+            Verdict::Bisimilar => 0,
+            Verdict::Distinguished { .. } => 1,
+            Verdict::Unknown { .. } => 2,
+        }
+    };
+    let public_names = |spec: &nuspi_protocols::ProtocolSpec, other: &Process| -> Vec<Symbol> {
+        let mut v: Vec<Symbol> = spec
+            .process
+            .free_names()
+            .into_iter()
+            .chain(other.free_names())
+            .map(|n| n.canonical())
+            .filter(|s| spec.policy.is_public(*s))
+            .chain(spec.public_channels.iter().copied())
+            .collect();
+        v.sort_by_key(|s| s.as_str().to_owned());
+        v.dedup();
+        v
+    };
+
+    // Direct games: the small binder pairs plus each honest/broken twin.
+    let mut table = Table::new(["game", "mean time", "verdict", "plays"]);
+    let small: Vec<(String, Process, Process, Vec<Symbol>)> = vec![
+        (
+            "new-vs-hide".to_owned(),
+            parse_process("(new n) c<n>.0").unwrap(),
+            parse_process("(hide n) c<n>.0").unwrap(),
+            vec![Symbol::intern("c")],
+        ),
+        (
+            "sealed-twins".to_owned(),
+            parse_process("(new k) c<{a, new r}:k>.0").unwrap(),
+            parse_process("(new k2) c<{b, new r2}:k2>.0").unwrap(),
+            vec![
+                Symbol::intern("a"),
+                Symbol::intern("b"),
+                Symbol::intern("c"),
+            ],
+        ),
+    ];
+    let twins: Vec<(String, Process, Process, Vec<Symbol>)> = broken_twins()
+        .into_iter()
+        .map(|(honest, broken)| {
+            let public = public_names(&honest, &broken.process);
+            (
+                format!("{}-vs-{}", honest.name, broken.name),
+                honest.process,
+                broken.process,
+                public,
+            )
+        })
+        .collect();
+    for (name, left, right, public) in small.iter().chain(&twins) {
+        let t = timed_stable(b, || {
+            let _ = check(left, right, public, &cfg);
+        });
+        let r = check(left, right, public, &cfg);
+        table.row([
+            format!("game/{name}"),
+            fmt_ms(t),
+            r.verdict.tag().to_owned(),
+            r.plays.to_string(),
+        ]);
+        report.time(&format!("game/{name}"), t);
+        report.exact(&format!("game/{name}/verdict"), verdict_code(&r.verdict));
+        report.exact(&format!("game/{name}/plays"), r.plays as u64);
+        if !t.is_zero() {
+            report.info(
+                &format!("game/{name}/plays-per-sec"),
+                r.plays as f64 / t.as_secs_f64(),
+                "plays/s",
+            );
+        }
+    }
+    human.push_str(&table.render());
+    human.push('\n');
+
+    // The Theorem 5 oracle on one honest and one flawed protocol per
+    // twin family: the flawed side must come out distinguished.
+    let mut oracle_table = Table::new(["oracle", "mean time", "verdict", "plays"]);
+    for spec in suite().into_iter().filter(|s| {
+        matches!(
+            s.name,
+            "wmf" | "wmf-key-in-clear" | "ns-lowe" | "ns-lowe-no-identity"
+        )
+    }) {
+        let (open, x) = spec
+            .process
+            .abstract_restriction(spec.secret)
+            .expect("suite spec abstracts");
+        let public = public_names(&spec, &open);
+        let t = timed_stable(b, || {
+            let _ = independence_oracle(&open, x, &public, &cfg);
+        });
+        let r = independence_oracle(&open, x, &public, &cfg);
+        oracle_table.row([
+            format!("oracle/{}", spec.name),
+            fmt_ms(t),
+            r.verdict.tag().to_owned(),
+            r.plays.to_string(),
+        ]);
+        report.time(&format!("oracle/{}", spec.name), t);
+        report.exact(
+            &format!("oracle/{}/verdict", spec.name),
+            verdict_code(&r.verdict),
+        );
+        report.exact(&format!("oracle/{}/plays", spec.name), r.plays as u64);
+    }
+    human.push_str(&oracle_table.render());
+    human.push('\n');
+
+    // The miner: enumeration cost and mutant counts for the honest twins.
+    let mut miner_table = Table::new(["miner", "mean time", "mutants"]);
+    for (honest, _) in broken_twins() {
+        let t = timed_stable(b, || {
+            let _ = mutations(&honest.process);
+        });
+        let count = mutations(&honest.process).len() as u64;
+        miner_table.row([
+            format!("miner/{}", honest.name),
+            fmt_ms(t),
+            count.to_string(),
+        ]);
+        report.time(&format!("miner/{}", honest.name), t);
+        report.exact(&format!("miner/{}/mutants", honest.name), count);
+    }
+    human.push_str(&miner_table.render());
+    human.push('\n');
+
+    // The engine path: a cold `equiv` batch, then pure pair-digest cache
+    // hits — order-swapped on the warm rounds to exercise the
+    // order-independent key.
+    let engine = AnalysisEngine::new(nuspi_engine::EngineConfig {
+        jobs: 0,
+        equiv: cfg,
+        ..nuspi_engine::EngineConfig::default()
+    });
+    let pairs: Vec<(String, String)> = small
+        .iter()
+        .chain(&twins)
+        .map(|(_, l, r, _)| (l.to_string(), r.to_string()))
+        .collect();
+    let cold_requests: Vec<Request> = pairs.iter().map(|(l, r)| Request::equiv(l, r)).collect();
+    let warm_requests: Vec<Request> = pairs.iter().map(|(l, r)| Request::equiv(r, l)).collect();
+    let (cold_responses, cold) = timed(|| engine.submit_requests(cold_requests));
+    assert!(
+        cold_responses.iter().all(Response::is_ok),
+        "cold equiv batch must succeed"
+    );
+    let mut warm_total = Duration::ZERO;
+    for round in 0..WARM_ROUNDS {
+        let (responses, took) = timed(|| engine.submit_requests(warm_requests.clone()));
+        assert!(
+            responses.iter().all(|r| r.cached),
+            "warm round {round} must hit the pair-digest cache"
+        );
+        warm_total += took;
+    }
+    let warm = warm_total / WARM_ROUNDS;
+    let speedup = cold.as_secs_f64() / warm.as_secs_f64().max(1e-9);
+    human.push_str(&format!(
+        "engine equiv: cold {} warm (order-swapped) {} speedup {speedup:.1}x\n",
+        fmt_ms(cold),
+        fmt_ms(warm)
+    ));
+    report.time("engine/cold-batch", cold);
+    report.time("engine/warm-batch", warm);
+    report.info("engine/speedup", speedup, "x");
+    let stats = engine.stats();
+    report.exact("engine/cache-hits", stats.cache.hits);
+    report.exact("engine/cache-misses", stats.cache.misses);
+    report.exact("engine/cases", pairs.len() as u64);
+
+    human.push_str("bench_equiv done.\n");
     SuiteRun { human, report }
 }
 

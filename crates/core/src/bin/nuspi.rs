@@ -12,6 +12,7 @@
 //! nuspi explain <file> [--secret NAME]...        narrate how secrets reach public channels
 //! nuspi lint    <file> [--secret NAME]... [--json] [--shards N]
 //!                                                multi-pass diagnostics with witness traces
+//! nuspi equiv   <left> <right> [--json]          bounded hedged-bisimilarity of two processes
 //! nuspi serve   [--jobs N] [--cache-bytes N]     JSON-lines analysis service on stdin/stdout
 //! nuspi serve   --listen ADDR [--cache-dir DIR]  ... or on a TCP socket, with an optional
 //!                                                persistent response store
@@ -51,6 +52,7 @@ const USAGE: &str = "usage:
   nuspi explore <file> [--max-depth N] [--max-states N]
   nuspi explain <file> [--secret NAME]...
   nuspi lint    <file> [--secret NAME]... [--json] [--shards N]
+  nuspi equiv   <left> <right> [--json]
   nuspi serve   [--jobs N] [--cache-bytes N] [--trace FILE]
                 [--listen ADDR] [--cache-dir DIR] [--max-conns N] [--idle-ms N]
                 [--queue-depth N] [--store-bytes N] [--store-min-ms N]
@@ -154,6 +156,95 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     Ok(o)
 }
 
+/// `nuspi equiv <left> <right> [--json]`: bounded hedged-bisimilarity
+/// through the analysis engine (one in-process worker), so the CLI, the
+/// pipe service and the TCP service render the same cached body. Exit
+/// status: 0 bisimilar, 1 distinguished, 3 unknown (budgets exhausted),
+/// 2 usage/parse errors.
+fn run_equiv(args: &[String]) -> Result<ExitCode, String> {
+    let mut files: Vec<String> = Vec::new();
+    let mut json = false;
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            _ if a.starts_with("--") => return Err(format!("unknown flag {a} for equiv")),
+            _ => files.push(a.clone()),
+        }
+    }
+    let [left, right] = files.as_slice() else {
+        return Err("equiv needs exactly <left> and <right> files".into());
+    };
+    let (ls, rs) = (read_source(left)?, read_source(right)?);
+    let engine = nuspi::engine::AnalysisEngine::new(nuspi::engine::EngineConfig {
+        jobs: 1,
+        ..Default::default()
+    });
+    let resp = engine.submit(nuspi::engine::Request::equiv(&ls, &rs));
+    if !resp.is_ok() {
+        // A parse error in either file: surface the engine's message.
+        return Err(resp
+            .body
+            .split("\"error\":\"")
+            .nth(1)
+            .and_then(|s| s.split('"').next())
+            .unwrap_or("equiv failed")
+            .to_owned());
+    }
+    if json {
+        println!("{}", resp.to_line());
+    } else {
+        print!("{}", render_equiv_body(&resp.body));
+    }
+    let verdict = |tag: &str| resp.body.contains(&format!("\"verdict\":\"{tag}\""));
+    Ok(if verdict("bisimilar") {
+        ExitCode::SUCCESS
+    } else if verdict("distinguished") {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::from(3)
+    })
+}
+
+/// Human rendering of an `equiv` response body.
+fn render_equiv_body(body: &str) -> String {
+    let field = |k: &str| {
+        body.split(&format!("\"{k}\":\""))
+            .nth(1)
+            .and_then(|s| s.split('"').next())
+            .unwrap_or("?")
+            .to_owned()
+    };
+    let list = |k: &str| -> Vec<String> {
+        let Some(rest) = body.split(&format!("\"{k}\":[")).nth(1) else {
+            return Vec::new();
+        };
+        let Some(arr) = rest.split(']').next() else {
+            return Vec::new();
+        };
+        arr.split("\",\"")
+            .map(|s| s.trim_matches('"').replace("\\\"", "\""))
+            .filter(|s| !s.is_empty())
+            .collect()
+    };
+    let mut out = format!("verdict: {}\n", field("verdict"));
+    match field("verdict").as_str() {
+        "distinguished" => {
+            out.push_str("attacker strategy:\n");
+            for step in list("trace") {
+                out.push_str(&format!("  {step}\n"));
+            }
+        }
+        "unknown" => {
+            out.push_str(&format!(
+                "exhausted budgets: {}\n",
+                list("budgets").join(", ")
+            ));
+        }
+        _ => {}
+    }
+    out
+}
+
 fn read_source(file: &str) -> Result<String, String> {
     if file == "-" {
         let mut s = String::new();
@@ -173,6 +264,11 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     if cmd == "help" || cmd == "--help" || cmd == "-h" {
         println!("{USAGE}");
         return Ok(ExitCode::SUCCESS);
+    }
+    if cmd == "equiv" {
+        // Two positional files: handled before the generic option parser
+        // (which reserves the single <file> slot).
+        return run_equiv(&args[1..]);
     }
     let o = parse_opts(&args[1..])?;
     if cmd == "serve" {

@@ -19,7 +19,11 @@
 //! * a **batch analysis service**: a worker pool answering audit / lint /
 //!   solve / reveals requests with a content-addressed α-invariant cache,
 //!   behind a JSON-lines session — [`engine`] (the `nuspi serve`
-//!   subcommand).
+//!   subcommand);
+//! * a **dynamic backend**: bounded hedged-bisimilarity over the
+//!   commitment semantics, with a Theorem 5 oracle run differentially
+//!   against the static analysis and an attack-variant miner —
+//!   [`equiv`] (the `nuspi equiv` subcommand).
 //!
 //! The [`Analyzer`] type packages the common workflows.
 //!
@@ -49,6 +53,7 @@
 pub use nuspi_cfa as cfa;
 pub use nuspi_diagnostics as diagnostics;
 pub use nuspi_engine as engine;
+pub use nuspi_equiv as equiv;
 pub use nuspi_lang as lang;
 pub use nuspi_net as net;
 pub use nuspi_obs as obs;

@@ -19,6 +19,7 @@ use crate::exec::{prepare, Prepared, Runner};
 use crate::pool::{lock, WorkerPool};
 use crate::request::{error_body, Envelope, Request, Response};
 use nuspi_cfa::{IncrementalSolver, IncrementalStats, Solution};
+use nuspi_equiv::EquivConfig;
 use nuspi_security::IntruderConfig;
 use nuspi_semantics::ExecConfig;
 use nuspi_syntax::Process;
@@ -86,6 +87,10 @@ pub struct EngineConfig {
     pub exec: ExecConfig,
     /// Budgets of the bounded Dolev–Yao intruder (likewise keyed).
     pub intruder: IntruderBudgets,
+    /// Budgets of the hedged-bisimulation game behind the `equiv` op
+    /// (keyed for that op only: `equiv` verdicts depend on them, the
+    /// static ops do not).
+    pub equiv: EquivConfig,
 }
 
 /// The default cache byte budget.

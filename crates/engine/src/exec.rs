@@ -438,12 +438,116 @@ pub(crate) fn prepare(
                 }
             }
         }
+        Request::Equiv { left, right } => {
+            let op = "equiv";
+            match (parse_input(left), parse_input(right)) {
+                (Err(e), _) => fail(op, format!("left: {e}")),
+                (_, Err(e)) => fail(op, format!("right: {e}")),
+                (Ok(l), Ok(r)) => {
+                    // Order-independent pair key: the low digest plays
+                    // the `p` slot, the high digest rides in `extras` —
+                    // `equiv(P, Q)` and `equiv(Q, P)` share one entry.
+                    // The game budgets are keyed for this op only (via
+                    // `strings`), so changing them re-keys `equiv`
+                    // bodies without touching the static ops' entries.
+                    let (dl, dr) = (canonical_digest(&l).0, canonical_digest(&r).0);
+                    let plo = if dl <= dr { &l } else { &r };
+                    let hi = dl.max(dr);
+                    let key = derive_key(
+                        7,
+                        plo,
+                        &[],
+                        &[hi as u64, (hi >> 64) as u64],
+                        &[&format!("{:?}", cfg.equiv)],
+                        cfg,
+                    );
+                    let equiv_cfg = cfg.equiv;
+                    let run = match (left, right) {
+                        (ProcessInput::Source(ls), ProcessInput::Source(rs)) => {
+                            let (ls, rs) = (ls.clone(), rs.clone());
+                            Runner::Pooled(Box::new(move || {
+                                match (parse_process(&ls), parse_process(&rs)) {
+                                    (Ok(l), Ok(r)) => equiv_body(&l, &r, &equiv_cfg),
+                                    (Err(e), _) | (_, Err(e)) => {
+                                        error_body("equiv", &e.to_string())
+                                    }
+                                }
+                            }))
+                        }
+                        // A pre-parsed side pins the job inline: the AST
+                        // is `Rc`-shared and cannot cross to the pool.
+                        _ => Runner::Inline(Box::new(move || equiv_body(&l, &r, &equiv_cfg))),
+                    };
+                    Prepared {
+                        op,
+                        key: Some(key),
+                        run,
+                    }
+                }
+            }
+        }
         Request::DebugPanic => Prepared {
             op: "debug-panic",
             key: None,
             run: Runner::Pooled(Box::new(|| panic!("debug-panic requested"))),
         },
     }
+}
+
+/// Renders the `equiv` body. Re-orients the pair by α-invariant digest
+/// first (min digest = `lhs`), so the body — verdict, trace, meters —
+/// is a pure function of the *unordered* pair and is byte-identical
+/// whichever order the caller submitted and whether it ran pooled or
+/// inline.
+fn equiv_body(l: &Process, r: &Process, cfg: &nuspi_equiv::EquivConfig) -> String {
+    let (dl, dr) = (canonical_digest(l).0, canonical_digest(r).0);
+    let (lo, hi, dlo, dhi) = if dl <= dr {
+        (l, r, dl, dr)
+    } else {
+        (r, l, dr, dl)
+    };
+    // The attacker starts off knowing every free name of either side —
+    // the observer of Definition 8 owns the public world.
+    let mut public: Vec<Symbol> = lo
+        .free_names()
+        .into_iter()
+        .chain(hi.free_names())
+        .map(|n| n.canonical())
+        .collect();
+    public.sort_by_key(|s| s.as_str().to_owned());
+    public.dedup();
+    let report = nuspi_equiv::check(lo, hi, &public, cfg);
+    let mut body = format!(
+        "\"op\":\"equiv\",\"status\":\"ok\",\"verdict\":\"{}\",\
+         \"lhs\":\"{dlo:032x}\",\"rhs\":\"{dhi:032x}\",\"plays\":{},\"depth\":{}",
+        report.verdict.tag(),
+        report.plays,
+        report.depth
+    );
+    match &report.verdict {
+        nuspi_equiv::Verdict::Bisimilar => {}
+        nuspi_equiv::Verdict::Distinguished { trace } => {
+            body.push_str(",\"trace\":[");
+            for (i, step) in trace.iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                let _ = write!(body, "\"{}\"", escape(step));
+            }
+            body.push(']');
+        }
+        nuspi_equiv::Verdict::Unknown { budgets } => {
+            body.push_str(",\"budgets\":[");
+            for (i, b) in budgets.iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                let _ = write!(body, "\"{}\"", escape(b));
+            }
+            body.push(']');
+        }
+    }
+    body
 }
 
 /// A request that failed before reaching a worker (parse error, open
@@ -629,6 +733,53 @@ mod tests {
     }
 
     #[test]
+    fn equiv_keys_are_pair_order_independent() {
+        let (p, q) = ("(new n) c<n>.0", "(hide n) c<n>.0");
+        let a = prepare(&Request::equiv(p, q), &cfg());
+        let b = prepare(&Request::equiv(q, p), &cfg());
+        assert_eq!(a.key, b.key);
+        assert!(a.key.is_some());
+        // ... but a different pair is a different slot.
+        let c = prepare(&Request::equiv(p, p), &cfg());
+        assert_ne!(a.key, c.key);
+    }
+
+    #[test]
+    fn equiv_budget_changes_rekey_equiv_only() {
+        let req = Request::equiv("c<a>.0", "c<b>.0");
+        let a = prepare(&req, &cfg());
+        let mut tight = cfg();
+        tight.equiv.game_depth = 2;
+        let b = prepare(&req, &tight);
+        assert_ne!(a.key, b.key);
+        // The static ops don't depend on the game budgets: their keys —
+        // and any persisted cache entries — survive an equiv re-tune.
+        let audit = Request::audit("(new m) c<{m, new r}:k>.0", &["m"]);
+        assert_eq!(prepare(&audit, &cfg()).key, prepare(&audit, &tight).key);
+    }
+
+    #[test]
+    fn equiv_bodies_reorient_by_digest() {
+        // Submitting the pair in either order renders byte-identical
+        // bodies (the cache stores one line for both orientations).
+        let (p, q) = ("(new n) c<n>.0", "(hide n) c<n>.0");
+        let ab = run(prepare(&Request::equiv(p, q), &cfg()));
+        let ba = run(prepare(&Request::equiv(q, p), &cfg()));
+        assert_eq!(ab, ba);
+        assert!(ab.contains("\"verdict\":\"distinguished\""), "{ab}");
+        assert!(ab.contains("\"trace\":["), "{ab}");
+    }
+
+    #[test]
+    fn equiv_rejects_unparseable_sides_uncached() {
+        let p = prepare(&Request::equiv("(new", "0"), &cfg());
+        assert!(p.key.is_none());
+        let body = run(p);
+        assert!(body.contains("\"status\":\"error\""), "{body}");
+        assert!(body.contains("left:"), "{body}");
+    }
+
+    #[test]
     fn bodies_render_and_are_deterministic() {
         let src = "(new m) c<{m, new r}:k>.0";
         for req in [
@@ -637,6 +788,7 @@ mod tests {
             Request::solve(src),
             Request::solve_incremental(src),
             Request::reveals(src, &["m", "k"], "m"),
+            Request::equiv(src, "(new m2) c<{m2, new r}:k>.0"),
         ] {
             let once = run(prepare(&req, &cfg()));
             let twice = run(prepare(&req, &cfg()));

@@ -120,6 +120,18 @@ pub enum Request {
         /// either way).
         shards: usize,
     },
+    /// The dynamic backend: bounded hedged-bisimilarity of two closed
+    /// processes ([`nuspi_equiv::check`]), with every free name of
+    /// either side as the attacker's initial knowledge. The body is
+    /// cached under an *order-independent* pair of α-invariant digests —
+    /// `equiv(P, Q)` and `equiv(Q, P)` share one slot (`lhs`/`rhs` in
+    /// the body name the digest-sorted orientation).
+    Equiv {
+        /// One side of the candidate equivalence.
+        left: ProcessInput,
+        /// The other side.
+        right: ProcessInput,
+    },
     /// Test-only: a job that panics inside the worker, exercising the
     /// pool's panic isolation. Not reachable from the wire protocol.
     #[doc(hidden)]
@@ -172,6 +184,14 @@ impl Request {
         }
     }
 
+    /// An equivalence-check request over two source texts.
+    pub fn equiv(left: &str, right: &str) -> Request {
+        Request::Equiv {
+            left: left.into(),
+            right: right.into(),
+        }
+    }
+
     /// An annotated-source analysis request (sequential solver).
     pub fn analyze_source(file: &str, source: &str) -> Request {
         Request::AnalyzeSource {
@@ -190,6 +210,7 @@ impl Request {
             Request::Reveals { .. } => "reveals",
             Request::SolveIncremental { .. } => "solve_incremental",
             Request::AnalyzeSource { .. } => "analyze_source",
+            Request::Equiv { .. } => "equiv",
             Request::DebugPanic => "debug-panic",
         }
     }

@@ -10,7 +10,8 @@
 //! (the persistent per-component solution cache; ideal for re-analysing
 //! an edited protocol over a long session), `reveals`, `analyze_source`
 //! (the annotated-source `nuspi-lang` frontend: a `source` program plus
-//! optional `file` and `shards`) — plus `batch` (a
+//! optional `file` and `shards`), `equiv` (bounded hedged-bisimilarity
+//! of a `left` and a `right` process) — plus `batch` (a
 //! `requests` array answered as one line per element, in order) and
 //! `stats` (the engine's meters; the only op whose body is not a pure
 //! function of the request, so it is never cached). Every
@@ -112,6 +113,16 @@ fn decode_envelope(v: &Json) -> Result<Envelope, String> {
                 })
                 .transpose()?
                 .unwrap_or(1) as usize,
+        },
+        "equiv" => Request::Equiv {
+            left: opt_str(v, "left")
+                .ok_or_else(|| "op `equiv` requires a `left` string".to_owned())?
+                .as_str()
+                .into(),
+            right: opt_str(v, "right")
+                .ok_or_else(|| "op `equiv` requires a `right` string".to_owned())?
+                .as_str()
+                .into(),
         },
         "reveals" => Request::Reveals {
             process: process()?.as_str().into(),

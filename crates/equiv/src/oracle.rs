@@ -1,0 +1,163 @@
+//! The dynamic Theorem 5 oracle: message independence as a game.
+//!
+//! Theorem 5 justifies the static invariance verdict by *message
+//! independence*: `P[M/x] ∼ P[M′/x]` for all closed messages, where `∼`
+//! is public testing equivalence. The oracle instantiates the open
+//! process with two **fresh attacker-known names** and plays the bounded
+//! hedged-bisimulation game between the two instantiations.
+//!
+//! Fresh names — not numerals — are the right probes: a numeral can be
+//! synthesised by any attacker, so instantiating a key-position secret
+//! with `0` would let the attacker decrypt on *both* sides and fabricate
+//! distinctions Theorem 5 never quantifies over. A fresh name the
+//! attacker happens to know (it is seeded into the initial hedge, paired
+//! with itself on both sides) is exactly an attacker-chosen message: it
+//! can be compared and used as a key by the attacker, but never
+//! synthesised by the processes themselves.
+//!
+//! Because both sides are the *same* process up to the probe
+//! substitution, every `Distinguished` verdict is driven by how the
+//! secret's value flows — a leak in the clear, a secret used as a key or
+//! tested by a guard — which is precisely the soundness direction the
+//! differential wall checks against `static_message_independence`.
+
+use crate::bisim::{check, EquivConfig, EquivReport};
+use nuspi_syntax::{Name, Process, Symbol, Value, Var};
+
+/// The probe names chosen for one oracle run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Probes {
+    /// The name substituted on the left.
+    pub left: Symbol,
+    /// The name substituted on the right.
+    pub right: Symbol,
+}
+
+/// Picks two probe names not free in `open` and not in `public`,
+/// deterministically: `g1`/`g2`, suffixing `x` until fresh.
+pub fn pick_probes(open: &Process, public: &[Symbol]) -> Probes {
+    let taken: std::collections::BTreeSet<String> = open
+        .free_names()
+        .into_iter()
+        .map(|n| n.canonical().as_str().to_owned())
+        .chain(public.iter().map(|s| s.as_str().to_owned()))
+        .collect();
+    let fresh = |base: &str| {
+        let mut cand = base.to_owned();
+        while taken.contains(&cand) {
+            cand.push('x');
+        }
+        Symbol::intern(&cand)
+    };
+    Probes {
+        left: fresh("g1"),
+        right: fresh("g2"),
+    }
+}
+
+/// Runs the message-independence game for `P(x) = open` with `x` bound:
+/// checks `P[g1/x] ∼ P[g2/x]` for fresh attacker-known probes `g1, g2`,
+/// with every name in `public` (plus both probes) seeded into the hedge.
+pub fn independence_oracle(
+    open: &Process,
+    x: Var,
+    public: &[Symbol],
+    cfg: &EquivConfig,
+) -> EquivReport {
+    let _span = nuspi_obs::span!("equiv.oracle");
+    let probes = pick_probes(open, public);
+    let left = open.subst(x, &Value::name(Name::global(probes.left.as_str())));
+    let right = open.subst(x, &Value::name(Name::global(probes.right.as_str())));
+    let mut known: Vec<Symbol> = public.to_vec();
+    known.push(probes.left);
+    known.push(probes.right);
+    check(&left, &right, &known, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bisim::Verdict;
+    use nuspi_syntax::{builder as b, parse_process};
+
+    fn syms(names: &[&str]) -> Vec<Symbol> {
+        names.iter().map(|n| Symbol::intern(n)).collect()
+    }
+
+    /// `P(x)` from source: parse `probe(x). body` and strip the input.
+    fn open(src: &str) -> (Process, Var) {
+        let p = parse_process(&format!("probe(x). {src}")).unwrap();
+        let Process::Input { var, then, .. } = p else {
+            panic!()
+        };
+        (*then, var)
+    }
+
+    #[test]
+    fn probes_avoid_free_names() {
+        let p = parse_process("g1<g2x>.0").unwrap();
+        let probes = pick_probes(&p, &syms(&["g2"]));
+        assert_eq!(probes.left.as_str(), "g1x");
+        assert_eq!(probes.right.as_str(), "g2xx");
+    }
+
+    #[test]
+    fn clear_leak_is_dependent() {
+        let (p, x) = open("c<x>.0");
+        let rep = independence_oracle(&p, x, &syms(&["c"]), &EquivConfig::default());
+        assert!(
+            matches!(rep.verdict, Verdict::Distinguished { .. }),
+            "{rep:?}"
+        );
+    }
+
+    #[test]
+    fn sealed_payload_is_independent() {
+        // `(new k) c<{x, new r}:k>.0`: the probe only ever travels under
+        // a restricted key.
+        let (p, x) = open("(new k) c<{x, new r}:k>.0");
+        let rep = independence_oracle(&p, x, &syms(&["c"]), &EquivConfig::default());
+        assert_eq!(rep.verdict, Verdict::Bisimilar, "{rep:?}");
+    }
+
+    #[test]
+    fn secret_as_key_is_dependent() {
+        // The attacker knows the probes, so it can decrypt exactly one
+        // side's ciphertext with the corresponding recipe.
+        let (p, x) = open("c<{m, new r}:x>.0");
+        let rep = independence_oracle(&p, x, &syms(&["c", "m"]), &EquivConfig::default());
+        assert!(
+            matches!(rep.verdict, Verdict::Distinguished { .. }),
+            "{rep:?}"
+        );
+    }
+
+    #[test]
+    fn guard_on_secret_is_dependent() {
+        // `[x is g1]` fires on the left instantiation only once the
+        // attacker mentions g1 — but here the guard compares against a
+        // value the process received, which the attacker injects.
+        let (p, x) = open("c(y). [y is x] d<0>.0");
+        let rep = independence_oracle(&p, x, &syms(&["c", "d"]), &EquivConfig::default());
+        assert!(
+            matches!(rep.verdict, Verdict::Distinguished { .. }),
+            "{rep:?}"
+        );
+    }
+
+    #[test]
+    fn builder_built_open_processes_work() {
+        let x = Var::fresh("x");
+        let k = nuspi_syntax::Name::global("k");
+        let p = b::restrict(
+            k,
+            b::output(
+                b::name("c"),
+                b::enc(vec![b::var(x)], Name::global("r"), b::name_expr(k)),
+                b::nil(),
+            ),
+        );
+        let rep = independence_oracle(&p, x, &syms(&["c"]), &EquivConfig::default());
+        assert_eq!(rep.verdict, Verdict::Bisimilar, "{rep:?}");
+    }
+}

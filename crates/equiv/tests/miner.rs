@@ -1,0 +1,107 @@
+//! Smoke test for the attack-variant miner: mined mutants of the honest
+//! protocol twins rediscover the committed broken variants.
+//!
+//! For each honest/broken sibling pair in the protocol zoo, the miner's
+//! single-edit mutants of the *honest* spec must contain an edit the
+//! bounded game separates from the honest original — and the separation
+//! must agree with the zoo's hand-written broken twin, which the same
+//! budgets also distinguish. Tight budgets: this is a smoke wall, the
+//! full differential treatment lives in `tests/equiv_differential.rs`.
+
+use nuspi_equiv::{check, mutations, EquivConfig, Verdict};
+use nuspi_protocols::{broken_twins, ProtocolSpec};
+use nuspi_syntax::{Process, Symbol};
+
+fn smoke_cfg() -> EquivConfig {
+    EquivConfig {
+        game_depth: 5,
+        max_plays: 4_000,
+        tau_depth: 20,
+        tau_states: 600,
+        max_injections: 16,
+        ..EquivConfig::default()
+    }
+}
+
+/// The attacker's initial knowledge for a twin game: the spec's public
+/// channels plus every policy-public free name of either side.
+fn publics(spec: &ProtocolSpec, other: &Process) -> Vec<Symbol> {
+    let mut v: Vec<Symbol> = spec
+        .process
+        .free_names()
+        .into_iter()
+        .chain(other.free_names())
+        .map(|n| n.canonical())
+        .filter(|s| spec.policy.is_public(*s))
+        .chain(spec.public_channels.iter().copied())
+        .collect();
+    v.sort_by_key(|s| s.as_str().to_owned());
+    v.dedup();
+    v
+}
+
+#[test]
+fn miner_enumerates_protocol_shaped_edits() {
+    for (honest, _) in broken_twins() {
+        let mutants = mutations(&honest.process);
+        assert!(!mutants.is_empty(), "{}: no mutants", honest.name);
+        for kind in ["swap", "replay", "expose"] {
+            assert!(
+                mutants.iter().any(|m| m.kind == kind),
+                "{}: no {kind} mutant among {} edits",
+                honest.name,
+                mutants.len()
+            );
+        }
+        // Labels are unique: each mutant names its edit site.
+        let mut labels: Vec<&str> = mutants.iter().map(|m| m.label.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), mutants.len(), "{}", honest.name);
+    }
+}
+
+#[test]
+fn expose_mutants_rediscover_the_committed_leak() {
+    let cfg = smoke_cfg();
+    for (honest, broken) in broken_twins() {
+        // The zoo's hand-written broken twin is separable at these budgets…
+        let twin = check(
+            &honest.process,
+            &broken.process,
+            &publics(&honest, &broken.process),
+            &cfg,
+        );
+        assert!(
+            matches!(twin.verdict, Verdict::Distinguished { .. }),
+            "{} vs {}: {:?}",
+            honest.name,
+            broken.name,
+            twin.verdict
+        );
+
+        // …and the miner independently finds an expose edit with the same
+        // verdict: shipping an encrypted payload in the clear is exactly
+        // the mistake the committed variant hand-writes.
+        let mut separated = None;
+        for mutant in mutations(&honest.process)
+            .into_iter()
+            .filter(|m| m.kind == "expose")
+        {
+            let report = check(
+                &honest.process,
+                &mutant.process,
+                &publics(&honest, &mutant.process),
+                &cfg,
+            );
+            if matches!(report.verdict, Verdict::Distinguished { .. }) {
+                separated = Some(mutant.label);
+                break;
+            }
+        }
+        let Some(label) = separated else {
+            panic!("{}: no expose mutant was distinguished", honest.name)
+        };
+        eprintln!("{}: rediscovered via `{label}`", honest.name);
+    }
+}

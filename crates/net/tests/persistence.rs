@@ -31,6 +31,7 @@ fn requests() -> Vec<Request> {
         Request::audit("(new k) (new m) c<{m, new r}:k>.0", &["m", "k"]),
         Request::lint("(new s) net<s>.0", &["s"]),
         Request::solve("a<m>.0 | a(x).b<x>.0"),
+        Request::equiv("(new n) c<n>.0", "(hide n) c<n>.0"),
     ]
 }
 
@@ -44,7 +45,7 @@ fn restart_serves_previous_bodies_from_disk() {
         let responses = engine.submit_requests(requests());
         let stats = engine.stats();
         let store = stats.store.expect("store attached");
-        assert_eq!(store.admits, 3, "{store:?}");
+        assert_eq!(store.admits, 4, "{store:?}");
         assert_eq!(store.hits, 0);
         responses.into_iter().map(|r| r.body).collect()
     }; // engine dropped: workers join, store closes
@@ -54,9 +55,9 @@ fn restart_serves_previous_bodies_from_disk() {
     let warm = engine.submit_requests(requests());
     let stats = engine.stats();
     let store = stats.store.expect("store attached");
-    assert_eq!(store.hits, 3, "every request hit the disk store");
+    assert_eq!(store.hits, 4, "every request hit the disk store");
     assert_eq!(store.admits, 0, "nothing recomputed, nothing re-admitted");
-    assert_eq!(stats.cache.misses, 3, "memory tier was cold");
+    assert_eq!(stats.cache.misses, 4, "memory tier was cold");
     for (old, new) in cold.iter().zip(&warm) {
         assert!(new.cached, "served from the store, flagged cached");
         assert_eq!(old.as_ref(), new.body.as_ref(), "bodies byte-identical");
@@ -65,8 +66,8 @@ fn restart_serves_previous_bodies_from_disk() {
     // Third submission in the same life: promoted to the memory tier.
     let hot = engine.submit_requests(requests());
     let stats = engine.stats();
-    assert_eq!(stats.cache.hits, 3, "repeats hit memory, not disk");
-    assert_eq!(stats.store.unwrap().hits, 3, "disk hits did not grow");
+    assert_eq!(stats.cache.hits, 4, "repeats hit memory, not disk");
+    assert_eq!(stats.store.unwrap().hits, 4, "disk hits did not grow");
     for (old, new) in cold.iter().zip(&hot) {
         assert_eq!(old.as_ref(), new.body.as_ref());
     }
@@ -100,7 +101,7 @@ fn corrupted_tail_is_never_served_and_recomputes_identically() {
     let stats = engine.stats();
     let store = stats.store.expect("store attached");
     assert_eq!(store.corrupt_skipped, 1, "the tear was noticed once");
-    assert_eq!(store.hits, 2, "intact records served");
+    assert_eq!(store.hits, 3, "intact records served");
     assert_eq!(store.misses, 1, "torn record missed, not served");
     assert_eq!(store.admits, 1, "the recompute was re-persisted");
     // The recomputed body is byte-identical to the pre-crash one — the
@@ -122,7 +123,7 @@ fn admission_threshold_flows_through_the_engine() {
     engine.submit_requests(requests());
     let store = engine.stats().store.unwrap();
     assert_eq!(store.admits, 0);
-    assert_eq!(store.rejects, 3);
+    assert_eq!(store.rejects, 4);
     assert_eq!(store.entries, 0, "log stayed empty");
     let _ = std::fs::remove_dir_all(&dir);
 }

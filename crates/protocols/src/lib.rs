@@ -71,6 +71,18 @@ pub fn suite() -> Vec<ProtocolSpec> {
     ]
 }
 
+/// Honest/broken sibling pairs whose difference is *dynamically*
+/// observable: each broken twin leaks through a value the attacker can
+/// read or replay, so the bounded hedged-bisimulation oracle separates
+/// the twin while (at matching budgets) not separating the honest spec.
+/// Used by the equivalence golden wall and the attack-variant miner.
+pub fn broken_twins() -> Vec<(ProtocolSpec, ProtocolSpec)> {
+    vec![
+        (ns_lowe::ns_lowe(), ns_lowe::ns_lowe_no_identity()),
+        (splice::splice_as(), splice::splice_as_ticket_in_clear()),
+    ]
+}
+
 /// Only the honest (expected-confined) protocols.
 pub fn honest_suite() -> Vec<ProtocolSpec> {
     suite().into_iter().filter(|s| s.expect_confined).collect()

@@ -112,6 +112,22 @@ pub fn explore_tau(
     stats
 }
 
+/// The bounded `τ`-closure of `p`: every reachable state paired with its
+/// full commitment list, appended to `out` in BFS order (the initial
+/// state first). This is the weak-transition view the hedged-bisimulation
+/// backend plays over: a visible move "from `p`" is a visible commitment
+/// of any state in the closure.
+pub fn tau_closure(
+    p: &Process,
+    cfg: &ExecConfig,
+    out: &mut Vec<(Process, Vec<Commitment>)>,
+) -> ExploreStats {
+    explore_tau(p, cfg, |state, cs| {
+        out.push((state.clone(), cs.to_vec()));
+        true
+    })
+}
+
 /// All `τ`-successors of a single state.
 pub fn tau_successors(p: &Process, cfg: &ExecConfig) -> Vec<Process> {
     commitments(p, &cfg.commit_config())

@@ -40,8 +40,8 @@ pub use agent::{Abstraction, Action, Agent, Commitment, Concretion, OutputEvent}
 pub use commit::{commitments, reduce, CommitConfig};
 pub use eval::{eval, EvalError, EvalMode, Evaluated};
 pub use exec::{
-    all_traces, explore_tau, passes_test, run_random, tau_successors, Barb, ExecConfig,
-    ExploreStats, Trace, TraceStep,
+    all_traces, explore_tau, passes_test, run_random, tau_closure, tau_successors, Barb,
+    ExecConfig, ExploreStats, Trace, TraceStep,
 };
 pub use msc::render_msc;
 pub use rng::{Rng, SplitMix64};

@@ -4,8 +4,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
 
 echo "==> cargo test -q (workspace)"
 cargo test -q --workspace
@@ -32,6 +32,13 @@ cargo test -q -p nuspi-lang
 cargo test -q -p nuspi-lang --test determinism
 cargo test -q -p nuspi-lang --test robustness
 
+echo "==> equiv walls (laws, miner, differential oracle, goldens)"
+cargo test -q -p nuspi-equiv
+cargo test -q -p nuspi-equiv --test laws
+cargo test -q -p nuspi-equiv --test miner
+cargo test -q --test equiv_differential
+cargo test -q --test equiv_golden
+
 echo "==> digest properties, jsonio edge cases, engine stress, trace schema"
 cargo test -q --test properties digest  # the three canonical-digest properties
 cargo test -q -p nuspi-engine --test jsonio_edge
@@ -57,6 +64,29 @@ echo "$serve_out" | sed -n 3p | grep -q '"op":"solve_incremental"' || { echo "se
 echo "$serve_out" | sed -n 3p | grep -q '"components":2' || { echo "serve: incremental components missing"; exit 1; }
 echo "$serve_out" | sed -n 4p | grep -q '"hits":1' || { echo "serve: cache hit not reported"; exit 1; }
 echo "$serve_out" | sed -n 4p | grep -q '"incremental":{"calls":1' || { echo "serve: incremental meters missing"; exit 1; }
+
+echo "==> nuspi serve equiv smoke test"
+equiv_out=$(printf '%s\n' \
+  '{"id":"e1","op":"equiv","left":"(new n) c<n>.0","right":"(hide n) c<n>.0"}' \
+  '{"id":"e2","op":"equiv","left":"(hide n) c<n>.0","right":"(new n) c<n>.0"}' \
+  | ./target/release/nuspi serve --jobs 2)
+[ "$(echo "$equiv_out" | wc -l)" -eq 2 ] || { echo "equiv: expected 2 response lines"; exit 1; }
+echo "$equiv_out" | sed -n 1p | grep -q '"verdict":"distinguished"' || { echo "equiv: verdict missing"; exit 1; }
+echo "$equiv_out" | sed -n 1p | grep -q '"trace":\[' || { echo "equiv: distinguishing trace missing"; exit 1; }
+# The pair cache key is order-independent: the swapped pair is the same
+# entry, so the body must be byte-identical.
+[ "$(echo "$equiv_out" | sed -n 1p | sed 's/e1/eX/')" = "$(echo "$equiv_out" | sed -n 2p | sed 's/e2/eX/')" ] \
+  || { echo "equiv: swapped pair not byte-identical"; exit 1; }
+
+echo "==> nuspi equiv CLI exit codes"
+left_f=$(mktemp); right_f=$(mktemp)
+printf '(new n) c<n>.0\n' >"$left_f"
+printf '(hide n) c<n>.0\n' >"$right_f"
+rc=0; ./target/release/nuspi equiv "$left_f" "$left_f" >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 0 ] || { echo "equiv CLI: reflexive pair should exit 0, got $rc"; exit 1; }
+rc=0; ./target/release/nuspi equiv "$left_f" "$right_f" >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 1 ] || { echo "equiv CLI: distinguished pair should exit 1, got $rc"; exit 1; }
+rm -f "$left_f" "$right_f"
 
 echo "==> nuspi serve analyze_source smoke test"
 lang_out=$(printf '%s\n' \

@@ -1,0 +1,259 @@
+//! Differential wall: the dynamic Theorem 5 oracle versus the static
+//! analysis, over the whole protocol suite plus seeded random corpora.
+//!
+//! The contract is *soundness of the static side relative to the game*:
+//! whenever `static_message_independence` certifies independence, the
+//! bounded hedged-bisimulation oracle must not distinguish the two
+//! fresh-name instantiations. The converse direction is not asserted —
+//! the static analysis over-approximates and the game is budgeted — but
+//! `Unknown` verdicts are counted and capped so budget regressions are
+//! caught here rather than silently eroding coverage.
+
+use nuspi_equiv::{independence_oracle, EquivConfig, Verdict};
+use nuspi_protocols::{open_examples, suite};
+use nuspi_security::static_message_independence;
+use nuspi_semantics::{Rng, SplitMix64};
+use nuspi_syntax::{builder as b, Name, Process, Symbol, Var};
+
+/// Tighter budgets than the default: the wall runs 25+ cases and only
+/// needs enough fuel to separate the clearly-broken specs. Raising these
+/// can only move verdicts `Unknown -> {Bisimilar, Distinguished}`.
+fn wall_cfg() -> EquivConfig {
+    if cfg!(debug_assertions) {
+        // `cargo test -q` runs unoptimised: play the same game at a lower
+        // budget so the wall stays quick. Release CI runs the full wall.
+        EquivConfig {
+            game_depth: 5,
+            max_plays: 2_000,
+            tau_depth: 20,
+            tau_states: 600,
+            max_injections: 16,
+            ..EquivConfig::default()
+        }
+    } else {
+        EquivConfig {
+            game_depth: 6,
+            max_plays: 12_000,
+            tau_depth: 24,
+            tau_states: 1_000,
+            max_injections: 16,
+            ..EquivConfig::default()
+        }
+    }
+}
+
+struct Outcome {
+    name: String,
+    statically_independent: bool,
+    verdict: &'static str,
+    plays: usize,
+}
+
+/// The attacker's initial knowledge: the declared public channels plus
+/// every policy-public free name of the open process (compromised keys,
+/// identities — `is_closed` only closes variables, not names).
+fn oracle_publics(
+    open: &Process,
+    policy: &nuspi_security::Policy,
+    channels: &[Symbol],
+) -> Vec<Symbol> {
+    let mut v: Vec<Symbol> = open
+        .free_names()
+        .into_iter()
+        .map(|n| n.canonical())
+        .filter(|s| policy.is_public(*s))
+        .chain(channels.iter().copied())
+        .collect();
+    v.sort_by_key(|s| s.as_str().to_owned());
+    v.dedup();
+    v
+}
+
+fn run_case(
+    name: &str,
+    open: &Process,
+    x: Var,
+    policy: &nuspi_security::Policy,
+    channels: &[Symbol],
+) -> Outcome {
+    let public = oracle_publics(open, policy, channels);
+    let stat = static_message_independence(open, x, policy);
+    let dynamic = independence_oracle(open, x, &public, &wall_cfg());
+    if stat.implies_independence() {
+        assert!(
+            !matches!(dynamic.verdict, Verdict::Distinguished { .. }),
+            "SOUNDNESS VIOLATION on {name}: static analysis certifies message \
+             independence but the oracle distinguished:\n{:#?}",
+            dynamic.verdict
+        );
+    }
+    Outcome {
+        name: name.to_string(),
+        statically_independent: stat.implies_independence(),
+        verdict: dynamic.verdict.tag(),
+        plays: dynamic.plays,
+    }
+}
+
+#[test]
+fn protocol_suite_static_sound_wrt_oracle() {
+    let mut outcomes = Vec::new();
+    let mut skipped = Vec::new();
+    for spec in suite() {
+        let Some((open, x)) = spec.process.abstract_restriction(spec.secret) else {
+            skipped.push(spec.name);
+            continue;
+        };
+        outcomes.push(run_case(
+            spec.name,
+            &open,
+            x,
+            &spec.policy,
+            &spec.public_channels,
+        ));
+    }
+    for ex in open_examples() {
+        outcomes.push(run_case(
+            ex.name,
+            &ex.process,
+            ex.var,
+            &ex.policy,
+            &ex.public_channels,
+        ));
+    }
+    let table: Vec<String> = outcomes
+        .iter()
+        .map(|o| {
+            format!(
+                "{:32} static_independent={:5} oracle={:13} plays={}",
+                o.name, o.statically_independent, o.verdict, o.plays
+            )
+        })
+        .collect();
+    eprintln!("{}", table.join("\n"));
+    assert!(
+        skipped.is_empty(),
+        "specs whose secret is not an abstractable restriction: {skipped:?}"
+    );
+    // The suite must exercise both sides of the differential: some cases
+    // the static analysis certifies, some it rejects.
+    let certified = outcomes.iter().filter(|o| o.statically_independent).count();
+    assert!(
+        certified >= 5,
+        "only {certified} certified cases:\n{table:?}"
+    );
+    assert!(
+        outcomes.len() - certified >= 5,
+        "only {} rejected cases",
+        outcomes.len() - certified
+    );
+    // The oracle must produce real work — the clearly-broken variants
+    // have to come out Distinguished, not Unknown. At the debug budget
+    // 11 of the 12 flawed specs are separated (plus channel-flow); the
+    // release budget also separates otway-rees-key-in-clear.
+    let distinguished = outcomes
+        .iter()
+        .filter(|o| o.verdict == "distinguished")
+        .count();
+    assert!(
+        distinguished >= 12,
+        "oracle distinguished only {distinguished} cases:\n{}",
+        table.join("\n")
+    );
+    // Unknowns are allowed (budgets are finite) but capped: a budget or
+    // determinism regression that floods the wall with Unknown fails here.
+    let unknown = outcomes.iter().filter(|o| o.verdict == "unknown").count();
+    assert!(
+        unknown <= 10,
+        "{unknown}/{} verdicts are Unknown — budgets regressed:\n{}",
+        outcomes.len(),
+        table.join("\n")
+    );
+}
+
+/// A small seeded generator of open processes `P(x)` over public
+/// channels and a restricted key, biased to produce both leaky and
+/// confining shapes.
+fn random_open(rng: &mut SplitMix64) -> (Process, Var) {
+    let x = Var::fresh("x");
+    let k = Name::global("kr");
+    let depth = rng.gen_range_inclusive(1, 3);
+    let body = random_body(rng, x, depth);
+    (b::restrict(k, body), x)
+}
+
+fn random_body(rng: &mut SplitMix64, x: Var, depth: usize) -> Process {
+    let chan = if rng.gen_bool(0.5) { "c" } else { "d" };
+    if depth == 0 {
+        return b::nil();
+    }
+    // Weighted toward confining shapes so a healthy share of the corpus
+    // is statically certified; the leak/guard arms keep the other share
+    // genuinely distinguishable.
+    match rng.gen_range(0..10) {
+        // Leak x in the clear.
+        0 => b::output(b::name(chan), b::var(x), random_body(rng, x, depth - 1)),
+        // Seal x under the restricted key.
+        1..=3 => b::output(
+            b::name(chan),
+            b::enc(
+                vec![b::var(x)],
+                Name::global("r"),
+                b::name_expr(Name::global("kr")),
+            ),
+            random_body(rng, x, depth - 1),
+        ),
+        // Send something unrelated.
+        4 | 5 => b::output(
+            b::name(chan),
+            b::pair(b::name("a"), b::name("b")),
+            random_body(rng, x, depth - 1),
+        ),
+        // Guard on x against a public name (a value test — statically
+        // flagged, dynamically distinguishable by injection).
+        6 => b::guard(b::var(x), b::name("a"), random_body(rng, x, depth - 1)),
+        // Receive and continue.
+        7 | 8 => {
+            let y = Var::fresh("y");
+            b::input(b::name(chan), y, random_body(rng, x, depth - 1))
+        }
+        // Fork.
+        _ => b::par(
+            random_body(rng, x, depth - 1),
+            random_body(rng, x, depth - 1),
+        ),
+    }
+}
+
+#[test]
+fn random_corpus_static_sound_wrt_oracle() {
+    let policy = nuspi_security::Policy::new();
+    let public: Vec<Symbol> = vec![Symbol::intern("c"), Symbol::intern("d")];
+    let cfg = wall_cfg();
+    let mut rng = SplitMix64::seed_from_u64(0x5eed_cafe);
+    let mut certified = 0usize;
+    let mut distinguished = 0usize;
+    for i in 0..48 {
+        let (open, x) = random_open(&mut rng);
+        let stat = static_message_independence(&open, x, &policy);
+        let dynamic = independence_oracle(&open, x, &public, &cfg);
+        if stat.implies_independence() {
+            certified += 1;
+            assert!(
+                !matches!(dynamic.verdict, Verdict::Distinguished { .. }),
+                "SOUNDNESS VIOLATION on random case #{i} ({open}): static says \
+                 independent, oracle says {:#?}",
+                dynamic.verdict
+            );
+        }
+        if matches!(dynamic.verdict, Verdict::Distinguished { .. }) {
+            distinguished += 1;
+        }
+    }
+    // The corpus must actually stress both sides of the fence.
+    assert!(certified >= 8, "only {certified}/48 random cases certified");
+    assert!(
+        distinguished >= 6,
+        "only {distinguished}/48 random cases distinguished"
+    );
+}

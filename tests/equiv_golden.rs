@@ -1,0 +1,164 @@
+//! Golden-file checks for the engine's `equiv` backend.
+//!
+//! Every case is submitted through a full [`AnalysisEngine`] at several
+//! worker counts and both cache temperatures, and the response body is
+//! compared byte-for-byte against `tests/golden/equiv/<name>.json`.
+//! Regenerate the goldens with
+//!
+//! ```text
+//! NUSPI_BLESS=1 cargo test -q --test equiv_golden
+//! ```
+//!
+//! The same test asserts the determinism contract directly: verdicts,
+//! traces, and play meters are byte-identical at 1, 2, 4, and 8 workers,
+//! and a warm resubmission is a cache hit with the identical body.
+
+use nuspi::engine::{AnalysisEngine, EngineConfig, Request};
+use nuspi::equiv::EquivConfig;
+use nuspi_protocols::broken_twins;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("equiv")
+}
+
+fn bless() -> bool {
+    std::env::var_os("NUSPI_BLESS").is_some()
+}
+
+/// Budgets pinned explicitly so the blessed bodies survive re-tunes of
+/// `EquivConfig::default()` — and match between debug and release, since
+/// the game is deterministic by construction, not by optimization level.
+fn pinned() -> EquivConfig {
+    EquivConfig {
+        game_depth: 5,
+        max_plays: 4_000,
+        tau_depth: 20,
+        tau_states: 600,
+        max_injections: 16,
+        ..EquivConfig::default()
+    }
+}
+
+fn engine(jobs: usize) -> AnalysisEngine {
+    AnalysisEngine::new(EngineConfig {
+        jobs,
+        equiv: pinned(),
+        ..EngineConfig::default()
+    })
+}
+
+/// Named source pairs: each honest/broken protocol twin, plus the small
+/// binder-semantics pairs the laws wall pins traces for.
+fn cases() -> Vec<(String, String, String)> {
+    let mut out = vec![
+        (
+            "new-vs-hide".to_owned(),
+            "(new n) c<n>.0".to_owned(),
+            "(hide n) c<n>.0".to_owned(),
+        ),
+        (
+            "sealed-twins".to_owned(),
+            "(new k) c<{a, new r}:k>.0".to_owned(),
+            "(new k2) c<{b, new r2}:k2>.0".to_owned(),
+        ),
+    ];
+    for (honest, broken) in broken_twins() {
+        out.push((
+            format!("{}-vs-{}", honest.name, broken.name),
+            honest.source.to_owned(),
+            broken.source.to_owned(),
+        ));
+    }
+    out
+}
+
+fn check_case(name: &str, left: &str, right: &str) {
+    // Cold bodies at every worker count must agree byte-for-byte.
+    let mut bodies = Vec::new();
+    for jobs in [1, 2, 4, 8] {
+        let resp = engine(jobs).submit(Request::equiv(left, right));
+        assert!(resp.is_ok(), "{name} at jobs={jobs}: {}", resp.body);
+        assert!(!resp.cached, "{name} at jobs={jobs}: fresh engine hit");
+        bodies.push((jobs, resp.body));
+    }
+    let (_, body) = &bodies[0];
+    for (jobs, other) in &bodies[1..] {
+        assert_eq!(
+            body, other,
+            "{name}: body differs between jobs=1 and jobs={jobs}"
+        );
+    }
+
+    // Warm resubmission — same engine, both pair orders — is a hit.
+    let eng = engine(4);
+    let cold = eng.submit(Request::equiv(left, right));
+    let warm = eng.submit(Request::equiv(right, left));
+    assert!(!cold.cached && warm.cached, "{name}: warm path missed");
+    assert_eq!(cold.body, warm.body, "{name}: warm body deviates");
+    assert_eq!(body, &cold.body, "{name}: second engine deviates");
+
+    let path = golden_dir().join(format!("{name}.json"));
+    if bless() {
+        std::fs::create_dir_all(golden_dir()).unwrap();
+        std::fs::write(&path, body.as_bytes()).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{name}: missing golden file {} ({e}); run with NUSPI_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        body.as_ref(),
+        expected,
+        "{name}: equiv body deviates from the golden file {}; \
+         run with NUSPI_BLESS=1 to re-bless if intentional",
+        path.display()
+    );
+}
+
+#[test]
+fn equiv_bodies_match_golden_at_any_worker_count() {
+    for (name, left, right) in cases() {
+        check_case(&name, &left, &right);
+    }
+}
+
+#[test]
+fn no_stale_golden_files() {
+    let live: std::collections::BTreeSet<String> = cases()
+        .into_iter()
+        .map(|(name, _, _)| format!("{name}.json"))
+        .collect();
+    let Ok(entries) = std::fs::read_dir(golden_dir()) else {
+        return; // nothing blessed yet (fresh checkout mid-bless)
+    };
+    for entry in entries {
+        let file = entry.unwrap().file_name().into_string().unwrap();
+        assert!(
+            live.contains(&file),
+            "stale golden file {file}: no case produces it any more"
+        );
+    }
+}
+
+#[test]
+fn twin_goldens_record_a_distinction() {
+    // The broken twins are *dynamically* separable: their goldens must
+    // carry a distinguishing trace, not a budget excuse.
+    for (honest, broken) in broken_twins() {
+        let resp = engine(2).submit(Request::equiv(&honest.source, &broken.source));
+        assert!(
+            resp.body.contains("\"verdict\":\"distinguished\""),
+            "{} vs {}: {}",
+            honest.name,
+            broken.name,
+            resp.body
+        );
+    }
+}
